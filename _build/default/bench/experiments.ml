@@ -1,0 +1,461 @@
+(* Reproduction harnesses: one per table/figure of the paper's §9.
+   Every harness prints the series the paper plots, next to the paper's
+   reported values where it states them. Scaled-down sizes (warehouse
+   counts, virtual-time windows, buffer sizes) are printed with each
+   experiment; EXPERIMENTS.md records the mapping and the measured
+   results. *)
+module T = Phoebe_tpcc.Tpcc
+module W = Phoebe_workload.Workload
+module B = Phoebe_baseline.Baseline
+module Db = Phoebe_core.Db
+module Config = Phoebe_core.Config
+module Table = Phoebe_core.Table
+module Scheduler = Phoebe_runtime.Scheduler
+module Component = Phoebe_sim.Component
+module Counters = Phoebe_sim.Counters
+module Device = Phoebe_io.Device
+module Wal = Phoebe_wal.Wal
+module Value = Phoebe_storage.Value
+module Txnmgr = Phoebe_txn.Txnmgr
+
+let seed = 42
+let mb = 1024 * 1024
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+let phoebe_config ~warehouses ~workers ~slots ~buffer_mb =
+  {
+    Config.default with
+    Config.n_workers = workers;
+    slots_per_worker = slots;
+    buffer_bytes = buffer_mb * mb;
+  }
+  |> fun cfg -> ignore warehouses; cfg
+
+let load_tpcc cfg ~warehouses =
+  let db = Db.create cfg in
+  (db, T.load db ~warehouses ~scale:T.default_scale ~seed ())
+
+let run_tpcc ?(affinity = true) t ~workers ~slots ~seconds =
+  T.run_mix t ~affinity
+    ~concurrency:(workers * min slots 16)
+    ~duration_ns:(int_of_float (seconds *. 1e9))
+    ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* Exp 1 / Figure 7(a): tpmC at warehouses = workers *)
+
+let exp1 () =
+  section "Exp 1 (Fig 7a): tpmC, warehouses = worker threads";
+  note "paper: 349k / 3362k / 6903k / 11578k / 13690k tpmC at W=T of 1/10/25/50/100";
+  note "%-6s %-8s %12s %12s %8s" "W=T" "virt-s" "tpmC" "tpm-total" "cpu%%";
+  let paper = [ (1, 349); (10, 3362); (25, 6903); (50, 11578); (100, 13690) ] in
+  List.iter
+    (fun (w, paper_ktpmc) ->
+      let slots = 32 in
+      let seconds = if w <= 10 then 0.5 else 0.25 in
+      let cfg = phoebe_config ~warehouses:w ~workers:w ~slots ~buffer_mb:(max 16 (4 * w)) in
+      let db, t = load_tpcc cfg ~warehouses:w in
+      let r = run_tpcc t ~workers:w ~slots ~seconds in
+      let s = Db.stats db in
+      note "%-6d %-8.2f %12.0f %12.0f %7.1f%%   (paper: %dk tpmC)" w r.T.duration_s r.T.tpmc
+        r.T.tpm_total
+        (100.0 *. s.Db.cpu_busy_fraction)
+        paper_ktpmc;
+      let checks = T.consistency_checks t in
+      if List.exists (fun (_, ok) -> not ok) checks then
+        note "  !! consistency violated: %s"
+          (String.concat ", " (List.filter_map (fun (n, ok) -> if ok then None else Some n) checks)))
+    paper
+
+(* ------------------------------------------------------------------ *)
+(* Exp 2 / Figure 8: scalability in worker count (knee at 52 cores) *)
+
+let exp2 () =
+  section "Exp 2 (Fig 8): scalability with worker count";
+  note "paper: near-linear to 52 workers (physical cores), slower but still rising to 104";
+  note "%-8s %12s %14s" "workers" "tpm-total" "tpm/worker";
+  List.iter
+    (fun workers ->
+      let w = workers in
+      let cfg = phoebe_config ~warehouses:w ~workers ~slots:32 ~buffer_mb:(max 16 (4 * w)) in
+      let _, t = load_tpcc cfg ~warehouses:w in
+      let r = run_tpcc t ~workers ~slots:32 ~seconds:0.2 in
+      note "%-8d %12.0f %14.0f" workers r.T.tpm_total (r.T.tpm_total /. float_of_int workers))
+    [ 1; 13; 26; 39; 52; 78; 104 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exp 3 / Figure 7(b): WAL flushing throughput over time *)
+
+let exp3 () =
+  section "Exp 3 (Fig 7b): WAL flushing throughput (dedicated WAL device)";
+  note "paper: stable ~1800 MB/s (130k IOPS) on the PM9A3 via io_uring; our logical";
+  note "records are far smaller than their physical page deltas, so the magnitude is";
+  note "lower -- the reproduced property is the *stable plateau* over the whole run.";
+  let workers = 26 in
+  let cfg = phoebe_config ~warehouses:workers ~workers ~slots:32 ~buffer_mb:128 in
+  let db, t = load_tpcc cfg ~warehouses:workers in
+  let r = run_tpcc t ~workers ~slots:32 ~seconds:1.0 in
+  let series = Device.throughput_series (Db.wal_device db) Device.Write in
+  let mbps = List.map snd series in
+  let avg = List.fold_left ( +. ) 0.0 mbps /. float_of_int (max 1 (List.length mbps)) in
+  let mx = List.fold_left Float.max 0.0 mbps in
+  let mn = List.fold_left Float.min infinity mbps in
+  note "run: %.2f virtual s at %.0f tpm; WAL volume %.1f MB in %d records" r.T.duration_s
+    r.T.tpm_total
+    (float_of_int (Db.stats db).Db.wal_bytes /. 1e6)
+    (Db.stats db).Db.wal_records;
+  note "WAL write throughput: avg %.1f MB/s, min %.1f, max %.1f (%d samples)" avg mn mx
+    (List.length mbps);
+  note "  stability (max/avg): %.2fx  (flat plateau expected)" (mx /. Float.max 1e-9 avg);
+  note "  device ops: %d writes (%.0f kIOPS avg)"
+    (Device.total_ops (Db.wal_device db) Device.Write)
+    (float_of_int (Device.total_ops (Db.wal_device db) Device.Write) /. r.T.duration_s /. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Exp 4 / Figure 7(c,d): data-device throughput once data outgrows the buffer *)
+
+let exp4 () =
+  section "Exp 4 (Fig 7c,d): data exchange between Main Storage and disk";
+  note "paper: exchange starts ~2 min in, tpmC dips then stabilises; writes plateau,";
+  note "reads grow as the working set exceeds the buffer. (Timescale compressed here.)";
+  let workers = 10 in
+  (* deliberately small buffer: the order/orderline/history growth spills *)
+  let cfg = phoebe_config ~warehouses:workers ~workers ~slots:32 ~buffer_mb:6 in
+  let db, t = load_tpcc cfg ~warehouses:workers in
+  let r = run_tpcc t ~workers ~slots:32 ~seconds:2.0 in
+  note "run: %.2f virtual s, %.0f tpmC avg" r.T.duration_s r.T.tpmc;
+  let reads = Device.throughput_series (Db.data_device db) Device.Read in
+  let writes = Device.throughput_series (Db.data_device db) Device.Write in
+  let tpms = T.throughput_series t in
+  let lookup s x = match List.assoc_opt x s with Some v -> v | None -> 0.0 in
+  note "%-8s %14s %14s %14s" "virt-s" "read MB/s" "write MB/s" "txn/s";
+  List.iter
+    (fun (sec, txns) ->
+      note "%-8.0f %14.1f %14.1f %14.0f" sec (lookup reads sec) (lookup writes sec) txns)
+    tpms;
+  note "buffer resident: %.1f MB of %.1f MB budget; data page file: %.1f MB"
+    (float_of_int (Db.stats db).Db.buffer_resident_bytes /. 1e6)
+    (float_of_int (Db.config db).Config.buffer_bytes /. 1e6)
+    (float_of_int
+       (Phoebe_io.Pagestore.stored_bytes (Phoebe_storage.Bufmgr.store (Db.buffer db)))
+    /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Exp 5 / Figure 10: throughput vs buffer size *)
+
+let exp5 () =
+  section "Exp 5 (Fig 10): performance under different buffer sizes";
+  note "paper: 100 WH, buffer 4GB->100GB; tpm rises, diminishing returns past 25GB";
+  note "(scaled: 25 WH, buffer in MB; the knee sits where the hot set fits)";
+  note "%-12s %12s" "buffer MB" "tpm-total";
+  List.iter
+    (fun buffer_mb ->
+      let workers = 25 in
+      let cfg = phoebe_config ~warehouses:workers ~workers ~slots:32 ~buffer_mb in
+      let _, t = load_tpcc cfg ~warehouses:workers in
+      let r = run_tpcc t ~workers ~slots:32 ~seconds:0.4 in
+      note "%-12d %12.0f" buffer_mb r.T.tpm_total)
+    [ 2; 4; 8; 16; 32; 64; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exp 6 / Figure 11: co-routine vs thread model *)
+
+let exp6 () =
+  section "Exp 6 (Fig 11): co-routine vs thread execution model";
+  note "paper: 100 workers x 32 slots (coroutine) vs 3200 threads x 1 slot, affinity off;";
+  note "the coroutine model wins on user-level switching. (Scaled: 8x32 vs 256x1.)";
+  (* both models get the same 8 scaled cores: 8 co-routine workers on
+     dedicated cores vs 256 threads time-sharing them *)
+  let cpu8 =
+    { Phoebe_runtime.Cpu.default with Phoebe_runtime.Cpu.physical_cores = 8; virtual_cores = 8 }
+  in
+  let run name cfg concurrency =
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let r =
+      T.run_mix t ~affinity:false ~concurrency ~duration_ns:(int_of_float 0.4e9) ~seed ()
+    in
+    note "%-22s %12.0f tpm   (p99 %.0f us, switch instr/txn %d)" name r.T.tpm_total
+      r.T.latency_p99_us
+      (Counters.get (Scheduler.counters (Db.scheduler db)) Component.Switch
+      / max 1 r.T.total_committed);
+    r.T.tpm_total
+  in
+  let coroutine =
+    run "coroutine 8x32"
+      { Config.default with Config.n_workers = 8; slots_per_worker = 32; cpu = cpu8;
+        buffer_bytes = 64 * mb }
+      256
+  in
+  let thread =
+    run "thread 256x1"
+      {
+        Config.default with
+        Config.n_workers = 256;
+        slots_per_worker = 1;
+        model = Scheduler.Thread;
+        cpu = cpu8;
+        buffer_bytes = 64 * mb;
+      }
+      256
+  in
+  note "coroutine / thread = %.2fx  (paper: clearly higher tpm in the co-routine model)"
+    (coroutine /. Float.max 1.0 thread)
+
+(* ------------------------------------------------------------------ *)
+(* Exp 7 / Figure 12: instruction breakdown per transaction *)
+
+let exp7 () =
+  section "Exp 7 (Fig 12): instruction breakdown per TPC-C transaction";
+  note "paper: affinity=true  -> effective computation 60.8%%, no visible locking;";
+  note "       affinity=false -> locking appears, higher WAL, effective 56.5%%";
+  let run affinity =
+    let workers = 8 in
+    let cfg = phoebe_config ~warehouses:workers ~workers ~slots:32 ~buffer_mb:64 in
+    let db, t = load_tpcc cfg ~warehouses:workers in
+    let before = Counters.snapshot (Scheduler.counters (Db.scheduler db)) in
+    let r = run_tpcc ~affinity t ~workers ~slots:32 ~seconds:0.4 in
+    let diff = Counters.diff before (Counters.snapshot (Scheduler.counters (Db.scheduler db))) in
+    (r, diff)
+  in
+  List.iter
+    (fun affinity ->
+      let r, diff = run affinity in
+      note "\naffinity=%b  (%d committed, %d aborted)" affinity r.T.total_committed r.T.aborted;
+      List.iter
+        (fun (c, instr, share) ->
+          note "  %-10s %9d instr/txn  %5.1f%%" (Component.to_string c)
+            (instr / max 1 r.T.total_committed)
+            (100.0 *. share))
+        (Counters.breakdown diff))
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Exp 8 / Figure 9: PhoebeDB vs PostgreSQL-style baseline *)
+
+let exp8 () =
+  section "Exp 8 (Fig 9): transactions vs PostgreSQL-style baseline";
+  note "paper: 30M tpm vs 1.1M tpm (27x); Payment cycles 2.5x lower, NewOrder 5.6x lower";
+  let workers = 26 in
+  let run name cfg =
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:workers ~scale:T.default_scale ~seed () in
+    let r = run_tpcc t ~workers ~slots:(cfg.Config.slots_per_worker) ~seconds:0.3 in
+    note "%-14s %12.0f tpm  (cpu %.0f%%)" name r.T.tpm_total
+      (100.0 *. (Db.stats db).Db.cpu_busy_fraction);
+    r.T.tpm_total
+  in
+  let phoebe = run "PhoebeDB" (phoebe_config ~warehouses:workers ~workers ~slots:32 ~buffer_mb:104) in
+  let pg = run "pg-like" (B.pg_like ~workers ~buffer_bytes:(104 * mb) ()) in
+  note "throughput ratio: %.1fx  (paper: 27x)" (phoebe /. Float.max 1.0 pg);
+  (* per-transaction cycles for Payment and NewOrder (Figure 9) *)
+  let cycles cfg kind =
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:4 ~scale:T.default_scale ~seed () in
+    let before = Counters.snapshot (Scheduler.counters (Db.scheduler db)) in
+    let r =
+      T.run_mix t ~mix:[ (kind, 1.0) ] ~concurrency:16 ~duration_ns:(int_of_float 0.2e9) ~seed ()
+    in
+    let diff = Counters.diff before (Counters.snapshot (Scheduler.counters (Db.scheduler db))) in
+    float_of_int (Array.fold_left ( + ) 0 diff) /. float_of_int (max 1 r.T.total_committed)
+  in
+  let phoebe_cfg = phoebe_config ~warehouses:4 ~workers:4 ~slots:8 ~buffer_mb:32 in
+  let pg_cfg = B.pg_like ~workers:4 () in
+  List.iter
+    (fun (kind, paper_ratio) ->
+      let p = cycles phoebe_cfg kind and g = cycles pg_cfg kind in
+      note "%-10s instructions/txn: PhoebeDB %8.0f  pg-like %8.0f  ratio %.1fx (paper %.1fx)"
+        (T.kind_name kind) p g (g /. Float.max 1.0 p) paper_ratio)
+    [ (T.Payment, 2.5); (T.New_order, 5.6) ]
+
+(* ------------------------------------------------------------------ *)
+(* Exp 9: commercial "O-DB" baseline, I/O bound at ~77% CPU *)
+
+let exp9 () =
+  section "Exp 9: commercial-RDBMS baseline (O-DB)";
+  note "paper: O-DB peaks at 3.2M tpm and uses only ~77%% of CPU (I/O bandwidth bound)";
+  let workers = 26 in
+  let cfg = B.odb_like ~workers ~buffer_bytes:(16 * mb) () in
+  let db = Db.create cfg in
+  let t = T.load db ~warehouses:workers ~scale:T.default_scale ~seed () in
+  let r = run_tpcc t ~workers ~slots:1 ~seconds:0.3 in
+  let s = Db.stats db in
+  note "O-DB-like: %.0f tpm, cpu %.0f%%, data device busy %.0f%%" r.T.tpm_total
+    (100.0 *. s.Db.cpu_busy_fraction)
+    (100.0 *. Device.busy_fraction (Db.data_device db));
+  note "(shape: throughput capped by the storage stack while CPUs sit partly idle)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out *)
+
+let ablation_rfa () =
+  section "Ablation: Remote Flush Avoidance (RFA) on/off";
+  note "RFA lets independent commits wait only for their own WAL writer; without it";
+  note "every commit waits for the global durable-GSN floor.";
+  let run name rfa =
+    let cfg =
+      { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with
+        Config.wal = { Wal.default_config with Wal.rfa } }
+    in
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
+    let s = Db.stats db in
+    note "%-10s %10.0f tpm   p99 %6.0f us   rfa-local %d / remote %d" name r.T.tpm_total
+      r.T.latency_p99_us s.Db.rfa_local_commits s.Db.rfa_remote_waits;
+    r.T.tpm_total
+  in
+  let on = run "RFA on" true in
+  let off = run "RFA off" false in
+  note "speedup from RFA: %.2fx" (on /. Float.max 1.0 off)
+
+let ablation_snapshot () =
+  section "Ablation: O(1) timestamp snapshots vs active-transaction scanning";
+  let run name snapshot_mode =
+    let cfg = { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with
+                Config.snapshot_mode } in
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let before = Counters.snapshot (Scheduler.counters (Db.scheduler db)) in
+    let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
+    let diff = Counters.diff before (Counters.snapshot (Scheduler.counters (Db.scheduler db))) in
+    let mvcc_share =
+      List.assoc Component.Mvcc (List.map (fun (c, _, s) -> (c, s)) (Counters.breakdown diff))
+    in
+    note "%-22s %10.0f tpm   mvcc share %.1f%%" name r.T.tpm_total (100.0 *. mvcc_share);
+    r.T.tpm_total
+  in
+  let o1 = run "O(1) timestamp" Txnmgr.O1_timestamp in
+  let scan = run "scan active txns" Txnmgr.Scan_active in
+  note "speedup from O(1) snapshots: %.2fx (grows with concurrency)" (o1 /. Float.max 1.0 scan)
+
+let ablation_lock_table () =
+  section "Ablation: decentralized locks vs global lock table";
+  let run name lock_style =
+    let cfg = { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with
+                Config.lock_style } in
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
+    note "%-22s %10.0f tpm" name r.T.tpm_total;
+    r.T.tpm_total
+  in
+  let dec = run "decentralized (7.2)" Config.Decentralized in
+  let glob =
+    run "global lock table"
+      (Config.Global_serialized { lock_hold_ns = 800; snapshot_hold_ns = 0 })
+  in
+  note "speedup from decentralization: %.2fx" (dec /. Float.max 1.0 glob)
+
+let ablation_swizzling () =
+  section "Ablation: pointer swizzling vs global page hash table";
+  note "(modelled as the per-access cost of a hash probe + latch vs a direct pointer)";
+  let run name buffer_hit =
+    let cost = { Phoebe_sim.Cost.default with Phoebe_sim.Cost.buffer_hit } in
+    let cfg = { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with Config.cost } in
+    let db = Db.create cfg in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
+    ignore db;
+    note "%-26s %10.0f tpm" name r.T.tpm_total;
+    r.T.tpm_total
+  in
+  let swizzled = run "swizzled pointer (250)" 250 in
+  let hashed = run "global hash probe (1300)" 1300 in
+  note "speedup from swizzling: %.2fx" (swizzled /. Float.max 1.0 hashed)
+
+let ablation_freeze () =
+  section "Ablation: temperature tiers (frozen compression)";
+  let cfg = { Config.default with Config.n_workers = 2; slots_per_worker = 8; buffer_bytes = mb } in
+  let db = Db.create cfg in
+  let events =
+    Db.create_table db ~name:"events" ~schema:[ ("ts", Value.T_int); ("kind", Value.T_str) ]
+  in
+  Db.with_txn db (fun txn ->
+      for i = 1 to 30_000 do
+        ignore
+          (Table.insert events txn
+             [| Value.Int i; Value.Str (Printf.sprintf "kind-%d" (i mod 5)) |])
+      done);
+  let tree = Table.tree events in
+  for _ = 1 to 8 do
+    Phoebe_btree.Table_tree.decay_access_counts tree
+  done;
+  let resident_before = (Db.stats db).Db.buffer_resident_bytes in
+  let frozen = Db.freeze_tables db in
+  note "froze %d of 30000 tuples into %d blocks; compression %.1fx" frozen
+    (Phoebe_btree.Table_tree.frozen_block_count tree)
+    (Phoebe_btree.Table_tree.compression_ratio tree);
+  note "buffer resident: %.0f KB -> %.0f KB (frozen blocks live off the page buffer)"
+    (float_of_int resident_before /. 1024.0)
+    (float_of_int (Db.stats db).Db.buffer_resident_bytes /. 1024.0);
+  (* scans over frozen data do not warm the buffer (paper 5.2) *)
+  let before = (Db.stats db).Db.buffer_resident_bytes in
+  Db.with_txn db (fun txn ->
+      let n = ref 0 in
+      Table.scan events txn (fun _ _ -> incr n);
+      note "full scan across tiers saw %d rows" !n);
+  note "buffer resident after scan: %.0f KB (scan did not warm data: delta %.0f KB)"
+    (float_of_int (Db.stats db).Db.buffer_resident_bytes /. 1024.0)
+    (float_of_int ((Db.stats db).Db.buffer_resident_bytes - before) /. 1024.0)
+
+let ablation_htap () =
+  section "Ablation: HTAP columnar scan vs row-wise scan";
+  note "(the PAX + frozen-compression design the paper motivates for future HTAP)";
+  let module A = Phoebe_analytics.Analytics in
+  let cfg = { Config.default with Config.n_workers = 2; slots_per_worker = 8 } in
+  let db = Db.create cfg in
+  let t =
+    Db.create_table db ~name:"facts" ~schema:[ ("k", Value.T_int); ("x", Value.T_float) ]
+  in
+  Db.with_txn db (fun txn ->
+      for k = 1 to 50_000 do
+        ignore (Table.insert t txn [| Value.Int k; Value.Float (float_of_int (k mod 997)) |])
+      done);
+  for _ = 1 to 8 do
+    Phoebe_btree.Table_tree.decay_access_counts (Table.tree t)
+  done;
+  ignore (Db.freeze_tables db);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Db.with_txn db (fun txn ->
+      let colsum, ct = time (fun () -> (A.aggregate_column db t txn ~col:"x").A.sum) in
+      let rowsum, rt =
+        time (fun () ->
+            let s = ref 0.0 in
+            Table.scan t txn (fun _ row ->
+                match row.(1) with Value.Float x -> s := !s +. x | _ -> ());
+            !s)
+      in
+      note "50k rows (%.1fx compressed frozen): columnar %.2f ms, row-wise %.2f ms (%.0fx)"
+        (Phoebe_btree.Table_tree.compression_ratio (Table.tree t))
+        (ct *. 1e3) (rt *. 1e3)
+        (rt /. Float.max 1e-9 ct);
+      if abs_float (colsum -. rowsum) > 1e-6 then note "  !! sums disagree")
+
+let ablations () =
+  ablation_rfa ();
+  ablation_snapshot ();
+  ablation_lock_table ();
+  ablation_swizzling ();
+  ablation_freeze ();
+  ablation_htap ()
+
+let all () =
+  exp1 ();
+  exp2 ();
+  exp3 ();
+  exp4 ();
+  exp5 ();
+  exp6 ();
+  exp7 ();
+  exp8 ();
+  exp9 ();
+  ablations ()

@@ -1,0 +1,54 @@
+(* A minimal SQL shell over the PhoebeDB kernel: feed it statements on
+   stdin (semicolon-terminated; also accepts a whole script via a pipe).
+
+     echo "CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT * FROM t;" \
+       | dune exec bin/phoebe_sql_shell.exe *)
+module Sql = Phoebe_sql.Sql
+module Value = Phoebe_storage.Value
+
+let print_result = function
+  | Sql.Done msg -> Printf.printf "%s\n" msg
+  | Sql.Affected n -> Printf.printf "%d row(s)\n" n
+  | Sql.Rows (headers, rows) ->
+    let render row = List.map Value.to_string (Array.to_list row) in
+    let all = headers :: List.map render rows in
+    let widths =
+      List.fold_left
+        (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+        (List.map (fun _ -> 0) headers)
+        all
+    in
+    let line row =
+      String.concat " | " (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+    in
+    Printf.printf "%s\n%s\n" (line headers) (String.make (String.length (line headers)) '-');
+    List.iter (fun row -> Printf.printf "%s\n" (line row)) (List.map render rows);
+    Printf.printf "(%d row(s))\n" (List.length rows)
+
+let () =
+  let db = Phoebe_core.Db.create Phoebe_core.Config.default in
+  let session = Sql.session db in
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then print_endline "PhoebeDB SQL shell -- end statements with ';', Ctrl-D to quit.";
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       if interactive then (
+         print_string (if Buffer.length buf = 0 then "phoebe> " else "   ...> ");
+         flush stdout);
+       let line = input_line stdin in
+       Buffer.add_string buf line;
+       Buffer.add_char buf '\n';
+       if String.contains line ';' then begin
+         let script = Buffer.contents buf in
+         Buffer.clear buf;
+         match Sql.exec_script session script with
+         | results -> List.iter print_result results
+         | exception Sql.Error m -> Printf.printf "ERROR: %s\n" m
+       end
+     done
+   with End_of_file -> ());
+  if Buffer.length buf > 0 then
+    match Sql.exec_script session (Buffer.contents buf) with
+    | results -> List.iter print_result results
+    | exception Sql.Error m -> Printf.printf "ERROR: %s\n" m

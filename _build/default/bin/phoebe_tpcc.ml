@@ -1,0 +1,112 @@
+(* Command-line TPC-C driver for the PhoebeDB kernel: the HammerDB of
+   this reproduction. Loads a scaled TPC-C database, runs the standard
+   mix for a virtual-time window, and reports tpmC/tpm plus kernel
+   statistics and consistency checks.
+
+     dune exec bin/phoebe_tpcc.exe -- --warehouses 10 --workers 10 --seconds 1
+     dune exec bin/phoebe_tpcc.exe -- --engine pg --warehouses 10 --workers 10 *)
+open Cmdliner
+module T = Phoebe_tpcc.Tpcc
+module Db = Phoebe_core.Db
+module Config = Phoebe_core.Config
+module Component = Phoebe_sim.Component
+module Counters = Phoebe_sim.Counters
+
+type engine_kind = Phoebe | Pg | Odb
+
+let run engine warehouses workers slots seconds concurrency affinity thread_model seed verbose =
+  let cfg =
+    match engine with
+    | Phoebe ->
+      {
+        Config.default with
+        Config.n_workers = workers;
+        slots_per_worker = slots;
+        model =
+          (if thread_model then Phoebe_runtime.Scheduler.Thread
+           else Phoebe_runtime.Scheduler.Coroutine);
+        buffer_bytes = max (16 * 1024 * 1024) (warehouses * 4 * 1024 * 1024);
+      }
+    | Pg -> Phoebe_baseline.Baseline.pg_like ~workers ()
+    | Odb -> Phoebe_baseline.Baseline.odb_like ~workers ()
+  in
+  let db = Db.create cfg in
+  Printf.printf "loading %d warehouses (scaled cardinalities: %d districts x %d customers, %d items)...\n%!"
+    warehouses T.default_scale.T.districts_per_warehouse
+    T.default_scale.T.customers_per_district T.default_scale.T.items;
+  let t = T.load db ~warehouses ~scale:T.default_scale ~seed () in
+  let concurrency =
+    match concurrency with Some c -> c | None -> workers * min slots 4
+  in
+  Printf.printf "running the standard mix: %d virtual users, %.1f virtual seconds, affinity=%b\n%!"
+    concurrency seconds affinity;
+  let before = Counters.snapshot (Phoebe_runtime.Scheduler.counters (Db.scheduler db)) in
+  let r =
+    T.run_mix t ~affinity ~concurrency ~duration_ns:(int_of_float (seconds *. 1e9)) ~seed ()
+  in
+  Printf.printf "\n=== results (%.2f virtual seconds) ===\n" r.T.duration_s;
+  Printf.printf "tpmC        : %.0f  (committed NewOrders per virtual minute)\n" r.T.tpmc;
+  Printf.printf "tpm (total) : %.0f\n" r.T.tpm_total;
+  Printf.printf "committed   : %d   aborted: %d\n" r.T.total_committed r.T.aborted;
+  Printf.printf "latency     : p50 %.0f us, p99 %.0f us\n" r.T.latency_p50_us r.T.latency_p99_us;
+  List.iter
+    (fun (k, n) -> Printf.printf "  %-12s %d\n" (T.kind_name k) n)
+    r.T.per_kind;
+  let s = Db.stats db in
+  Printf.printf "cpu utilisation : %.1f%%\n" (100.0 *. s.Db.cpu_busy_fraction);
+  Printf.printf "WAL             : %d records, %.1f MB, RFA local=%d remote=%d\n" s.Db.wal_records
+    (float_of_int s.Db.wal_bytes /. 1e6)
+    s.Db.rfa_local_commits s.Db.rfa_remote_waits;
+  Printf.printf "buffer resident : %.1f MB\n" (float_of_int s.Db.buffer_resident_bytes /. 1e6);
+  if verbose then begin
+    let after = Counters.snapshot (Phoebe_runtime.Scheduler.counters (Db.scheduler db)) in
+    let diff = Counters.diff before after in
+    Printf.printf "\ninstructions per committed transaction:\n";
+    List.iter
+      (fun (c, instr, share) ->
+        Printf.printf "  %-10s %8d (%.1f%%)\n" (Component.to_string c)
+          (instr / max 1 r.T.total_committed)
+          (100.0 *. share))
+      (Counters.breakdown diff)
+  end;
+  Printf.printf "\nconsistency checks (TPC-C 3.3.2):\n";
+  let all_ok = ref true in
+  List.iter
+    (fun (name, ok) ->
+      if not ok then all_ok := false;
+      Printf.printf "  %-32s %s\n" name (if ok then "OK" else "VIOLATED"))
+    (T.consistency_checks t);
+  if !all_ok then 0 else 1
+
+let engine_conv =
+  Arg.enum [ ("phoebe", Phoebe); ("pg", Pg); ("odb", Odb) ]
+
+let cmd =
+  let engine =
+    Arg.(value & opt engine_conv Phoebe & info [ "engine" ] ~doc:"Kernel: phoebe, pg, odb.")
+  in
+  let warehouses = Arg.(value & opt int 4 & info [ "w"; "warehouses" ] ~doc:"TPC-C warehouses.") in
+  let workers = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker threads.") in
+  let slots = Arg.(value & opt int 32 & info [ "slots" ] ~doc:"Task slots per worker.") in
+  let seconds =
+    Arg.(value & opt float 1.0 & info [ "seconds" ] ~doc:"Virtual run duration in seconds.")
+  in
+  let concurrency =
+    Arg.(value & opt (some int) None & info [ "concurrency" ] ~doc:"Outstanding transactions.")
+  in
+  let affinity =
+    Arg.(value & opt bool true & info [ "affinity" ] ~doc:"Bind warehouses to workers.")
+  in
+  let thread_model =
+    Arg.(value & flag & info [ "thread-model" ] ~doc:"Thread execution model (Exp 6 baseline).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-component breakdown.") in
+  let doc = "Run TPC-C against the PhoebeDB kernel (simulated hardware)." in
+  Cmd.v
+    (Cmd.info "phoebe_tpcc" ~doc)
+    Term.(
+      const run $ engine $ warehouses $ workers $ slots $ seconds $ concurrency $ affinity
+      $ thread_model $ seed $ verbose)
+
+let () = exit (Cmd.eval' cmd)

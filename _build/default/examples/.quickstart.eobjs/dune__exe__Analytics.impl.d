@@ -1,0 +1,1 @@
+examples/analytics.ml: Array Config Db Float List Phoebe_analytics Phoebe_btree Phoebe_core Phoebe_storage Phoebe_util Printf Table Unix

@@ -1,0 +1,1 @@
+examples/banking.ml: Array Config Db Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_util Printf Table

@@ -1,0 +1,1 @@
+examples/ha_failover.ml: Array Config Db Phoebe_core Phoebe_replication Phoebe_storage Phoebe_util Printf Table

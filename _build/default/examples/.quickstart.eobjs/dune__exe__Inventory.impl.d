@@ -1,0 +1,1 @@
+examples/inventory.ml: Array Config Db Phoebe_core Phoebe_storage Phoebe_txn Phoebe_util Printf Table

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Db Phoebe_core Phoebe_storage Phoebe_txn Phoebe_wal Printf Table

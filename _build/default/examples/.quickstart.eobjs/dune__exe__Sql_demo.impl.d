@@ -1,0 +1,1 @@
+examples/sql_demo.ml: Array Config Db List Phoebe_core Phoebe_sql Phoebe_storage Printf String

@@ -1,0 +1,1 @@
+examples/temperature_tiers.ml: Array Config Db Phoebe_btree Phoebe_core Phoebe_io Phoebe_storage Phoebe_util Printf Table

@@ -1,0 +1,55 @@
+(* SQL interface demo (the paper's future-work item 1): DDL, DML,
+   index-backed point and range queries, aggregates, explicit
+   transactions, and EXPLAIN-style plan inspection — all over the
+   PhoebeDB kernel.
+
+   Run with: dune exec examples/sql_demo.exe *)
+open Phoebe_core
+module Sql = Phoebe_sql.Sql
+module Value = Phoebe_storage.Value
+
+let show result =
+  match result with
+  | Sql.Done msg -> Printf.printf "-- %s\n" msg
+  | Sql.Affected n -> Printf.printf "-- %d row(s)\n" n
+  | Sql.Rows (headers, rows) ->
+    Printf.printf "%s\n" (String.concat " | " headers);
+    List.iter
+      (fun row ->
+        Printf.printf "%s\n"
+          (String.concat " | " (Array.to_list (Array.map Value.to_string row))))
+      rows
+
+let run s sql =
+  Printf.printf "\nphoebe> %s\n" sql;
+  try show (Sql.exec s sql) with Sql.Error m -> Printf.printf "ERROR: %s\n" m
+
+let () =
+  print_endline "== PhoebeDB SQL ==";
+  let db = Db.create Config.default in
+  let s = Sql.session db in
+  run s "CREATE TABLE employees (id INT, name TEXT, dept TEXT, salary FLOAT)";
+  run s "CREATE UNIQUE INDEX employees_pk ON employees (id)";
+  run s "CREATE INDEX employees_by_dept ON employees (dept)";
+  run s
+    "INSERT INTO employees VALUES (1, 'ada', 'eng', 120000.0), (2, 'grace', 'eng', 130000.0), \
+     (3, 'alan', 'research', 110000.0), (4, 'edsger', 'research', 115000.0), (5, 'barbara', \
+     'eng', 125000.0)";
+  run s "SELECT * FROM employees WHERE id = 2";
+  Printf.printf "   plan: %s\n" (Sql.explain s "SELECT * FROM employees WHERE id = 2");
+  run s "SELECT name, salary FROM employees WHERE dept = 'eng' ORDER BY salary DESC";
+  Printf.printf "   plan: %s\n"
+    (Sql.explain s "SELECT name, salary FROM employees WHERE dept = 'eng'");
+  run s "SELECT count(*), avg(salary) FROM employees";
+  run s "SELECT dept, count(*), max(salary) FROM employees GROUP BY dept";
+  run s "UPDATE employees SET salary = salary + 5000 WHERE dept = 'research'";
+  run s "SELECT name, salary FROM employees WHERE salary >= 115000 ORDER BY name";
+  (* explicit transaction with rollback *)
+  run s "BEGIN";
+  run s "DELETE FROM employees WHERE dept = 'eng'";
+  run s "SELECT count(*) FROM employees";
+  run s "ROLLBACK";
+  run s "SELECT count(*) FROM employees";
+  (* constraint violation aborts the statement *)
+  run s "INSERT INTO employees VALUES (1, 'dup', 'eng', 1.0)";
+  run s "SHOW TABLES"

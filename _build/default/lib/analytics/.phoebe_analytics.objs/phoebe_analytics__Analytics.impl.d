@@ -1,0 +1,1 @@
+lib/analytics/analytics.ml: Array Float Hashtbl List Option Phoebe_btree Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn

@@ -1,0 +1,1 @@
+lib/analytics/analytics.mli: Phoebe_core Phoebe_storage

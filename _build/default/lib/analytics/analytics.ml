@@ -1,0 +1,90 @@
+module Db = Phoebe_core.Db
+module Table = Phoebe_core.Table
+module Table_tree = Phoebe_btree.Table_tree
+module Value = Phoebe_storage.Value
+module Pax = Phoebe_storage.Pax
+module Frozen = Phoebe_storage.Frozen
+module Bufmgr = Phoebe_storage.Bufmgr
+module Txnmgr = Phoebe_txn.Txnmgr
+module Twin = Phoebe_txn.Twin
+module Scheduler = Phoebe_runtime.Scheduler
+module Component = Phoebe_sim.Component
+
+(* Visibility fast path: a tuple without a live version chain is either
+   globally visible or globally deleted (its UNDO was reclaimed only
+   once older than every active snapshot). Tuples WITH a chain fall back
+   to the row-wise Algorithm-1 read. *)
+let fold_column db table txn ~col ~init ~f =
+  let txnmgr = Db.txnmgr db in
+  let tree = Table.tree table in
+  let schema = Table.schema table in
+  let cidx = Value.Schema.column_index schema col in
+  let acc = ref init in
+  let slow_path rid =
+    match Table.get table txn ~rid with
+    | Some row -> acc := f !acc row.(cidx)
+    | None -> ()
+  in
+  (* frozen tier: one decompression per block, per-rid twin checks only
+     for rows someone is actively versioning (synthetic -rid pages) *)
+  Table_tree.iter_blocks tree (fun block ->
+      Scheduler.charge Component.Effective 2000;
+      Frozen.fold_col block ~col:cidx ~init:() ~f:(fun () ~rid ~deleted v ->
+          match Txnmgr.twin_of_page txnmgr ~page_id:(Table.frozen_chain_key table ~rid) with
+          | Some twin when Twin.find twin ~rid <> None -> slow_path rid
+          | _ -> if not deleted then acc := f !acc v));
+  (* page tiers: the PAX column minipage is contiguous; a leaf whose page
+     has no twin table is entirely fast-path *)
+  Table_tree.iter_leaf_pages tree (fun frame ->
+      Scheduler.charge Component.Effective 1000;
+      let page = Bufmgr.payload frame in
+      let twin = Txnmgr.twin_of_page txnmgr ~page_id:(Bufmgr.page_id frame) in
+      for slot = 0 to Pax.count page - 1 do
+        let rid = Pax.row_id_at page ~slot in
+        let versioned =
+          match twin with Some tw -> Twin.find tw ~rid <> None | None -> false
+        in
+        if versioned then slow_path rid
+        else if not (Pax.is_deleted page ~slot) then acc := f !acc (Pax.get_col page ~slot ~col:cidx)
+      done);
+  !acc
+
+type numeric_agg = { count : int; sum : float; min : float; max : float }
+
+let aggregate_column db table txn ~col =
+  let step agg v =
+    match v with
+    | Value.Int _ | Value.Float _ ->
+      let x = match v with Value.Int i -> float_of_int i | Value.Float f -> f | _ -> 0.0 in
+      {
+        count = agg.count + 1;
+        sum = agg.sum +. x;
+        min = (if agg.count = 0 then x else Float.min agg.min x);
+        max = (if agg.count = 0 then x else Float.max agg.max x);
+      }
+    | _ -> agg
+  in
+  fold_column db table txn ~col ~init:{ count = 0; sum = 0.0; min = Float.nan; max = Float.nan }
+    ~f:step
+
+let group_count db table txn ~col =
+  let groups : (Value.t, int) Hashtbl.t = Hashtbl.create 64 in
+  ignore
+    (fold_column db table txn ~col ~init:() ~f:(fun () v ->
+         Hashtbl.replace groups v (1 + Option.value ~default:0 (Hashtbl.find_opt groups v))));
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+let tier_rows db table ~frozen =
+  ignore db;
+  let tree = Table.tree table in
+  if frozen then begin
+    let n = ref 0 in
+    Table_tree.iter_blocks tree (fun b -> n := !n + Frozen.live_count b);
+    !n
+  end
+  else begin
+    let n = ref 0 in
+    Table_tree.iter_leaf_pages tree (fun frame -> n := !n + Pax.live_count (Bufmgr.payload frame));
+    !n
+  end

@@ -1,0 +1,33 @@
+(** Columnar analytical operators — the seed of the paper's HTAP future
+    work (§3 "Future HTAP Potential", §10 item 3), exploiting exactly
+    the storage decisions the paper makes for it: PAX pages keep each
+    attribute contiguous, and frozen blocks store compressed columns.
+
+    Operators stream one column per tier: frozen blocks decompress only
+    the requested column (one decode per block, not per row); hot/cold
+    PAX leaves read the column minipage directly. MVCC correctness is
+    preserved without row materialisation for the common case: a tuple
+    with no version-chain entry is, by the GC watermark invariant,
+    globally visible — only tuples with live chains take the row-wise
+    visibility fallback. Scans never warm pages (§5.2). *)
+
+type numeric_agg = {
+  count : int;  (** non-null, visible values *)
+  sum : float;
+  min : float;  (** [nan] when count = 0 *)
+  max : float;
+}
+
+val aggregate_column :
+  Phoebe_core.Db.t -> Phoebe_core.Table.t -> Phoebe_core.Table.txn -> col:string -> numeric_agg
+(** Count/sum/min/max of a numeric column across all three tiers. *)
+
+val group_count :
+  Phoebe_core.Db.t -> Phoebe_core.Table.t -> Phoebe_core.Table.txn -> col:string ->
+  (Phoebe_storage.Value.t * int) list
+(** Value histogram of a column (dictionary-friendly on frozen data),
+    sorted by value. *)
+
+val tier_rows : Phoebe_core.Db.t -> Phoebe_core.Table.t -> frozen:bool -> int
+(** Visible-row count served by the frozen tier ([frozen:true]) or the
+    page tiers — used by tests and the HTAP bench to report coverage. *)

@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Phoebe_core Phoebe_io Phoebe_runtime Phoebe_sim Phoebe_txn Phoebe_wal

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Phoebe_core Phoebe_io Phoebe_sim

@@ -1,0 +1,1 @@
+lib/btree/index_tree.ml: Array Buffer Char List Phoebe_runtime Phoebe_sim Phoebe_storage String

@@ -1,0 +1,1 @@
+lib/btree/index_tree.mli: Phoebe_storage

@@ -1,0 +1,1 @@
+lib/btree/table_tree.ml: Array Fun List Phoebe_io Phoebe_runtime Phoebe_sim Phoebe_storage

@@ -1,0 +1,1 @@
+lib/btree/table_tree.mli: Phoebe_io Phoebe_storage

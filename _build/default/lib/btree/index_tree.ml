@@ -1,0 +1,280 @@
+module Latch = Phoebe_storage.Latch
+module Value = Phoebe_storage.Value
+module Scheduler = Phoebe_runtime.Scheduler
+module Component = Phoebe_sim.Component
+module Cost = Phoebe_sim.Cost
+
+exception Duplicate_key of string
+
+(* Entries are ordered by (key, rid); a leaf stores a sorted slice. *)
+type node =
+  | Leaf of leaf
+  | Inner of inner
+
+and leaf = {
+  mutable keys : string array;
+  mutable rids : int array;
+  mutable ln : int;
+  llatch : Latch.t;
+}
+
+and inner = {
+  mutable sep_keys : string array;  (** separator i = smallest entry of [kids.(i+1)] *)
+  mutable sep_rids : int array;
+  mutable kids : node array;
+  mutable inn : int;  (** number of children *)
+  platch : Latch.t;
+}
+
+type t = {
+  iname : string;
+  fanout : int;
+  unique : bool;
+  mutable root : node;
+  mutable entries : int;
+  mutable idepth : int;
+}
+
+let costs () =
+  match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
+
+let charge_search () = Scheduler.charge Component.Effective (costs ()).Cost.btree_search_per_level
+let charge_leaf_op () = Scheduler.charge Component.Effective (costs ()).Cost.btree_leaf_op
+
+let new_leaf fanout =
+  { keys = Array.make fanout ""; rids = Array.make fanout 0; ln = 0; llatch = Latch.create () }
+
+let create ~name ?(fanout = 64) ~unique () =
+  { iname = name; fanout; unique; root = Leaf (new_leaf fanout); entries = 0; idepth = 1 }
+
+let name t = t.iname
+let is_unique t = t.unique
+let count t = t.entries
+let depth t = t.idepth
+
+let cmp_entry k1 r1 k2 r2 =
+  let c = String.compare k1 k2 in
+  if c <> 0 then c else compare r1 r2
+
+(* First slot in the leaf with entry >= (key, rid). *)
+let leaf_lower_bound l key rid =
+  let lo = ref 0 and hi = ref l.ln in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp_entry l.keys.(mid) l.rids.(mid) key rid < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index for an entry: the separator of child i+1 is its smallest
+   entry, so descend into the rightmost child whose separator is <= the
+   probe entry. *)
+let inner_child_index inner key rid =
+  let lo = ref 0 and hi = ref (inner.inn - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if cmp_entry inner.sep_keys.(mid - 1) inner.sep_rids.(mid - 1) key rid <= 0 then lo := mid
+    else hi := mid - 1
+  done;
+  !lo
+
+let split_leaf t l =
+  let half = l.ln / 2 in
+  let right = new_leaf t.fanout in
+  Array.blit l.keys half right.keys 0 (l.ln - half);
+  Array.blit l.rids half right.rids 0 (l.ln - half);
+  right.ln <- l.ln - half;
+  l.ln <- half;
+  (right.keys.(0), right.rids.(0), Leaf right)
+
+let split_inner t inner =
+  let half = inner.inn / 2 in
+  let right =
+    {
+      sep_keys = Array.make t.fanout "";
+      sep_rids = Array.make t.fanout 0;
+      kids = Array.make t.fanout inner.kids.(0);
+      inn = inner.inn - half;
+      platch = Latch.create ();
+    }
+  in
+  Array.blit inner.kids half right.kids 0 right.inn;
+  Array.blit inner.sep_keys half right.sep_keys 0 (right.inn - 1);
+  Array.blit inner.sep_rids half right.sep_rids 0 (right.inn - 1);
+  let sk = inner.sep_keys.(half - 1) and sr = inner.sep_rids.(half - 1) in
+  inner.inn <- half;
+  (sk, sr, Inner right)
+
+let node_full t = function
+  | Leaf l -> l.ln >= t.fanout
+  | Inner i -> i.inn >= t.fanout
+
+let split_child t parent idx =
+  Latch.with_exclusive parent.platch (fun () ->
+      (* re-check under the latch: while acquiring it, a concurrent fiber
+         may have split this child — or split [parent] itself, halving it
+         and invalidating [idx] *)
+      if idx < parent.inn then begin
+      let child = parent.kids.(idx) in
+      if node_full t child && parent.inn < t.fanout then begin
+        let sk, sr, right =
+          match child with Leaf l -> split_leaf t l | Inner i -> split_inner t i
+        in
+        Array.blit parent.kids (idx + 1) parent.kids (idx + 2) (parent.inn - idx - 1);
+        Array.blit parent.sep_keys idx parent.sep_keys (idx + 1) (parent.inn - 1 - idx);
+        Array.blit parent.sep_rids idx parent.sep_rids (idx + 1) (parent.inn - 1 - idx);
+        parent.kids.(idx + 1) <- right;
+        parent.sep_keys.(idx) <- sk;
+        parent.sep_rids.(idx) <- sr;
+        parent.inn <- parent.inn + 1
+      end
+      end)
+
+exception Restart
+
+let insert t ~key ~rid =
+  let rec attempt () =
+    (* Preemptive splits: if the root is full, grow the tree first. *)
+    if node_full t t.root then begin
+      let old = t.root in
+      let fresh =
+        {
+          sep_keys = Array.make t.fanout "";
+          sep_rids = Array.make t.fanout 0;
+          kids = Array.make t.fanout old;
+          inn = 1;
+          platch = Latch.create ();
+        }
+      in
+      t.root <- Inner fresh;
+      t.idepth <- t.idepth + 1;
+      split_child t fresh 0
+    end;
+    let rec go node =
+      charge_search ();
+      match node with
+      | Leaf l ->
+        Latch.with_exclusive l.llatch (fun () ->
+            charge_leaf_op ();
+            (* fullness can change between the descent's check and latch
+               acquisition (fibers interleave at charges): restart *)
+            if l.ln >= t.fanout then false
+            else begin
+              if t.unique then begin
+                let pos = leaf_lower_bound l key min_int in
+                if pos < l.ln && l.keys.(pos) = key then raise (Duplicate_key key)
+              end;
+              let pos = leaf_lower_bound l key rid in
+              Array.blit l.keys pos l.keys (pos + 1) (l.ln - pos);
+              Array.blit l.rids pos l.rids (pos + 1) (l.ln - pos);
+              l.keys.(pos) <- key;
+              l.rids.(pos) <- rid;
+              l.ln <- l.ln + 1;
+              t.entries <- t.entries + 1;
+              true
+            end)
+      | Inner inner ->
+        let idx = Latch.optimistic_read inner.platch (fun () -> inner_child_index inner key rid) in
+        if idx < inner.inn && node_full t inner.kids.(idx) then begin
+          split_child t inner idx;
+          (* splits (ours or a concurrent one observed during the latch
+             spin) can move our key range to a sibling unreachable from
+             here: restart the descent from the root *)
+          raise_notrace Restart
+        end
+        else go inner.kids.(idx)
+    in
+    match go t.root with
+    | inserted -> if not inserted then attempt ()
+    | exception Restart -> attempt ()
+  in
+  attempt ()
+
+let rec find_leaf node key rid =
+  charge_search ();
+  match node with
+  | Leaf l -> l
+  | Inner inner ->
+    let idx = Latch.optimistic_read inner.platch (fun () -> inner_child_index inner key rid) in
+    find_leaf inner.kids.(idx) key rid
+
+(* Leaves are not chained; in-order range traversal walks the tree. *)
+let rec iter_from node key rid f =
+  match node with
+  | Leaf l ->
+    let start = leaf_lower_bound l key rid in
+    let continue = ref true in
+    let i = ref start in
+    while !continue && !i < l.ln do
+      continue := f l.keys.(!i) l.rids.(!i);
+      incr i
+    done;
+    !continue
+  | Inner inner ->
+    let start = inner_child_index inner key rid in
+    let continue = ref true in
+    let i = ref start in
+    while !continue && !i < inner.inn do
+      continue := iter_from inner.kids.(!i) key rid f;
+      incr i
+    done;
+    !continue
+
+let delete t ~key ~rid =
+  let l = find_leaf t.root key rid in
+  Latch.with_exclusive l.llatch (fun () ->
+      charge_leaf_op ();
+      let pos = leaf_lower_bound l key rid in
+      if pos < l.ln && l.keys.(pos) = key && l.rids.(pos) = rid then begin
+        Array.blit l.keys (pos + 1) l.keys pos (l.ln - pos - 1);
+        Array.blit l.rids (pos + 1) l.rids pos (l.ln - pos - 1);
+        l.ln <- l.ln - 1;
+        t.entries <- t.entries - 1;
+        true
+      end
+      else false)
+
+let lookup t ~key =
+  let acc = ref [] in
+  ignore
+    (iter_from t.root key min_int (fun k rid ->
+         if k = key then begin
+           acc := rid :: !acc;
+           true
+         end
+         else false));
+  List.rev !acc
+
+let lookup_first t ~key =
+  let result = ref None in
+  ignore
+    (iter_from t.root key min_int (fun k rid ->
+         if k = key then begin
+           result := Some rid;
+           false
+         end
+         else false));
+  !result
+
+let range t ~lo ~hi f =
+  ignore
+    (iter_from t.root lo min_int (fun k rid -> if String.compare k hi > 0 then false else f k rid))
+
+let prefix_upper_bound p =
+  (* Increment the last byte that is not 0xff; drop any trailing 0xff. *)
+  let rec go i =
+    if i < 0 then String.make (String.length p + 1) '\xff'
+    else if p.[i] = '\xff' then go (i - 1)
+    else String.sub p 0 i ^ String.make 1 (Char.chr (Char.code p.[i] + 1))
+  in
+  go (String.length p - 1)
+
+let prefix t ~prefix:p f =
+  ignore
+    (iter_from t.root p min_int (fun k rid ->
+         if String.length k >= String.length p && String.sub k 0 (String.length p) = p then f k rid
+         else String.compare k p < 0))
+
+let encode_key values =
+  let buf = Buffer.create 32 in
+  List.iter (Value.encode_key buf) values;
+  Buffer.contents buf

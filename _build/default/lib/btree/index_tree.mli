@@ -1,0 +1,46 @@
+(** The index B-tree (paper §5.1): user-defined secondary indexes mapping
+    memcomparable key bytes to row ids in the table B-tree.
+
+    Entries are (key, row_id) pairs ordered lexicographically by key and
+    then row id, which makes non-unique indexes a range of adjacent
+    entries. Traversal uses optimistic lock coupling; leaf modifications
+    take the leaf latch exclusively. Splits are performed preemptively on
+    the way down so at most one (parent, child) latch pair is held. *)
+
+type t
+
+val create : name:string -> ?fanout:int -> unique:bool -> unit -> t
+
+val name : t -> string
+val is_unique : t -> bool
+
+exception Duplicate_key of string
+(** Raised by {!insert} on a unique index when the key is present. *)
+
+val insert : t -> key:string -> rid:int -> unit
+
+val delete : t -> key:string -> rid:int -> bool
+(** Remove one (key, rid) entry; false if absent. *)
+
+val lookup : t -> key:string -> int list
+(** All row ids for [key] (at most one on a unique index), ascending. *)
+
+val lookup_first : t -> key:string -> int option
+
+val range : t -> lo:string -> hi:string -> (string -> int -> bool) -> unit
+(** In-order visit of entries with [lo <= key <= hi]; the callback
+    returns [false] to stop early. *)
+
+val prefix : t -> prefix:string -> (string -> int -> bool) -> unit
+
+val count : t -> int
+val depth : t -> int
+
+(** {1 Key encoding helpers} *)
+
+val encode_key : Phoebe_storage.Value.t list -> string
+(** Memcomparable composite key from column values. *)
+
+val prefix_upper_bound : string -> string
+(** Smallest string strictly greater than every string with the given
+    prefix (for building [range] bounds from prefixes). *)

@@ -1,0 +1,599 @@
+module Pax = Phoebe_storage.Pax
+module Frozen = Phoebe_storage.Frozen
+module Bufmgr = Phoebe_storage.Bufmgr
+module Latch = Phoebe_storage.Latch
+module Value = Phoebe_storage.Value
+module Pagestore = Phoebe_io.Pagestore
+module Scheduler = Phoebe_runtime.Scheduler
+module Component = Phoebe_sim.Component
+module Cost = Phoebe_sim.Cost
+
+let inner_fanout = 64
+let leaves_per_block = 4
+
+type leaf_swip = Pax.t Bufmgr.swip
+
+type node = Inner of inner | Leaf of leaf_swip
+
+and inner = {
+  mutable keys : int array;  (** [keys.(i)] = min row id of [children.(i)] *)
+  mutable children : node array;
+  mutable n : int;
+  ilatch : Latch.t;
+}
+
+type location = In_page of Pax.t Bufmgr.frame * int | In_frozen of Frozen.t
+
+type t = {
+  tname : string;
+  tschema : Value.Schema.t;
+  buf : Pax.t Bufmgr.t;
+  block_store : Pagestore.t;
+  leaf_capacity : int;
+  append_latch : Latch.t;  (** serialises the rightmost-leaf append path *)
+  mutable root : node;
+  mutable rightmost : leaf_swip;
+  mutable next_rid : int;
+  mutable max_frozen : int;
+  mutable blocks : Frozen.t array;  (** sorted by first_row_id *)
+  mutable block_ids : int array;  (** Data Block File id of each block *)
+  block_id_alloc : unit -> int;
+  mutable live_tuples : int;
+  mutable nleaves : int;
+}
+
+let costs () =
+  match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
+
+let charge_effective n = Scheduler.charge Component.Effective n
+
+let new_inner child key =
+  { keys = Array.make inner_fanout key; children = Array.make inner_fanout child; n = 1; ilatch = Latch.create () }
+
+(* New leaves are allocated into the appending worker's buffer partition
+   (paper: each worker manages its own buffer pool partition). *)
+let current_partition buf =
+  if Scheduler.in_fiber () then Scheduler.current_worker () mod Bufmgr.n_partitions buf else 0
+
+let create ~name ~schema ~buf ~block_store ?block_id_alloc ?(leaf_capacity = 256) () =
+  let block_id_alloc =
+    match block_id_alloc with
+    | Some f -> f
+    | None ->
+      let n = ref 0 in
+      fun () ->
+        incr n;
+        !n
+  in
+  let first_page = Pax.create schema ~capacity:leaf_capacity in
+  let frame = Bufmgr.alloc buf ~partition:(current_partition buf) first_page in
+  let swip = Bufmgr.swip_of frame in
+  Bufmgr.set_parent frame swip;
+  let root = new_inner (Leaf swip) 1 in
+  {
+    tname = name;
+    tschema = schema;
+    buf;
+    block_store;
+    leaf_capacity;
+    append_latch = Latch.create ();
+    root = Inner root;
+    rightmost = swip;
+    next_rid = 1;
+    max_frozen = 0;
+    blocks = [||];
+    block_ids = [||];
+    block_id_alloc;
+    live_tuples = 0;
+    nleaves = 1;
+  }
+
+let name t = t.tname
+let schema t = t.tschema
+let next_row_id t = t.next_rid
+let max_frozen_row_id t = t.max_frozen
+let tuple_count_estimate t = t.live_tuples
+let frozen_block_count t = Array.length t.blocks
+let leaf_count t = t.nleaves
+
+(* ------------------------------------------------------------------ *)
+(* Right-edge append path *)
+
+(* Insert a new rightmost leaf with minimum key [key]. Returns the new
+   root if the previous one split all the way up. *)
+let rec push_rightmost node key leaf =
+  match node with
+  | Leaf _ -> invalid_arg "push_rightmost: reached a leaf"
+  | Inner inner -> (
+    let last = inner.children.(inner.n - 1) in
+    match last with
+    | Leaf _ ->
+      if inner.n < inner_fanout then begin
+        inner.keys.(inner.n) <- key;
+        inner.children.(inner.n) <- Leaf leaf;
+        inner.n <- inner.n + 1;
+        None
+      end
+      else Some (new_inner (Leaf leaf) key)
+    | Inner _ -> (
+      match push_rightmost last key leaf with
+      | None -> None
+      | Some fresh ->
+        if inner.n < inner_fanout then begin
+          inner.keys.(inner.n) <- key;
+          inner.children.(inner.n) <- Inner fresh;
+          inner.n <- inner.n + 1;
+          None
+        end
+        else Some (new_inner (Inner fresh) key)))
+
+let add_rightmost_leaf t key leaf =
+  match push_rightmost t.root key leaf with
+  | None -> ()
+  | Some overflow ->
+    (* grow the tree by one level *)
+    let root = new_inner t.root (match t.root with Inner i -> i.keys.(0) | Leaf _ -> key) in
+    root.keys.(1) <- key;
+    root.children.(1) <- Inner overflow;
+    root.n <- 2;
+    t.root <- Inner root
+
+(* The whole append path runs under the tree's append latch: row-id
+   assignment, the rightmost-leaf switch and the in-page append must be
+   atomic against fibers interleaving on other cores, or row ids would
+   land out of order across leaves. The rightmost leaf is an inherent
+   serialisation point of the monotone-row_id design. *)
+let append ?on_page t row =
+  let c = costs () in
+  Latch.with_exclusive t.append_latch (fun () ->
+      let rid = t.next_rid in
+      t.next_rid <- t.next_rid + 1;
+      let frame = Bufmgr.resolve t.buf t.rightmost in
+      let frame =
+        let page = Bufmgr.payload frame in
+        if Pax.is_full page then begin
+          charge_effective c.Cost.btree_leaf_op;
+          let fresh = Pax.create t.tschema ~capacity:t.leaf_capacity in
+          let nframe = Bufmgr.alloc t.buf ~partition:(current_partition t.buf) fresh in
+          (* the new rightmost inherits the GSN chain of the old one so
+             WAL replay order keeps following row-id order across leaf
+             boundaries *)
+          Bufmgr.set_page_gsn nframe (Bufmgr.page_gsn frame);
+          Bufmgr.set_last_writer_slot nframe (Bufmgr.last_writer_slot frame);
+          let nswip = Bufmgr.swip_of nframe in
+          Bufmgr.set_parent nframe nswip;
+          t.rightmost <- nswip;
+          t.nleaves <- t.nleaves + 1;
+          add_rightmost_leaf t rid nswip;
+          nframe
+        end
+        else frame
+      in
+      charge_effective c.Cost.btree_leaf_op;
+      let page = Bufmgr.payload frame in
+      ignore (Pax.append page ~row_id:rid row);
+      Bufmgr.mark_dirty frame;
+      Bufmgr.update_size t.buf frame;
+      t.live_tuples <- t.live_tuples + 1;
+      (* runs inside the append latch: WAL logging here keeps per-table
+         GSN order aligned with row-id order *)
+      (match on_page with Some f -> f frame rid | None -> ());
+      rid)
+
+let append_exact t ~row_id row =
+  if row_id < t.next_rid then invalid_arg "Table_tree.append_exact: row id in the past";
+  t.next_rid <- row_id;
+  ignore (append t row)
+
+(* ------------------------------------------------------------------ *)
+(* Descent *)
+
+(* Index of the child whose subtree contains [rid]: the rightmost child
+   whose minimum key is <= rid. *)
+let child_index inner rid =
+  let lo = ref 0 and hi = ref (inner.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if inner.keys.(mid) <= rid then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let find_block t rid =
+  let lo = ref 0 and hi = ref (Array.length t.blocks - 1) and found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let b = t.blocks.(mid) in
+    if rid < Frozen.first_row_id b then hi := mid - 1
+    else if rid > Frozen.last_row_id b then lo := mid + 1
+    else found := Some b
+  done;
+  !found
+
+let rec descend_to_leaf t node rid =
+  let c = costs () in
+  match node with
+  | Leaf swip -> Some swip
+  | Inner inner ->
+    if inner.n = 0 || inner.keys.(0) > rid then None
+    else begin
+      charge_effective c.Cost.btree_search_per_level;
+      let child = Latch.optimistic_read inner.ilatch (fun () -> inner.children.(child_index inner rid)) in
+      descend_to_leaf t child rid
+    end
+
+let locate ?(touch = true) t ~row_id =
+  if row_id <= 0 || row_id >= t.next_rid then None
+  else if row_id <= t.max_frozen then
+    match find_block t row_id with
+    | Some b ->
+      Scheduler.charge Component.Effective (costs ()).Cost.frozen_decode_per_tuple;
+      Some (In_frozen b)
+    | None -> None
+  else
+    match descend_to_leaf t t.root row_id with
+    | None -> None
+    | Some swip -> (
+      let frame = Bufmgr.resolve ~touch t.buf swip in
+      let page = Bufmgr.payload frame in
+      match Pax.find page ~row_id with
+      | Some slot -> Some (In_page (frame, slot))
+      | None -> None)
+
+let read ?(touch = true) t ~row_id =
+  let c = costs () in
+  match locate ~touch t ~row_id with
+  | None -> None
+  | Some (In_frozen b) -> Frozen.get b ~row_id
+  | Some (In_page (frame, slot)) ->
+    let page = Bufmgr.payload frame in
+    if Pax.is_deleted page ~slot then None
+    else begin
+      charge_effective c.Cost.pax_read;
+      Some (Pax.get page ~slot)
+    end
+
+let is_deleted t ~row_id =
+  match locate ~touch:false t ~row_id with
+  | None -> true
+  | Some (In_frozen b) -> Frozen.is_deleted b ~row_id
+  | Some (In_page (frame, slot)) -> Pax.is_deleted (Bufmgr.payload frame) ~slot
+
+let mark_deleted t ~row_id =
+  match locate ~touch:true t ~row_id with
+  | None -> false
+  | Some (In_frozen b) ->
+    let ok = Frozen.mark_deleted b ~row_id in
+    if ok then t.live_tuples <- t.live_tuples - 1;
+    ok
+  | Some (In_page (frame, slot)) ->
+    (* latch acquisition can spin across suspensions: pin the frame so
+       eviction cannot detach it meanwhile *)
+    Bufmgr.pin frame;
+    Fun.protect
+      ~finally:(fun () -> Bufmgr.unpin frame)
+      (fun () ->
+        Latch.with_exclusive (Bufmgr.latch frame) (fun () ->
+            let page = Bufmgr.payload frame in
+            if Pax.is_deleted page ~slot then false
+            else begin
+              Pax.mark_deleted page ~slot;
+              Bufmgr.mark_dirty frame;
+              t.live_tuples <- t.live_tuples - 1;
+              true
+            end))
+
+let undelete t ~row_id =
+  match locate ~touch:false t ~row_id with
+  | None -> false
+  | Some (In_frozen b) ->
+    let ok = Frozen.unmark_deleted b ~row_id in
+    if ok then t.live_tuples <- t.live_tuples + 1;
+    ok
+  | Some (In_page (frame, slot)) ->
+    Bufmgr.pin frame;
+    Fun.protect
+      ~finally:(fun () -> Bufmgr.unpin frame)
+      (fun () ->
+        Latch.with_exclusive (Bufmgr.latch frame) (fun () ->
+            let page = Bufmgr.payload frame in
+            if Pax.is_deleted page ~slot then begin
+              Pax.unmark_deleted page ~slot;
+              Bufmgr.mark_dirty frame;
+              t.live_tuples <- t.live_tuples + 1;
+              true
+            end
+            else false))
+
+(* ------------------------------------------------------------------ *)
+(* Scan *)
+
+(* First leaf that contains a row id >= [rid]; row ids may have gaps
+   (aborted inserts, recovery replay), so a subtree picked by separator
+   keys can turn out to be exhausted — fall through to the next child. *)
+let leaf_at_or_after t ~touch node rid =
+  let rec go node =
+    match node with
+    | Leaf swip ->
+      let frame = Bufmgr.resolve ~touch t.buf swip in
+      let page = Bufmgr.payload frame in
+      if Pax.is_empty page || Pax.max_row_id page < rid then None else Some swip
+    | Inner inner ->
+      if inner.n = 0 then None
+      else begin
+        let start = if inner.keys.(0) > rid then 0 else child_index inner rid in
+        let rec try_child i =
+          if i >= inner.n then None
+          else match go inner.children.(i) with Some s -> Some s | None -> try_child (i + 1)
+        in
+        try_child start
+      end
+  in
+  go node
+
+let scan ?(touch = false) ?(include_deleted = false) t ?(from_rid = 1) ?to_rid f =
+  let stop = match to_rid with Some r -> r | None -> t.next_rid - 1 in
+  let emit rid row = if rid >= from_rid && rid <= stop then f rid row in
+  let iter_page page =
+    if include_deleted then Pax.iter_all page (fun rid ~deleted:_ row -> emit rid row)
+    else Pax.iter_live page (fun rid row -> emit rid row)
+  in
+  (* frozen tier *)
+  Array.iter
+    (fun b ->
+      if Frozen.last_row_id b >= from_rid && Frozen.first_row_id b <= stop then
+        if include_deleted then Frozen.iter_all b (fun rid ~deleted:_ row -> emit rid row)
+        else Frozen.iter_live b (fun rid row -> emit rid row))
+    t.blocks;
+  (* page tier *)
+  let cursor = ref (max from_rid (t.max_frozen + 1)) in
+  let continue = ref true in
+  while !continue && !cursor <= stop do
+    match leaf_at_or_after t ~touch t.root !cursor with
+    | None -> continue := false
+    | Some swip ->
+      let frame = Bufmgr.resolve ~touch t.buf swip in
+      (* the row callback may fault other pages (long I/O waits): pin
+         this leaf so eviction cannot pull it out from under us *)
+      Bufmgr.pin frame;
+      Fun.protect
+        ~finally:(fun () -> Bufmgr.unpin frame)
+        (fun () ->
+          let page = Bufmgr.payload frame in
+          iter_page page;
+          cursor := Pax.max_row_id page + 1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Freeze / warm (temperature exchange, §5.2) *)
+
+(* Remove the leftmost leaf from the inner structure. *)
+let remove_leftmost t =
+  let rec go node =
+    match node with
+    | Leaf _ -> invalid_arg "remove_leftmost: root is a leaf"
+    | Inner inner -> (
+      match inner.children.(0) with
+      | Leaf _ ->
+        Array.blit inner.children 1 inner.children 0 (inner.n - 1);
+        Array.blit inner.keys 1 inner.keys 0 (inner.n - 1);
+        inner.n <- inner.n - 1;
+        inner.n = 0
+      | Inner _ as child ->
+        if go child then begin
+          Array.blit inner.children 1 inner.children 0 (inner.n - 1);
+          Array.blit inner.keys 1 inner.keys 0 (inner.n - 1);
+          inner.n <- inner.n - 1
+        end;
+        inner.n = 0)
+  in
+  ignore (go t.root);
+  t.nleaves <- t.nleaves - 1
+
+let rec leftmost_leaf node =
+  match node with
+  | Leaf swip -> Some swip
+  | Inner inner -> if inner.n = 0 then None else leftmost_leaf inner.children.(0)
+
+let freeze_group t pages =
+  match pages with
+  | [] -> 0
+  | _ ->
+    let block = Frozen.freeze pages in
+    let encoded = Frozen.encode block in
+    (* Block file ids live in their own namespace on the block device. *)
+    let block_id = t.block_id_alloc () in
+    Pagestore.write t.block_store ~page_id:block_id encoded;
+    t.blocks <- Array.append t.blocks [| block |];
+    t.block_ids <- Array.append t.block_ids [| block_id |];
+    t.max_frozen <- max t.max_frozen (Frozen.last_row_id block);
+    Frozen.count block
+
+let freeze_prefix t ~up_to_rid =
+  let frozen_tuples = ref 0 in
+  let pending = ref [] and pending_n = ref 0 in
+  let flush () =
+    frozen_tuples := !frozen_tuples + freeze_group t (List.rev !pending);
+    pending := [];
+    pending_n := 0
+  in
+  let continue = ref true in
+  while !continue do
+    match leftmost_leaf t.root with
+    | None -> continue := false
+    | Some swip ->
+      (* Never freeze the rightmost (append) leaf. *)
+      if swip == t.rightmost then continue := false
+      else begin
+        let frame = Bufmgr.resolve ~touch:false t.buf swip in
+        let page = Bufmgr.payload frame in
+        if Pax.is_empty page || Pax.max_row_id page > up_to_rid then continue := false
+        else begin
+          if Pax.live_count page > 0 then begin
+            pending := page :: !pending;
+            incr pending_n
+          end
+          else t.max_frozen <- max t.max_frozen (Pax.max_row_id page);
+          remove_leftmost t;
+          Bufmgr.drop t.buf frame;
+          if !pending_n >= leaves_per_block then flush ()
+        end
+      end
+  done;
+  flush ();
+  !frozen_tuples
+
+let freeze_cold_prefix t ~max_access =
+  (* Find the longest prefix of leaves with OLTP access counts below the
+     threshold; stop at the first hot leaf (frozen data must stay
+     consecutive in row_id order). *)
+  let up_to = ref t.max_frozen in
+  let continue = ref true in
+  let cursor = ref (t.max_frozen + 1) in
+  while !continue && !cursor < t.next_rid do
+    match leaf_at_or_after t ~touch:false t.root !cursor with
+    | None -> continue := false
+    | Some swip ->
+      if swip == t.rightmost then continue := false
+      else begin
+        let frame = Bufmgr.resolve ~touch:false t.buf swip in
+        let page = Bufmgr.payload frame in
+        if Bufmgr.access_count frame <= max_access then begin
+          up_to := Pax.max_row_id page;
+          cursor := Pax.max_row_id page + 1
+        end
+        else continue := false
+      end
+  done;
+  if !up_to > t.max_frozen then freeze_prefix t ~up_to_rid:!up_to else 0
+
+let decay_access_counts t =
+  let rec go node =
+    match node with
+    | Leaf swip -> (
+      (* only resident leaves carry counters; cold leaves are cold by definition *)
+      match Bufmgr.resident_frame_of_swip swip with
+      | Some frame -> Bufmgr.halve_access_count frame
+      | None -> ())
+    | Inner inner ->
+      for i = 0 to inner.n - 1 do
+        go inner.children.(i)
+      done
+  in
+  go t.root
+
+let warm_row t ~row_id =
+  if row_id > t.max_frozen then None
+  else
+    match find_block t row_id with
+    | None -> None
+    | Some b -> (
+      match Frozen.get b ~row_id with
+      | None -> None
+      | Some row ->
+        ignore (Frozen.mark_deleted b ~row_id);
+        t.live_tuples <- t.live_tuples - 1;
+        Some (append t row))
+
+let iter_blocks t f = Array.iter f t.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint support *)
+
+let leaf_manifest t =
+  (* Write back dirty resident leaves so every page id in the manifest is
+     durable in the Data Page File (cold leaves are durable by
+     construction: eviction writes back). Each leaf's minimum row id is
+     its separator key in the parent inner node, so cold leaves need no
+     faulting. *)
+  let acc = ref [] in
+  let rec go node key =
+    match node with
+    | Leaf swip ->
+      (match Bufmgr.resident_frame_of_swip swip with
+      | Some frame -> Bufmgr.write_back t.buf frame
+      | None -> ());
+      acc := (Bufmgr.page_id_of_swip swip, key) :: !acc
+    | Inner inner ->
+      for i = 0 to inner.n - 1 do
+        go inner.children.(i) inner.keys.(i)
+      done
+  in
+  (match t.root with
+  | Inner inner when inner.n > 0 -> go t.root inner.keys.(0)
+  | _ -> ());
+  List.rev !acc
+
+let block_manifest t = Array.to_list t.block_ids
+
+let next_rid_value t = t.next_rid
+
+let compression_ratio t =
+  let unc = Array.fold_left (fun acc b -> acc + Frozen.uncompressed_bytes b) 0 t.blocks in
+  let comp = Array.fold_left (fun acc b -> acc + Frozen.compressed_bytes b) 0 t.blocks in
+  if comp = 0 then 1.0 else float_of_int unc /. float_of_int comp
+
+let iter_leaf_pages t f =
+  let cursor = ref (t.max_frozen + 1) in
+  let continue = ref true in
+  while !continue && !cursor < t.next_rid do
+    match leaf_at_or_after t ~touch:false t.root !cursor with
+    | None -> continue := false
+    | Some swip ->
+      let frame = Bufmgr.resolve ~touch:false t.buf swip in
+      Bufmgr.pin frame;
+      Fun.protect
+        ~finally:(fun () -> Bufmgr.unpin frame)
+        (fun () ->
+          f frame;
+          cursor := Pax.max_row_id (Bufmgr.payload frame) + 1)
+  done
+
+(* Rebuild a tree from a checkpoint: cold leaf swips + frozen blocks
+   decoded from the Data Block File. The inner structure is regrown by
+   right-edge pushes, exactly as the leaves were first created. *)
+let restore ~name ~schema ~buf ~block_store ~block_id_alloc ?(leaf_capacity = 256) ~leaves
+    ~block_ids ~next_rid ~max_frozen () =
+  match leaves with
+  | [] ->
+    let t = create ~name ~schema ~buf ~block_store ~block_id_alloc ~leaf_capacity () in
+    t.next_rid <- max next_rid t.next_rid;
+    t
+  | (first_pid, first_key) :: rest ->
+    let first_swip = Bufmgr.cold_swip buf first_pid in
+    let root = new_inner (Leaf first_swip) first_key in
+    let t =
+      {
+        tname = name;
+        tschema = schema;
+        buf;
+        block_store;
+        leaf_capacity;
+        append_latch = Latch.create ();
+        root = Inner root;
+        rightmost = first_swip;
+        next_rid;
+        max_frozen;
+        blocks = [||];
+        block_ids = [||];
+        block_id_alloc;
+        live_tuples = 0;
+        nleaves = 1;
+      }
+    in
+    List.iter
+      (fun (pid, min_rid) ->
+        let swip = Bufmgr.cold_swip buf pid in
+        t.nleaves <- t.nleaves + 1;
+        t.rightmost <- swip;
+        add_rightmost_leaf t min_rid swip)
+      rest;
+    t.blocks <-
+      Array.of_list
+        (List.map (fun bid -> Frozen.decode (Pagestore.read block_store ~page_id:bid)) block_ids);
+    t.block_ids <- Array.of_list block_ids;
+    let live = ref 0 in
+    Array.iter (fun b -> live := !live + Frozen.live_count b) t.blocks;
+    (* count live page-tier tuples *)
+    iter_leaf_pages t (fun frame -> live := !live + Pax.live_count (Bufmgr.payload frame));
+    t.live_tuples <- !live;
+    t

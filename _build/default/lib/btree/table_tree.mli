@@ -1,0 +1,143 @@
+(** The table B-tree (paper §5.1, §5.3, Figure 3).
+
+    One tree per relation, keyed by the internally assigned, monotonically
+    increasing [row_id]; tuples live in PAX-format leaf pages managed by
+    the swizzling buffer pool. Because row ids only grow, inserts always
+    append to the rightmost leaf and interior splits happen only on the
+    right edge — precisely the design the paper adopts to avoid B-tree
+    node-splitting overhead.
+
+    The tree unifies all three temperature tiers: rows with
+    [row_id <= max_frozen_row_id] live in compressed frozen blocks (Data
+    Block File); hotter rows live in buffer-managed PAX leaves that are
+    resident (hot) or spilled to the Data Page File (cold). *)
+
+type t
+
+type location =
+  | In_page of Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.frame * int
+      (** resident/cold leaf frame and slot *)
+  | In_frozen of Phoebe_storage.Frozen.t
+      (** row is inside a frozen block *)
+
+val create :
+  name:string ->
+  schema:Phoebe_storage.Value.Schema.t ->
+  buf:Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.t ->
+  block_store:Phoebe_io.Pagestore.t ->
+  ?block_id_alloc:(unit -> int) ->
+  ?leaf_capacity:int ->
+  unit ->
+  t
+(** [block_id_alloc] hands out ids in the (shared) Data Block File; the
+    default private counter is only safe when a single tree uses the
+    store. *)
+
+val name : t -> string
+val schema : t -> Phoebe_storage.Value.Schema.t
+
+val append :
+  ?on_page:(Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.frame -> int -> unit) ->
+  t ->
+  Phoebe_storage.Value.t array ->
+  int
+(** Insert a tuple, assigning and returning the next row id. [on_page]
+    runs inside the append critical section with the leaf frame and the
+    new row id — the MVCC/WAL hooks use it so that per-table WAL (GSN)
+    order matches row-id order, which recovery replay relies on. *)
+
+val locate : ?touch:bool -> t -> row_id:int -> location option
+(** Find where a row id lives. [None] if out of range or the slot was
+    never allocated. The caller checks delete marks / visibility. *)
+
+val read : ?touch:bool -> t -> row_id:int -> Phoebe_storage.Value.t array option
+(** Raw current version (ignores MVCC, skips delete-marked rows). *)
+
+val is_deleted : t -> row_id:int -> bool
+
+val mark_deleted : t -> row_id:int -> bool
+(** Returns false if the row does not exist or was already deleted. *)
+
+val undelete : t -> row_id:int -> bool
+(** Clear a delete mark (rollback of an aborted delete). *)
+
+val append_exact : t -> row_id:int -> Phoebe_storage.Value.t array -> unit
+(** Recovery-only: append preserving the original row id (row ids of
+    rolled-back transactions leave gaps in the WAL). [row_id] must be
+    at least [next_row_id]. *)
+
+val scan : ?touch:bool -> ?include_deleted:bool -> t -> ?from_rid:int -> ?to_rid:int ->
+  (int -> Phoebe_storage.Value.t array -> unit) -> unit
+(** Iterate tuples in row-id order across frozen and page tiers.
+    [touch] defaults to [false]: scans must not warm data (§5.2).
+    [include_deleted] (default false) also visits delete-marked tuples —
+    MVCC scans need them, since a marked tuple may still be visible to
+    older snapshots. *)
+
+val next_row_id : t -> int
+val max_frozen_row_id : t -> int
+val tuple_count_estimate : t -> int
+
+(** {1 Temperature management (§5.2)} *)
+
+val freeze_prefix : t -> up_to_rid:int -> int
+(** Freeze all leaves entirely below [up_to_rid] into compressed blocks,
+    appending them to the Data Block File and advancing
+    [max_frozen_row_id]. Returns the number of tuples frozen. Leaves
+    with delete-marked rows are compacted in the process. *)
+
+val freeze_cold_prefix : t -> max_access:int -> int
+(** Policy entry point: freeze the maximal prefix of consecutive leaves
+    whose OLTP access count is [<= max_access] (paper: consecutive pages
+    below an access threshold are grouped into frozen blocks). *)
+
+val decay_access_counts : t -> unit
+(** Halve every resident leaf's OLTP access counter — the "access
+    frequency over time" decay the freeze policy reads. Run
+    periodically by housekeeping. *)
+
+val warm_row : t -> row_id:int -> int option
+(** Move a frozen row back to hot storage: mark it deleted in its block
+    and re-insert the tuple with a fresh row id (paper §5.2 case 3).
+    Returns the new row id; the caller must update secondary indexes. *)
+
+val frozen_block_count : t -> int
+val leaf_count : t -> int
+
+val iter_blocks : t -> (Phoebe_storage.Frozen.t -> unit) -> unit
+(** Frozen blocks in row-id order (analytical scans). *)
+
+val iter_leaf_pages : t -> (Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.frame -> unit) -> unit
+(** Resolve and visit every leaf page in row-id order without warming
+    (scans must not heat data, §5.2). *)
+
+val compression_ratio : t -> float
+(** uncompressed/compressed bytes across frozen blocks; 1.0 if none. *)
+
+(** {1 Checkpoint support} *)
+
+val leaf_manifest : t -> (int * int) list
+(** (page id, min row id) of every leaf in row-id order; dirty resident
+    leaves are written back first so the manifest is durable. *)
+
+val block_manifest : t -> int list
+(** Data Block File ids of the frozen blocks, in row-id order. *)
+
+val next_rid_value : t -> int
+
+val restore :
+  name:string ->
+  schema:Phoebe_storage.Value.Schema.t ->
+  buf:Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.t ->
+  block_store:Phoebe_io.Pagestore.t ->
+  block_id_alloc:(unit -> int) ->
+  ?leaf_capacity:int ->
+  leaves:(int * int) list ->
+  block_ids:int list ->
+  next_rid:int ->
+  max_frozen:int ->
+  unit ->
+  t
+(** Rebuild a tree from a checkpoint manifest over existing Data Page /
+    Data Block files: leaves come back cold (faulted on demand), frozen
+    blocks are decoded from the block store. *)

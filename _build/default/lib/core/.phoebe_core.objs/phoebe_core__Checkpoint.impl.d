@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Buffer Bytes Config Db Fmt List Phoebe_btree Phoebe_storage Phoebe_txn Phoebe_util Phoebe_wal Table

@@ -1,0 +1,1 @@
+lib/core/config.ml: Phoebe_io Phoebe_runtime Phoebe_sim Phoebe_txn Phoebe_wal

@@ -1,0 +1,1 @@
+lib/core/config.mli: Phoebe_io Phoebe_runtime Phoebe_sim Phoebe_txn Phoebe_wal

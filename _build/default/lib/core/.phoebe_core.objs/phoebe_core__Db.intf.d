@@ -1,0 +1,1 @@
+lib/core/db.mli: Config Phoebe_io Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_wal Table

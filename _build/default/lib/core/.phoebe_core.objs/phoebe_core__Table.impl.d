@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Fun Hashtbl List Phoebe_btree Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_wal

@@ -1,0 +1,1 @@
+lib/core/table.mli: Phoebe_btree Phoebe_io Phoebe_storage Phoebe_txn Phoebe_wal

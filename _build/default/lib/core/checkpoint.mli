@@ -1,0 +1,24 @@
+(** Checkpoints: bounding crash-recovery replay (the ARIES side of the
+    paper's §8 "Non-Force, Steal" design that full-WAL replay alone
+    leaves open-ended).
+
+    [take] quiesces nothing by itself — call it at a transaction
+    boundary (no active transactions) — then flushes the WAL, writes
+    every dirty leaf back to the Data Page File, and serialises a
+    catalog image: per table the schema, index definitions, the leaf
+    manifest (page ids + separator keys), frozen block ids, row-id
+    bounds; plus the per-slot WAL frontier and the logical clock.
+
+    [restore] rebuilds a database over the *surviving stores* (Data Page
+    File, Data Block File, WAL) of a crashed instance: tables come back
+    with cold leaves faulted on demand, indexes are rebuilt by scan, and
+    only WAL records past the checkpoint frontier are replayed. *)
+
+val take : Db.t -> Bytes.t
+(** @raise Invalid_argument if transactions are still active. *)
+
+val restore : from:Db.t -> snapshot:Bytes.t -> Config.t -> Db.t * Phoebe_wal.Recovery.report
+(** Build a fresh instance attached to [from]'s engine/devices/stores
+    (see {!Db.create_attached}), rebuild the catalog from [snapshot],
+    and replay the WAL suffix. Returns the new instance and the replay
+    report. *)

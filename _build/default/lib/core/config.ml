@@ -1,0 +1,46 @@
+type lock_style =
+  | Decentralized
+  | Global_serialized of { lock_hold_ns : int; snapshot_hold_ns : int }
+
+type t = {
+  n_workers : int;
+  slots_per_worker : int;
+  model : Phoebe_runtime.Scheduler.model;
+  cpu : Phoebe_runtime.Cpu.t;
+  cost : Phoebe_sim.Cost.t;
+  buffer_bytes : int;
+  leaf_capacity : int;
+  wal : Phoebe_wal.Wal.config;
+  snapshot_mode : Phoebe_txn.Txnmgr.snapshot_mode;
+  lock_style : lock_style;
+  isolation : Phoebe_txn.Txnmgr.isolation;
+  gc_every_n_commits : int;
+  max_txn_retries : int;
+  freeze_max_access : int;
+  data_device : Phoebe_io.Device.config;
+  wal_device : Phoebe_io.Device.config;
+  block_device : Phoebe_io.Device.config;
+}
+
+let default =
+  {
+    n_workers = 4;
+    slots_per_worker = 32;
+    model = Phoebe_runtime.Scheduler.Coroutine;
+    cpu = Phoebe_runtime.Cpu.default;
+    cost = Phoebe_sim.Cost.default;
+    buffer_bytes = 256 * 1024 * 1024;
+    leaf_capacity = 256;
+    wal = Phoebe_wal.Wal.default_config;
+    snapshot_mode = Phoebe_txn.Txnmgr.O1_timestamp;
+    lock_style = Decentralized;
+    isolation = Phoebe_txn.Txnmgr.Read_committed;
+    gc_every_n_commits = 64;
+    max_txn_retries = 8;
+    freeze_max_access = 2;
+    data_device = Phoebe_io.Device.pm9a3;
+    wal_device = Phoebe_io.Device.pm9a3;
+    block_device = Phoebe_io.Device.pm9a3;
+  }
+
+let paper_scale = { default with n_workers = 100; slots_per_worker = 32 }

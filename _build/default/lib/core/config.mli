@@ -1,0 +1,36 @@
+(** Kernel configuration: the knobs the paper's experiments turn. *)
+
+(** How lock metadata is managed: PhoebeDB's decentralized scheme, or a
+    PostgreSQL/MySQL-style global lock table behind one latch plus a
+    proc-array latch for snapshots (Exp 8 baseline; §7.2). *)
+type lock_style =
+  | Decentralized
+  | Global_serialized of { lock_hold_ns : int; snapshot_hold_ns : int }
+
+type t = {
+  n_workers : int;  (** worker threads, each bound to a simulated core *)
+  slots_per_worker : int;  (** co-routine task slots per worker (paper default 32) *)
+  model : Phoebe_runtime.Scheduler.model;  (** co-routine vs thread execution (Exp 6) *)
+  cpu : Phoebe_runtime.Cpu.t;
+  cost : Phoebe_sim.Cost.t;
+  buffer_bytes : int;  (** Main Storage budget (Exp 5 sweeps this) *)
+  leaf_capacity : int;  (** tuples per PAX leaf page *)
+  wal : Phoebe_wal.Wal.config;
+  snapshot_mode : Phoebe_txn.Txnmgr.snapshot_mode;
+  lock_style : lock_style;
+  isolation : Phoebe_txn.Txnmgr.isolation;  (** default isolation (paper runs read committed) *)
+  gc_every_n_commits : int;  (** per-worker GC cadence (§7.1) *)
+  max_txn_retries : int;  (** automatic retries after an MVCC abort *)
+  freeze_max_access : int;  (** access-count threshold for freezing (§5.2) *)
+  data_device : Phoebe_io.Device.config;
+  wal_device : Phoebe_io.Device.config;  (** Exp 3 puts WAL on its own disk *)
+  block_device : Phoebe_io.Device.config;
+}
+
+val default : t
+(** 4 workers × 32 slots, co-routine model, 256 MB buffer, read
+    committed, O(1) snapshots, PM9A3-class devices. *)
+
+val paper_scale : t
+(** The paper's testbed shape: 100 workers on the 52-core/104-thread CPU
+    model with 32 slots each. *)

@@ -1,0 +1,345 @@
+module Engine = Phoebe_sim.Engine
+module Scheduler = Phoebe_runtime.Scheduler
+module Device = Phoebe_io.Device
+module Pagestore = Phoebe_io.Pagestore
+module Walstore = Phoebe_io.Walstore
+module Bufmgr = Phoebe_storage.Bufmgr
+module Pax = Phoebe_storage.Pax
+module Value = Phoebe_storage.Value
+module Wal = Phoebe_wal.Wal
+module Recovery = Phoebe_wal.Recovery
+module Txnmgr = Phoebe_txn.Txnmgr
+module Clock = Phoebe_txn.Clock
+
+type t = {
+  cfg : Config.t;
+  eng : Engine.t;
+  sched : Scheduler.t;
+  data_dev : Device.t;
+  wal_dev : Device.t;
+  block_dev : Device.t;
+  buf : Pax.t Bufmgr.t;
+  block_store : Pagestore.t;
+  walmgr : Wal.t;
+  txns : Txnmgr.t;
+  mutable table_list : Table.t list;  (** newest first *)
+  by_name : (string, Table.t) Hashtbl.t;
+  by_id : (int, Table.t) Hashtbl.t;
+  mutable next_table_id : int;
+  mutable next_block_id : int;
+  commits_since_gc : int array;  (** per worker *)
+  gc_pending : bool array;
+}
+
+let pax_codec : Pax.t Bufmgr.codec =
+  { Bufmgr.encode = Pax.encode; decode = Pax.decode; size = Pax.size_bytes }
+
+let create_on eng (cfg : Config.t) =
+  let sched_cfg =
+    {
+      Scheduler.model = cfg.Config.model;
+      n_workers = cfg.Config.n_workers;
+      slots_per_worker = cfg.Config.slots_per_worker;
+      cpu = cfg.Config.cpu;
+      cost = cfg.Config.cost;
+    }
+  in
+  let sched = Scheduler.create eng sched_cfg in
+  let data_dev = Device.create eng ~name:"data" cfg.Config.data_device in
+  let wal_dev = Device.create eng ~name:"wal" cfg.Config.wal_device in
+  let block_dev = Device.create eng ~name:"blocks" cfg.Config.block_device in
+  let buf =
+    Bufmgr.create eng ~store:(Pagestore.create data_dev) ~partitions:cfg.Config.n_workers
+      ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
+  in
+  let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
+  let walmgr = Wal.create eng ~store:(Walstore.create wal_dev) ~n_slots cfg.Config.wal in
+  let clock = Clock.create () in
+  let contention =
+    match cfg.Config.lock_style with
+    | Config.Decentralized -> None
+    | Config.Global_serialized { lock_hold_ns; snapshot_hold_ns } ->
+      Some
+        {
+          Txnmgr.engine = eng;
+          lock_table = Some (Phoebe_sim.Resource.create eng ~name:"lock_table", lock_hold_ns);
+          proc_array = Some (Phoebe_sim.Resource.create eng ~name:"proc_array", snapshot_hold_ns);
+        }
+  in
+  let txns =
+    Txnmgr.create ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode ?contention ()
+  in
+  {
+    cfg;
+    eng;
+    sched;
+    data_dev;
+    wal_dev;
+    block_dev;
+    buf;
+    block_store = Pagestore.create block_dev;
+    walmgr;
+    txns;
+    table_list = [];
+    by_name = Hashtbl.create 16;
+    by_id = Hashtbl.create 16;
+    next_table_id = 0;
+    next_block_id = 0;
+    commits_since_gc = Array.make cfg.Config.n_workers 0;
+    gc_pending = Array.make cfg.Config.n_workers false;
+  }
+
+let create cfg = create_on (Engine.create ()) cfg
+
+(* Same engine + devices + store contents, fresh volatile state: the
+   restart-after-crash topology used by checkpoint restore. *)
+let create_attached old (cfg : Config.t) =
+  let eng = old.eng in
+  let sched_cfg =
+    {
+      Scheduler.model = cfg.Config.model;
+      n_workers = cfg.Config.n_workers;
+      slots_per_worker = cfg.Config.slots_per_worker;
+      cpu = cfg.Config.cpu;
+      cost = cfg.Config.cost;
+    }
+  in
+  let sched = Scheduler.create eng sched_cfg in
+  let buf =
+    Bufmgr.create eng ~store:(Bufmgr.store old.buf) ~partitions:cfg.Config.n_workers
+      ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
+  in
+  let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
+  let walmgr = Wal.create ~resume:true eng ~store:(Wal.store old.walmgr) ~n_slots cfg.Config.wal in
+  let clock = Clock.create () in
+  let txns = Txnmgr.create ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode () in
+  {
+    cfg;
+    eng;
+    sched;
+    data_dev = old.data_dev;
+    wal_dev = old.wal_dev;
+    block_dev = old.block_dev;
+    buf;
+    block_store = old.block_store;
+    walmgr;
+    txns;
+    table_list = [];
+    by_name = Hashtbl.create 16;
+    by_id = Hashtbl.create 16;
+    next_table_id = 0;
+    next_block_id = old.next_block_id;
+    commits_since_gc = Array.make cfg.Config.n_workers 0;
+    gc_pending = Array.make cfg.Config.n_workers false;
+  }
+
+let config t = t.cfg
+let engine t = t.eng
+let scheduler t = t.sched
+let txnmgr t = t.txns
+let wal t = t.walmgr
+let buffer t = t.buf
+let data_device t = t.data_dev
+let wal_device t = t.wal_dev
+let now t = Engine.now t.eng
+
+(* ------------------------------------------------------------------ *)
+(* DDL *)
+
+let create_table t ~name ~schema =
+  if Hashtbl.mem t.by_name name then invalid_arg ("Db.create_table: duplicate table " ^ name);
+  t.next_table_id <- t.next_table_id + 1;
+  let block_id_alloc () =
+    t.next_block_id <- t.next_block_id + 1;
+    t.next_block_id
+  in
+  let table =
+    Table.create ~id:t.next_table_id ~name ~schema:(Value.Schema.make schema) ~buf:t.buf
+      ~block_store:t.block_store ~block_id_alloc ~txnmgr:t.txns ~wal:t.walmgr
+      ~leaf_capacity:t.cfg.Config.leaf_capacity
+  in
+  t.table_list <- table :: t.table_list;
+  Hashtbl.replace t.by_name name table;
+  Hashtbl.replace t.by_id (Table.id table) table;
+  table
+
+let create_index _t table ~name ~cols ~unique = Table.add_index table ~name ~cols ~unique
+
+let restore_table t ~name ~schema ~leaves ~block_ids ~next_rid ~max_frozen =
+  if Hashtbl.mem t.by_name name then invalid_arg ("Db.restore_table: duplicate table " ^ name);
+  t.next_table_id <- t.next_table_id + 1;
+  let block_id_alloc () =
+    t.next_block_id <- t.next_block_id + 1;
+    t.next_block_id
+  in
+  let table =
+    Table.restore ~id:t.next_table_id ~name ~schema:(Value.Schema.make schema) ~buf:t.buf
+      ~block_store:t.block_store ~block_id_alloc ~txnmgr:t.txns ~wal:t.walmgr
+      ~leaf_capacity:t.cfg.Config.leaf_capacity ~leaves ~block_ids ~next_rid ~max_frozen
+  in
+  t.table_list <- table :: t.table_list;
+  Hashtbl.replace t.by_name name table;
+  Hashtbl.replace t.by_id (Table.id table) table;
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.by_name name with Some tbl -> tbl | None -> raise Not_found
+
+let tables t = List.rev t.table_list
+
+(* ------------------------------------------------------------------ *)
+(* Transactions *)
+
+let current_slot_or_zero () = if Scheduler.in_fiber () then Scheduler.current_slot () else 0
+
+let rollback_one t (undo : Phoebe_txn.Undo.t) =
+  match Hashtbl.find_opt t.by_id undo.Phoebe_txn.Undo.table_id with
+  | Some table -> Table.rollback_undo table undo
+  | None -> ()
+
+let begin_txn ?isolation t =
+  let isolation = Option.value isolation ~default:t.cfg.Config.isolation in
+  Txnmgr.begin_txn t.txns ~isolation ~slot:(current_slot_or_zero ())
+
+let abort_txn t txn = Txnmgr.abort t.txns txn ~rollback:(rollback_one t)
+
+let with_txn ?isolation t body =
+  let isolation = Option.value isolation ~default:t.cfg.Config.isolation in
+  let rec attempt n =
+    let txn = Txnmgr.begin_txn t.txns ~isolation ~slot:(current_slot_or_zero ()) in
+    match body txn with
+    | result ->
+      Txnmgr.commit t.txns txn;
+      result
+    | exception Txnmgr.Abort msg ->
+      Txnmgr.abort t.txns txn ~rollback:(rollback_one t);
+      if n < t.cfg.Config.max_txn_retries then begin
+        (* back off before retrying so transactions we just woke get to
+           run first — retrying inline would starve them *)
+        Scheduler.yield Scheduler.Low;
+        attempt (n + 1)
+      end
+      else raise (Txnmgr.Abort msg)
+    | exception e ->
+      Txnmgr.abort t.txns txn ~rollback:(rollback_one t);
+      raise e
+  in
+  attempt 0
+
+(* Housekeeping runs in its own fiber on the worker's task slots (the
+   paper's dedicated page-swap and GC slots, §7.1). *)
+let housekeeping_task t worker () =
+  let slots = t.cfg.Config.slots_per_worker in
+  let reclaim (undo : Phoebe_txn.Undo.t) =
+    match Hashtbl.find_opt t.by_id undo.Phoebe_txn.Undo.table_id with
+    | Some table -> Table.gc_reclaim_undo table undo
+    | None -> ()
+  in
+  let watermark = Txnmgr.min_active_start_ts t.txns in
+  for s = worker * slots to ((worker + 1) * slots) - 1 do
+    ignore (Txnmgr.gc_slot t.txns ~slot:s ~watermark ~on_reclaim:reclaim)
+  done;
+  (* the twin-table sweep walks every page's table: one sweeper suffices *)
+  if worker = 0 then ignore (Txnmgr.gc_twins t.txns);
+  if Bufmgr.needs_maintenance t.buf ~partition:worker then Bufmgr.maintain t.buf ~partition:worker;
+  t.gc_pending.(worker) <- false
+
+let after_commit_housekeeping t =
+  if Scheduler.in_fiber () then begin
+    let w = Scheduler.current_worker () in
+    t.commits_since_gc.(w) <- t.commits_since_gc.(w) + 1;
+    let due =
+      t.commits_since_gc.(w) >= t.cfg.Config.gc_every_n_commits
+      || (t.commits_since_gc.(w) >= 8 && Bufmgr.needs_maintenance t.buf ~partition:w)
+    in
+    if due && not (t.gc_pending.(w)) then begin
+      t.commits_since_gc.(w) <- 0;
+      t.gc_pending.(w) <- true;
+      Scheduler.submit ~affinity:w t.sched (housekeeping_task t w)
+    end
+  end
+
+let submit ?affinity ?isolation ?(on_done = fun () -> ()) t body =
+  Scheduler.submit ?affinity t.sched (fun () ->
+      (try with_txn ?isolation t body
+       with Txnmgr.Abort _ -> () (* retries exhausted: drop, counted in stats *));
+      after_commit_housekeeping t;
+      on_done ())
+
+let run t = Scheduler.run_until_quiescent t.sched
+
+let run_for t ~ns = Engine.run_until t.eng ~time:(Engine.now t.eng + ns)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance *)
+
+let checkpoint t =
+  let completed = ref false in
+  Wal.flush_all t.walmgr ~on_done:(fun () -> completed := true);
+  Engine.run t.eng;
+  assert !completed
+
+let gc t =
+  let reclaim (undo : Phoebe_txn.Undo.t) =
+    match Hashtbl.find_opt t.by_id undo.Phoebe_txn.Undo.table_id with
+    | Some table -> Table.gc_reclaim_undo table undo
+    | None -> ()
+  in
+  let n = ref 0 in
+  let watermark = Txnmgr.min_active_start_ts t.txns in
+  for s = 0 to (t.cfg.Config.n_workers * t.cfg.Config.slots_per_worker) - 1 do
+    n := !n + Txnmgr.gc_slot t.txns ~slot:s ~watermark ~on_reclaim:reclaim
+  done;
+  ignore (Txnmgr.gc_twins t.txns);
+  !n
+
+let freeze_tables t =
+  List.fold_left
+    (fun acc table -> acc + Table.maybe_freeze table ~max_access:t.cfg.Config.freeze_max_access)
+    0 (tables t)
+
+let replay_wal ?after t ~from =
+  let table_for id =
+    match Hashtbl.find_opt t.by_id id with
+    | Some tbl -> tbl
+    | None -> invalid_arg (Printf.sprintf "Db.replay_wal: unknown table id %d" id)
+  in
+  Recovery.replay ?after from
+    {
+      Recovery.insert = (fun ~table ~rid row -> Table.raw_insert (table_for table) ~rid row);
+      update = (fun ~table ~rid cols -> Table.raw_update (table_for table) ~rid cols);
+      delete = (fun ~table ~rid -> Table.raw_delete (table_for table) ~rid);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+type stats = {
+  committed : int;
+  aborted : int;
+  wal_records : int;
+  wal_bytes : int;
+  rfa_local_commits : int;
+  rfa_remote_waits : int;
+  undo_bytes : int;
+  buffer_resident_bytes : int;
+  cpu_busy_fraction : float;
+  virtual_seconds : float;
+}
+
+let stats t =
+  {
+    committed = Txnmgr.stats_committed t.txns;
+    aborted = Txnmgr.stats_aborted t.txns;
+    wal_records = Wal.total_records t.walmgr;
+    wal_bytes = Wal.total_bytes t.walmgr;
+    rfa_local_commits = Wal.local_commits t.walmgr;
+    rfa_remote_waits = Wal.remote_waits t.walmgr;
+    undo_bytes = Txnmgr.undo_bytes t.txns;
+    buffer_resident_bytes = Bufmgr.resident_bytes t.buf;
+    cpu_busy_fraction = Scheduler.busy_fraction t.sched;
+    virtual_seconds = float_of_int (Engine.now t.eng) /. 1e9;
+  }
+
+let committed t = Txnmgr.stats_committed t.txns
+let aborted t = Txnmgr.stats_aborted t.txns

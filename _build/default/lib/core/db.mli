@@ -1,0 +1,138 @@
+(** The PhoebeDB kernel: wires the simulated hardware, the co-routine
+    runtime, the swizzling buffer pool, the parallel WAL, and the MVCC
+    transaction manager into one database instance, and exposes the
+    transactional API.
+
+    A [Db.t] owns three simulated NVMe devices — the Data Page File
+    device, the WAL device, and the Data Block File device (Figure 2) —
+    plus the per-worker-partitioned Main Storage buffer pool. *)
+
+type t
+
+val create : Config.t -> t
+
+val create_on : Phoebe_sim.Engine.t -> Config.t -> t
+(** Create a database on an existing simulation engine — several
+    instances then share one virtual clock (replication topologies). *)
+
+val create_attached : t -> Config.t -> t
+(** A fresh instance on the same engine reusing the old instance's
+    devices and on-"disk" stores — the restart-after-crash shape: the
+    Data Page / Data Block / WAL files survive, the in-memory state does
+    not. WAL writers resume their LSN/GSN sequences. Used by
+    {!Checkpoint.restore}. *)
+
+val restore_table :
+  t ->
+  name:string ->
+  schema:(string * Phoebe_storage.Value.col_type) list ->
+  leaves:(int * int) list ->
+  block_ids:int list ->
+  next_rid:int ->
+  max_frozen:int ->
+  Table.t
+(** Register a table rebuilt from a checkpoint manifest (no initial
+    empty page; leaves fault in from the existing Data Page File). *)
+
+(** {1 Accessors} *)
+
+val config : t -> Config.t
+val engine : t -> Phoebe_sim.Engine.t
+val scheduler : t -> Phoebe_runtime.Scheduler.t
+val txnmgr : t -> Phoebe_txn.Txnmgr.t
+val wal : t -> Phoebe_wal.Wal.t
+val buffer : t -> Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.t
+val data_device : t -> Phoebe_io.Device.t
+val wal_device : t -> Phoebe_io.Device.t
+val now : t -> int
+
+(** {1 DDL} *)
+
+val create_table : t -> name:string -> schema:(string * Phoebe_storage.Value.col_type) list -> Table.t
+val create_index : t -> Table.t -> name:string -> cols:string list -> unique:bool -> unit
+val table : t -> string -> Table.t
+(** @raise Not_found for an unknown table. *)
+
+val tables : t -> Table.t list
+
+(** {1 Transactions} *)
+
+val begin_txn : ?isolation:Phoebe_txn.Txnmgr.isolation -> t -> Table.txn
+(** Open an explicit transaction (SQL sessions use this); finish it with
+    {!Phoebe_txn.Txnmgr.commit} or {!abort_txn}. *)
+
+val abort_txn : t -> Table.txn -> unit
+(** Roll the transaction back (physical undo + index fixes included). *)
+
+val with_txn : ?isolation:Phoebe_txn.Txnmgr.isolation -> t -> (Table.txn -> 'a) -> 'a
+(** Run a transaction body with commit / rollback / automatic retry on
+    {!Phoebe_txn.Txnmgr.Abort} (up to [max_txn_retries]). Usable both
+    inside a fiber (transactional tasks) and outside (loaders, examples
+    — everything then completes synchronously in zero virtual time). *)
+
+val submit :
+  ?affinity:int ->
+  ?isolation:Phoebe_txn.Txnmgr.isolation ->
+  ?on_done:(unit -> unit) ->
+  t ->
+  (Table.txn -> unit) ->
+  unit
+(** Enqueue a transaction on the global task queue (pull-based
+    scheduling, §7.1). After commit, the worker runs its housekeeping
+    cadence: per-slot UNDO GC, twin-table sweeps and buffer maintenance
+    on dedicated task slots. *)
+
+val run : t -> unit
+(** Drive the simulation until quiescent. *)
+
+val after_commit_housekeeping : t -> unit
+(** The per-worker housekeeping cadence (§7.1): counts a commit and,
+    every [gc_every_n_commits] (or when the worker's buffer partition is
+    over budget), schedules a housekeeping fiber on this worker's
+    dedicated task slot — per-slot UNDO GC, twin-table sweeps, buffer
+    cooling/eviction. [Db.submit] calls this automatically; drivers that
+    submit through the scheduler directly (the benchmark harnesses) call
+    it after each transaction. *)
+
+val run_for : t -> ns:int -> unit
+(** Drive the simulation for a virtual-time horizon (throughput runs). *)
+
+(** {1 Maintenance} *)
+
+val checkpoint : t -> unit
+(** Flush all WAL writers and wait (quiesce path). *)
+
+val gc : t -> int
+(** Run a full UNDO + twin-table GC pass over every slot (the per-worker
+    housekeeping cadence does this incrementally during runs). Returns
+    UNDO logs reclaimed. *)
+
+val freeze_tables : t -> int
+(** Run the §5.2 freeze policy over every table; returns tuples frozen. *)
+
+val replay_wal :
+  ?after:(int -> int) -> t -> from:Phoebe_io.Walstore.t -> Phoebe_wal.Recovery.report
+(** Crash recovery: replay committed operations from another instance's
+    WAL store into this (freshly created, same-DDL) instance. Table ids
+    are matched by creation order, so recreate tables in the same order.
+    [after] is the per-slot LSN frontier of a checkpoint (skip records
+    already reflected in the restored image). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  committed : int;
+  aborted : int;
+  wal_records : int;
+  wal_bytes : int;
+  rfa_local_commits : int;
+  rfa_remote_waits : int;
+  undo_bytes : int;
+  buffer_resident_bytes : int;
+  cpu_busy_fraction : float;
+  virtual_seconds : float;
+}
+
+val stats : t -> stats
+val committed : t -> int
+val aborted : t -> int

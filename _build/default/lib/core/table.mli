@@ -1,0 +1,155 @@
+(** MVCC-aware relational tables: the public data-access surface.
+
+    A table combines its table B-tree (hot/cold PAX pages plus frozen
+    blocks), its secondary indexes, the twin tables holding version
+    chains, and the WAL. All mutating operations follow the paper's
+    protocols: the §6.2 pre-write check (wait on the writer's
+    transaction-ID lock, retry under read committed, first-committer-wins
+    abort under repeatable read), a slot-held tuple lock for the
+    in-place modification, a before-image UNDO log, and a redo WAL record
+    with RFA dependency tracking. Reads never lock: they run Algorithm 1
+    against the version chain.
+
+    Updates and deletes of frozen rows are out-of-place (§5.2): the
+    frozen copy is delete-marked (with MVCC versioning through a
+    synthetic page entry) and the new version re-inserted into hot
+    storage under a fresh row id. *)
+
+type t
+
+type txn = Phoebe_txn.Txnmgr.txn
+
+val id : t -> int
+val name : t -> string
+val schema : t -> Phoebe_storage.Value.Schema.t
+val tree : t -> Phoebe_btree.Table_tree.t
+
+(** {1 DDL} *)
+
+val create :
+  id:int ->
+  name:string ->
+  schema:Phoebe_storage.Value.Schema.t ->
+  buf:Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.t ->
+  block_store:Phoebe_io.Pagestore.t ->
+  block_id_alloc:(unit -> int) ->
+  txnmgr:Phoebe_txn.Txnmgr.t ->
+  wal:Phoebe_wal.Wal.t ->
+  leaf_capacity:int ->
+  t
+
+val restore :
+  id:int ->
+  name:string ->
+  schema:Phoebe_storage.Value.Schema.t ->
+  buf:Phoebe_storage.Pax.t Phoebe_storage.Bufmgr.t ->
+  block_store:Phoebe_io.Pagestore.t ->
+  block_id_alloc:(unit -> int) ->
+  txnmgr:Phoebe_txn.Txnmgr.t ->
+  wal:Phoebe_wal.Wal.t ->
+  leaf_capacity:int ->
+  leaves:(int * int) list ->
+  block_ids:int list ->
+  next_rid:int ->
+  max_frozen:int ->
+  t
+(** Rebuild a table over existing Data Page / Data Block files from a
+    checkpoint manifest (see {!Checkpoint}). *)
+
+val add_index : t -> name:string -> cols:string list -> unique:bool -> unit
+(** Create a secondary index over the named columns and backfill it from
+    the existing (committed) rows.
+    @raise Invalid_argument on duplicate index name or unknown column. *)
+
+val index_names : t -> string list
+
+val index_cols : t -> string -> string list
+(** Key columns of the named index, in key order.
+    @raise Invalid_argument for an unknown index. *)
+
+val index_is_unique : t -> string -> bool
+
+val lock_exclusive : t -> txn -> unit
+(** Take this table's lock exclusively (blocks out all DML until the
+    transaction ends) — what a DDL statement would do. DML operations
+    implicitly take the lock in shared mode (§7.2). *)
+
+(** {1 DML (transactional)} *)
+
+val insert : t -> txn -> Phoebe_storage.Value.t array -> int
+(** Returns the new row id. @raise Txnmgr.Abort on a unique-key conflict. *)
+
+val update : t -> txn -> rid:int -> (string * Phoebe_storage.Value.t) list -> bool
+(** In-place update of named columns; false if the row is not visible /
+    does not exist. May block on a concurrent writer; raises
+    {!Phoebe_txn.Txnmgr.Abort} on serialization failure (repeatable
+    read) or deadlock. *)
+
+val update_with :
+  t -> txn -> rid:int -> (Phoebe_storage.Value.t array -> (string * Phoebe_storage.Value.t) list) -> bool
+(** Atomic read-modify-write: the closure receives the current row
+    *after* the tuple lock is granted and the pre-write check passed, so
+    [SET x = x + 1]-style updates never lose increments — the semantics
+    a SQL UPDATE has under read committed. *)
+
+val delete : t -> txn -> rid:int -> bool
+
+val get : t -> txn -> rid:int -> Phoebe_storage.Value.t array option
+(** The version visible to the transaction's snapshot (Algorithm 1). *)
+
+val get_col : t -> txn -> rid:int -> col:string -> Phoebe_storage.Value.t option
+
+(** {1 Index access (visibility-filtered)} *)
+
+val index_lookup :
+  t -> txn -> index:string -> key:Phoebe_storage.Value.t list ->
+  (int * Phoebe_storage.Value.t array) list
+(** Visible rows whose indexed columns still equal [key] (stale entries
+    from in-flight key updates are filtered by re-checking the key). *)
+
+val index_lookup_first :
+  t -> txn -> index:string -> key:Phoebe_storage.Value.t list ->
+  (int * Phoebe_storage.Value.t array) option
+
+val index_prefix :
+  t -> txn -> index:string -> prefix:Phoebe_storage.Value.t list ->
+  (int -> Phoebe_storage.Value.t array -> bool) -> unit
+(** Visit visible rows with the given key prefix in key order; callback
+    returns false to stop. *)
+
+val scan : t -> txn -> (int -> Phoebe_storage.Value.t array -> unit) -> unit
+(** Full-table scan of visible rows (does not warm pages, §5.2). *)
+
+(** {1 Engine hooks (used by Db, not applications)} *)
+
+val rollback_undo : t -> Phoebe_txn.Undo.t -> unit
+val gc_reclaim_undo : t -> Phoebe_txn.Undo.t -> unit
+(** Physical cleanup when an UNDO log is reclaimed: strip index entries
+    of deleted tuples and stale entries of key updates (§7.3). *)
+
+val raw_insert : t -> rid:int -> Phoebe_storage.Value.t array -> unit
+(** Recovery replay: non-transactional insert preserving [rid]. *)
+
+val raw_insert_mapped : t -> Phoebe_storage.Value.t array -> int
+(** Logical-replication apply: non-transactional insert under a fresh
+    local row id (the replica keeps a primary-rid map). *)
+
+val raw_update : t -> rid:int -> (int * Phoebe_storage.Value.t) array -> unit
+val raw_delete : t -> rid:int -> unit
+
+val maybe_freeze : t -> max_access:int -> int
+(** Housekeeping: decay access counters and freeze the cold prefix. *)
+
+val frozen_chain_key : t -> rid:int -> int
+(** The synthetic twin-table page key of a frozen row (analytics checks
+    it to route versioned frozen tuples through the slow path). *)
+
+val frozen_reads : t -> int
+(** OLTP point reads served from the frozen tier since the last warm
+    pass (drives the §5.2 warming policy). *)
+
+val warm_hot_frozen : t -> txn -> read_threshold:int -> int
+(** §5.2 case 3: frozen blocks whose OLTP read count exceeded
+    [read_threshold] have their live rows marked deleted and re-inserted
+    into hot storage (fresh row ids, indexes updated) under the given
+    transaction. Returns rows warmed. Run from housekeeping. *)

@@ -1,0 +1,1 @@
+lib/io/device.ml: Array Float List Phoebe_runtime Phoebe_sim Phoebe_util

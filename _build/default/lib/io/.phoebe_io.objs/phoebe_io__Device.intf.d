@@ -1,0 +1,1 @@
+lib/io/device.mli: Phoebe_sim

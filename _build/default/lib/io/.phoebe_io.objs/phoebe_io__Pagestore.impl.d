@@ -1,0 +1,1 @@
+lib/io/pagestore.ml: Bytes Device Hashtbl

@@ -1,0 +1,1 @@
+lib/io/pagestore.mli: Bytes Device

@@ -1,0 +1,1 @@
+lib/io/walstore.ml: Buffer Bytes Device Hashtbl List

@@ -1,0 +1,1 @@
+lib/io/walstore.mli: Bytes Device

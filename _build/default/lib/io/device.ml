@@ -1,0 +1,103 @@
+module Engine = Phoebe_sim.Engine
+module Stats = Phoebe_util.Stats
+
+type kind = Read | Write
+
+type config = {
+  channels : int;
+  read_mb_s : float;
+  write_mb_s : float;
+  iops : float;
+  latency_us : float;
+}
+
+let pm9a3 =
+  { channels = 8; read_mb_s = 6500.0; write_mb_s = 1900.0; iops = 130_000.0; latency_us = 90.0 }
+
+type t = {
+  engine : Engine.t;
+  dname : string;
+  cfg : config;
+  channel_free : int array;  (** next-free virtual time per channel *)
+  mutable read_bytes : int;
+  mutable write_bytes : int;
+  mutable read_ops : int;
+  mutable write_ops : int;
+  read_series : Stats.Series.t;
+  write_series : Stats.Series.t;
+  mutable busy_ns : int;
+  created_at : int;
+}
+
+let create engine ~name cfg =
+  {
+    engine;
+    dname = name;
+    cfg;
+    channel_free = Array.make cfg.channels 0;
+    read_bytes = 0;
+    write_bytes = 0;
+    read_ops = 0;
+    write_ops = 0;
+    read_series = Stats.Series.create ~bucket_width:100_000_000;
+    write_series = Stats.Series.create ~bucket_width:100_000_000;
+    busy_ns = 0;
+    created_at = Engine.now engine;
+  }
+
+let name t = t.dname
+
+let bandwidth t = function Read -> t.cfg.read_mb_s | Write -> t.cfg.write_mb_s
+
+let service_ns t kind bytes =
+  let bw_ns = float_of_int bytes /. (bandwidth t kind *. 1e6) *. 1e9 in
+  let iops_ns = 1e9 /. t.cfg.iops in
+  int_of_float (Float.max bw_ns iops_ns)
+
+(* Pick the channel that frees earliest; models NVMe queue parallelism. *)
+let pick_channel t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.channel_free - 1 do
+    if t.channel_free.(i) < t.channel_free.(!best) then best := i
+  done;
+  !best
+
+let account t kind bytes finish =
+  (match kind with
+  | Read ->
+    t.read_bytes <- t.read_bytes + bytes;
+    t.read_ops <- t.read_ops + 1;
+    Stats.Series.add t.read_series ~time:finish (float_of_int bytes)
+  | Write ->
+    t.write_bytes <- t.write_bytes + bytes;
+    t.write_ops <- t.write_ops + 1;
+    Stats.Series.add t.write_series ~time:finish (float_of_int bytes))
+
+let submit t kind ~bytes ~on_complete =
+  let now = Engine.now t.engine in
+  let ch = pick_channel t in
+  let start = if t.channel_free.(ch) > now then t.channel_free.(ch) else now in
+  let service = service_ns t kind bytes in
+  let finish = start + service in
+  t.channel_free.(ch) <- finish;
+  t.busy_ns <- t.busy_ns + service;
+  account t kind bytes finish;
+  let complete_at = finish + int_of_float (t.cfg.latency_us *. 1000.0) in
+  Engine.schedule_at t.engine ~time:complete_at on_complete
+
+let blocking t kind ~bytes =
+  Phoebe_runtime.Scheduler.io_wait (fun resume -> submit t kind ~bytes ~on_complete:resume)
+
+let total_bytes t = function Read -> t.read_bytes | Write -> t.write_bytes
+let total_ops t = function Read -> t.read_ops | Write -> t.write_ops
+
+let throughput_series t kind =
+  let series = match kind with Read -> t.read_series | Write -> t.write_series in
+  List.map (fun (s, bytes_per_s) -> (s, bytes_per_s /. 1e6)) (Stats.Series.rate_per_second series)
+
+let busy_fraction t =
+  let elapsed = Engine.now t.engine - t.created_at in
+  if elapsed <= 0 then 0.0
+  else
+    Float.min 1.0
+      (float_of_int t.busy_ns /. (float_of_int elapsed *. float_of_int t.cfg.channels))

@@ -1,0 +1,46 @@
+(** Simulated NVMe SSD.
+
+    Stand-in for the paper's Samsung PM9A3 enterprise drives (the
+    hardware gate of this reproduction). The device executes requests on
+    a fixed number of internal channels — NVMe internal parallelism —
+    each serving one request at a time. A request's service time is
+    [max (bytes / bandwidth) (1 / iops)] and its completion fires
+    [base latency] after service ends. Per-second read/write byte
+    series feed the Exp 3 and Exp 4 throughput-over-time figures. *)
+
+type t
+
+type kind = Read | Write
+
+type config = {
+  channels : int;  (** internal parallelism (submission queues actually served) *)
+  read_mb_s : float;  (** per-device sustained read bandwidth *)
+  write_mb_s : float;  (** per-device sustained write bandwidth *)
+  iops : float;  (** small-request ops/sec ceiling, per device *)
+  latency_us : float;  (** base access latency *)
+}
+
+val pm9a3 : config
+(** Calibrated to the PM9A3's published envelope: ~6.5 GB/s read,
+    ~1.9 GB/s sustained write, ~130k random-write IOPS consumed by the
+    WAL, ~90 µs access latency. *)
+
+val create : Phoebe_sim.Engine.t -> name:string -> config -> t
+
+val name : t -> string
+
+val submit : t -> kind -> bytes:int -> on_complete:(unit -> unit) -> unit
+(** Queue a request; [on_complete] fires at its virtual completion time. *)
+
+val blocking : t -> kind -> bytes:int -> unit
+(** Issue a request from a fiber and suspend until it completes; outside
+    a fiber the request is accounted but completes immediately. *)
+
+val total_bytes : t -> kind -> int
+val total_ops : t -> kind -> int
+
+val throughput_series : t -> kind -> (float * float) list
+(** [(second, MB/s)] samples over the run, bucketed per simulated 100ms. *)
+
+val busy_fraction : t -> float
+(** Mean channel utilisation since creation. *)

@@ -1,0 +1,44 @@
+type t = {
+  dev : Device.t;
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable stored : int;
+}
+
+let create dev = { dev; pages = Hashtbl.create 1024; stored = 0 }
+
+let put t page_id content =
+  (match Hashtbl.find_opt t.pages page_id with
+  | Some old -> t.stored <- t.stored - Bytes.length old
+  | None -> ());
+  Hashtbl.replace t.pages page_id content;
+  t.stored <- t.stored + Bytes.length content
+
+let write t ~page_id content =
+  let content = Bytes.copy content in
+  put t page_id content;
+  Device.blocking t.dev Device.Write ~bytes:(Bytes.length content)
+
+let write_async t ~page_id content ~on_complete =
+  let content = Bytes.copy content in
+  put t page_id content;
+  Device.submit t.dev Device.Write ~bytes:(Bytes.length content) ~on_complete
+
+let read t ~page_id =
+  match Hashtbl.find_opt t.pages page_id with
+  | None -> raise Not_found
+  | Some content ->
+    Device.blocking t.dev Device.Read ~bytes:(Bytes.length content);
+    Bytes.copy content
+
+let mem t ~page_id = Hashtbl.mem t.pages page_id
+
+let delete t ~page_id =
+  match Hashtbl.find_opt t.pages page_id with
+  | Some old ->
+    t.stored <- t.stored - Bytes.length old;
+    Hashtbl.remove t.pages page_id
+  | None -> ()
+
+let page_count t = Hashtbl.length t.pages
+let stored_bytes t = t.stored
+let device t = t.dev

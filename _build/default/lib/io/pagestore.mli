@@ -1,0 +1,29 @@
+(** Byte-accurate page storage behind a simulated device.
+
+    The Data Page File and Data Block File of the paper's storage layout
+    (§5.1, Figure 2) are both [Pagestore.t] instances over their device.
+    Contents are held in memory (the substitution for a real filesystem)
+    but every access is serialised through {!Device.t}, so eviction,
+    cold reads and frozen-block I/O consume bandwidth and time. *)
+
+type t
+
+val create : Device.t -> t
+
+val write : t -> page_id:int -> Bytes.t -> unit
+(** Durably store a page image. Suspends the calling fiber until the
+    device completes the write; synchronous outside a fiber. *)
+
+val write_async : t -> page_id:int -> Bytes.t -> on_complete:(unit -> unit) -> unit
+(** Background variant used by the eviction path. The content is
+    captured immediately; [on_complete] fires at device completion. *)
+
+val read : t -> page_id:int -> Bytes.t
+(** Fetch a page image, suspending for the device round trip.
+    @raise Not_found if the page was never written. *)
+
+val mem : t -> page_id:int -> bool
+val delete : t -> page_id:int -> unit
+val page_count : t -> int
+val stored_bytes : t -> int
+val device : t -> Device.t

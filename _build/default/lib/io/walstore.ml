@@ -1,0 +1,36 @@
+type t = {
+  dev : Device.t;
+  file_bufs : (int, Buffer.t) Hashtbl.t;
+  mutable appended : int;
+}
+
+let create dev = { dev; file_bufs = Hashtbl.create 64; appended = 0 }
+
+let buffer_for t file =
+  match Hashtbl.find_opt t.file_bufs file with
+  | Some b -> b
+  | None ->
+    let b = Buffer.create 4096 in
+    Hashtbl.add t.file_bufs file b;
+    b
+
+let append t ~file bytes ~on_durable =
+  let buf = buffer_for t file in
+  Buffer.add_bytes buf bytes;
+  t.appended <- t.appended + Bytes.length bytes;
+  Device.submit t.dev Device.Write ~bytes:(Bytes.length bytes) ~on_complete:on_durable
+
+let contents t ~file =
+  match Hashtbl.find_opt t.file_bufs file with
+  | Some b -> Buffer.to_bytes b
+  | None -> Bytes.empty
+
+let files t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.file_bufs [] |> List.sort compare
+
+let total_appended t = t.appended
+let device t = t.dev
+
+let reset t =
+  Hashtbl.reset t.file_bufs;
+  t.appended <- 0

@@ -1,0 +1,22 @@
+(** Append-only WAL files on a simulated device.
+
+    Each task slot owns one WAL file (paper §8, task-slot-specific WAL
+    writers); a flush appends a byte batch and reports durability when
+    the device write completes. Contents are retained for recovery. *)
+
+type t
+
+val create : Device.t -> t
+
+val append : t -> file:int -> Bytes.t -> on_durable:(unit -> unit) -> unit
+(** Queue [bytes] for file [file]; [on_durable] fires when the device
+    write completes. Appends to the same file become durable in order. *)
+
+val contents : t -> file:int -> Bytes.t
+(** Everything durably appended (plus in-flight appends — the simulated
+    device never tears a write) to [file]; empty if never written. *)
+
+val files : t -> int list
+val total_appended : t -> int
+val device : t -> Device.t
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/replication/replication.ml: Bytes Fmt Hashtbl List Option Phoebe_core Phoebe_io Phoebe_sim Phoebe_wal

@@ -1,0 +1,1 @@
+lib/replication/replication.mli: Phoebe_core

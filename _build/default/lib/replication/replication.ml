@@ -1,0 +1,174 @@
+module Db = Phoebe_core.Db
+module Table = Phoebe_core.Table
+module Engine = Phoebe_sim.Engine
+module Wal = Phoebe_wal.Wal
+module Record = Phoebe_wal.Record
+module Walstore = Phoebe_io.Walstore
+
+type link = { bandwidth_mb_s : float; latency_us : float; poll_interval_us : float }
+
+let default_link = { bandwidth_mb_s = 1100.0; latency_us = 50.0; poll_interval_us = 200.0 }
+
+type parked_op = Record.t
+
+type t = {
+  prim : Db.t;
+  stand : Db.t;
+  lnk : link;
+  engine : Engine.t;
+  mutable running : bool;
+  offsets : (int, int) Hashtbl.t;  (** per WAL file: bytes already shipped *)
+  pending : (int, Record.t list) Hashtbl.t;  (** per slot: records awaiting their commit *)
+  rid_map : (int, (int, int) Hashtbl.t) Hashtbl.t;  (** table -> primary rid -> standby rid *)
+  mutable parked : parked_op list;  (** ops whose target rid has not arrived yet *)
+  mutable shipped : int;
+  mutable applied : int;
+  mutable records_seen : int;
+  mutable apply_after : int;  (** serialises in-flight batches (FIFO link) *)
+}
+
+let map_for t table =
+  match Hashtbl.find_opt t.rid_map table with
+  | Some m -> m
+  | None ->
+    let m = Hashtbl.create 1024 in
+    Hashtbl.add t.rid_map table m;
+    m
+
+let table_of t id =
+  match List.find_opt (fun tbl -> Table.id tbl = id) (Db.tables t.stand) with
+  | Some tbl -> tbl
+  | None -> Fmt.failwith "replication: standby has no table id %d" id
+
+(* Apply one logical operation through the primary->standby rid map.
+   Returns false when the target rid is not mapped yet (parked). *)
+let apply_op t (r : Record.t) =
+  match r.Record.op with
+  | Record.Insert { table; rid; row } ->
+    let srid = Table.raw_insert_mapped (table_of t table) row in
+    Hashtbl.replace (map_for t table) rid srid;
+    true
+  | Record.Update { table; rid; cols } -> (
+    match Hashtbl.find_opt (map_for t table) rid with
+    | Some srid ->
+      Table.raw_update (table_of t table) ~rid:srid cols;
+      true
+    | None -> false)
+  | Record.Delete { table; rid } -> (
+    match Hashtbl.find_opt (map_for t table) rid with
+    | Some srid ->
+      Table.raw_delete (table_of t table) ~rid:srid;
+      true
+    | None -> false)
+  | Record.Commit _ | Record.Abort _ -> true
+
+let apply_batch t ops =
+  let ordered =
+    List.sort
+      (fun (a : Record.t) (b : Record.t) ->
+        if a.Record.gsn <> b.Record.gsn then compare a.Record.gsn b.Record.gsn
+        else compare (a.Record.slot, a.Record.lsn) (b.Record.slot, b.Record.lsn))
+      (t.parked @ ops)
+  in
+  t.parked <- [];
+  List.iter (fun r -> if not (apply_op t r) then t.parked <- r :: t.parked) ordered
+
+(* Decode the newly shipped suffix of one WAL file, turning per-slot
+   record runs into committed-transaction batches (aborted and
+   uncommitted tails are withheld) — the streaming version of the crash
+   recovery rule. *)
+let consume_file t bytes_ ~from_off completed =
+  let off = ref from_off in
+  let continue = ref true in
+  while !continue && !off < Bytes.length bytes_ do
+    match Record.decode bytes_ !off with
+    | r, off' ->
+      off := off';
+      t.records_seen <- t.records_seen + 1;
+      let slot = r.Record.slot in
+      let run = Option.value ~default:[] (Hashtbl.find_opt t.pending slot) in
+      (match r.Record.op with
+      | Record.Commit _ ->
+        completed := List.rev_append run !completed;
+        Hashtbl.replace t.pending slot [];
+        t.applied <- t.applied + 1
+      | Record.Abort _ -> Hashtbl.replace t.pending slot []
+      | _ -> Hashtbl.replace t.pending slot (r :: run))
+    | exception Failure _ -> continue := false
+  done;
+  !off
+
+let poll ?(inline = false) t =
+  let store = Wal.store (Db.wal t.prim) in
+  let completed = ref [] in
+  let new_bytes = ref 0 in
+  List.iter
+    (fun file ->
+      let contents = Walstore.contents store ~file in
+      let from_off = Option.value ~default:0 (Hashtbl.find_opt t.offsets file) in
+      if Bytes.length contents > from_off then begin
+        new_bytes := !new_bytes + (Bytes.length contents - from_off);
+        let upto = consume_file t contents ~from_off completed in
+        Hashtbl.replace t.offsets file upto
+      end)
+    (Walstore.files store);
+  t.shipped <- t.shipped + !new_bytes;
+  if !completed = [] && t.parked = [] then ()
+  else if inline then apply_batch t !completed
+  else begin
+    (* network transfer: latency + serialization at link bandwidth;
+       batches apply in FIFO order regardless of their size *)
+    let delay =
+      int_of_float ((t.lnk.latency_us *. 1e3) +. (float_of_int !new_bytes /. (t.lnk.bandwidth_mb_s *. 1e6) *. 1e9))
+    in
+    let at = max (Engine.now t.engine + delay) t.apply_after in
+    t.apply_after <- at;
+    let ops = !completed in
+    Engine.schedule_at t.engine ~time:at (fun () -> apply_batch t ops)
+  end
+
+let rec schedule_poll t =
+  if t.running then
+    Engine.schedule t.engine
+      ~delay:(int_of_float (t.lnk.poll_interval_us *. 1e3))
+      (fun () ->
+        if t.running then begin
+          poll t;
+          schedule_poll t
+        end)
+
+let attach ~primary ~standby ?(link = default_link) () =
+  if Db.engine primary != Db.engine standby then
+    invalid_arg "Replication.attach: primary and standby must share a simulation engine";
+  let t =
+    {
+      prim = primary;
+      stand = standby;
+      lnk = link;
+      engine = Db.engine primary;
+      running = true;
+      offsets = Hashtbl.create 64;
+      pending = Hashtbl.create 64;
+      rid_map = Hashtbl.create 16;
+      parked = [];
+      shipped = 0;
+      applied = 0;
+      records_seen = 0;
+      apply_after = 0;
+    }
+  in
+  schedule_poll t;
+  t
+
+let stop t = t.running <- false
+
+let promote t =
+  (* drain whatever already shipped, then cut over *)
+  poll ~inline:true t;
+  t.running <- false;
+  t.stand
+
+let shipped_bytes t = t.shipped
+let applied_txns t = t.applied
+let lag_records t = Wal.total_records (Db.wal t.prim) - t.records_seen
+let is_running t = t.running

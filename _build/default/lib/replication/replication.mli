@@ -1,0 +1,47 @@
+(** Primary–standby high availability (the paper's future-work item 2):
+    continuous WAL shipping from a primary to a warm standby over a
+    simulated replication link.
+
+    The standby holds an identically-DDL'd database and applies the
+    primary's log in transaction batches: a slot's records are applied
+    once their commit record is shipped (aborted and still-uncommitted
+    tails are held back), with cross-slot apply order driven by GSN —
+    the same ordering rule crash recovery uses. Shipping is polled on a
+    virtual-time interval, so the standby trails the primary by a
+    bounded, measurable lag. Failover is [promote]: stop shipping and
+    serve from the standby. *)
+
+type t
+
+type link = {
+  bandwidth_mb_s : float;  (** replication network bandwidth *)
+  latency_us : float;  (** one-way link latency *)
+  poll_interval_us : float;  (** how often the standby pulls new WAL *)
+}
+
+val default_link : link
+(** 10 GbE-ish: 1100 MB/s, 50 µs, polled every 200 µs. *)
+
+val attach : primary:Phoebe_core.Db.t -> standby:Phoebe_core.Db.t -> ?link:link -> unit -> t
+(** Start continuous shipping. The standby must have the same tables
+    (created in the same order) and see no local writes. Shipping runs
+    on the primary's simulation engine: both databases must share it —
+    create the standby with {!Phoebe_core.Db.create_on}. *)
+
+val stop : t -> unit
+(** Stop the shipping loop (e.g. primary failure). *)
+
+val promote : t -> Phoebe_core.Db.t
+(** Stop shipping and return the standby, now writable. Transactions
+    acknowledged on the primary before the last shipped batch are
+    guaranteed present. *)
+
+(** {1 Introspection} *)
+
+val shipped_bytes : t -> int
+val applied_txns : t -> int
+
+val lag_records : t -> int
+(** Records durable on the primary but not yet applied on the standby. *)
+
+val is_running : t -> bool

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Array Cpu Effect Fmt List Phoebe_sim Printexc Printf Queue

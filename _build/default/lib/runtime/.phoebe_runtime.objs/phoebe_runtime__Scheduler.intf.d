@@ -1,0 +1,1 @@
+lib/runtime/scheduler.mli: Cpu Phoebe_sim

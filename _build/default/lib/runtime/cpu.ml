@@ -1,0 +1,27 @@
+type t = {
+  physical_cores : int;
+  virtual_cores : int;
+  ghz : float;
+  ipc : float;
+  smt_efficiency : float;
+}
+
+let default =
+  { physical_cores = 52; virtual_cores = 104; ghz = 2.2; ipc = 1.5; smt_efficiency = 0.75 }
+
+let worker_speed t ~n_workers ~worker =
+  if n_workers <= t.physical_cores then 1.0
+  else
+    (* Workers [0, physical) sit on distinct physical cores; workers beyond
+       that are SMT siblings of workers [0, n_workers - physical). Both
+       members of a shared core run at the SMT efficiency factor. *)
+    let shared = n_workers - t.physical_cores in
+    if worker >= t.physical_cores || worker < shared then t.smt_efficiency else 1.0
+
+let ns_of_instructions t ~speed n =
+  if n <= 0 then 0
+  else
+    let instr_per_ns = t.ghz *. t.ipc *. speed in
+    let ns = float_of_int n /. instr_per_ns in
+    let r = int_of_float (Float.ceil ns) in
+    if r < 1 then 1 else r

@@ -1,0 +1,25 @@
+(** The simulated CPU: core counts, frequency, and SMT behaviour.
+
+    Mirrors the paper's testbed (2× Xeon Gold 5320: 52 physical cores,
+    104 hardware threads, 2.2 GHz). Workers are bound to cores; once the
+    worker count exceeds the physical core count the extra workers share
+    physical cores with an SMT efficiency factor, which produces the
+    Figure 8 knee at 52 workers. *)
+
+type t = {
+  physical_cores : int;
+  virtual_cores : int;
+  ghz : float;
+  ipc : float;  (** average instructions per cycle for OLTP code *)
+  smt_efficiency : float;  (** per-sibling speed when two workers share a core *)
+}
+
+val default : t
+(** 52 physical / 104 virtual, 2.2 GHz, IPC 1.5, SMT factor 0.75. *)
+
+val worker_speed : t -> n_workers:int -> worker:int -> float
+(** Relative speed of [worker] when [n_workers] are bound round-robin:
+    1.0 on a dedicated physical core, [smt_efficiency] when sharing. *)
+
+val ns_of_instructions : t -> speed:float -> int -> int
+(** Convert an instruction count to virtual nanoseconds at [speed]. *)

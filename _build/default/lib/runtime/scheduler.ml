@@ -1,0 +1,422 @@
+module Engine = Phoebe_sim.Engine
+module Component = Phoebe_sim.Component
+module Counters = Phoebe_sim.Counters
+module Cost = Phoebe_sim.Cost
+
+type model = Coroutine | Thread
+type urgency = High | Low
+type local = ..
+
+type config = {
+  model : model;
+  n_workers : int;
+  slots_per_worker : int;
+  cpu : Cpu.t;
+  cost : Cost.t;
+}
+
+let default_config =
+  { model = Coroutine; n_workers = 4; slots_per_worker = 32; cpu = Cpu.default; cost = Cost.default }
+
+type task = { run : unit -> unit }
+
+type disposition =
+  | Ran_to_completion
+  | Charged of int  (** resume the same fiber after this many ns *)
+  | Suspended  (** parked on I/O or a wait queue *)
+  | Yielded of urgency
+
+type fiber = {
+  fid : int;
+  fworker : worker;
+  fslot : int;  (** slot index within the worker *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable main : (unit -> unit) option;  (** set until first run *)
+  mutable locals : local list;
+  mutable done_ : bool;
+  mutable pending_instr : int;  (** charged instructions not yet turned into time *)
+}
+
+and worker = {
+  wid : int;
+  wsched : t;
+  speed : float;
+  runq_hi : fiber Queue.t;
+  runq_lo : fiber Queue.t;
+  local_tasks : task Queue.t;
+  mutable free_slots : int;
+  slot_free : bool array;
+  mutable busy : bool;
+  mutable last_fiber : int;
+  mutable disposition : disposition;
+  mutable busy_ns : int;
+  mutable carry_ns : int;  (** residual charge time applied to the next dispatch *)
+}
+
+and t = {
+  cfg : config;
+  eng : Engine.t;
+  ctrs : Counters.t;
+  mutable workers : worker array;
+  global_tasks : task Queue.t;
+  mutable next_fid : int;
+  mutable live : int;
+  mutable failure : exn option;
+  created_at : int;
+}
+
+type _ Effect.t +=
+  | E_charge_time : int -> unit Effect.t  (** instructions already counted; advance time only *)
+  | E_yield : urgency -> unit Effect.t
+  | E_io : ((unit -> unit) -> unit) -> unit Effect.t
+  | E_block : fiber Queue.t -> unit Effect.t
+
+(* The runtime is cooperative and single-OS-threaded, so a module-global
+   current-fiber register is safe and avoids threading a context through
+   every kernel call site. *)
+let cur : fiber option ref = ref None
+
+let create eng cfg =
+  let sched =
+    {
+      cfg;
+      eng;
+      ctrs = Counters.create ();
+      workers = [||];
+      global_tasks = Queue.create ();
+      next_fid = 0;
+      live = 0;
+      failure = None;
+      created_at = Engine.now eng;
+    }
+  in
+  sched.workers <-
+    Array.init cfg.n_workers (fun wid ->
+        let speed =
+          if cfg.n_workers > cfg.cpu.Cpu.virtual_cores then 1.0
+          else Cpu.worker_speed cfg.cpu ~n_workers:cfg.n_workers ~worker:wid
+        in
+        {
+          wid;
+          wsched = sched;
+          speed;
+          runq_hi = Queue.create ();
+          runq_lo = Queue.create ();
+          local_tasks = Queue.create ();
+          free_slots = cfg.slots_per_worker;
+          slot_free = Array.make cfg.slots_per_worker true;
+          busy = false;
+          last_fiber = -1;
+          disposition = Ran_to_completion;
+          busy_ns = 0;
+          carry_ns = 0;
+        });
+  sched
+
+let engine t = t.eng
+let counters t = t.ctrs
+let cost t = t.cfg.cost
+let config t = t.cfg
+let now t = Engine.now t.eng
+let n_slots t = t.cfg.n_workers * t.cfg.slots_per_worker
+let pending_tasks t =
+  Queue.length t.global_tasks
+  + Array.fold_left (fun acc w -> acc + Queue.length w.local_tasks) 0 t.workers
+let live_fibers t = t.live
+
+(* When workers outnumber hardware threads (Exp 6's 3200-thread model),
+   the busy workers time-share the cores; charges stretch accordingly. *)
+let oversubscription t =
+  if t.cfg.n_workers <= t.cfg.cpu.Cpu.virtual_cores then 1.0
+  else
+    let busy = Array.fold_left (fun acc w -> acc + if w.busy then 1 else 0) 0 t.workers in
+    let ratio = float_of_int busy /. float_of_int t.cfg.cpu.Cpu.virtual_cores in
+    if ratio < 1.0 then 1.0 else ratio
+
+let ns_of_instr t w n =
+  let base = Cpu.ns_of_instructions t.cfg.cpu ~speed:w.speed n in
+  int_of_float (float_of_int base *. oversubscription t)
+
+let switch_instr t = match t.cfg.model with Coroutine -> t.cfg.cost.Cost.coroutine_switch | Thread -> t.cfg.cost.Cost.thread_switch
+
+let alloc_slot w =
+  let rec find i =
+    if i >= Array.length w.slot_free then invalid_arg "alloc_slot: no free slot"
+    else if w.slot_free.(i) then begin
+      w.slot_free.(i) <- false;
+      i
+    end
+    else find (i + 1)
+  in
+  w.free_slots <- w.free_slots - 1;
+  find 0
+
+let release_slot w f =
+  w.slot_free.(f.fslot) <- true;
+  w.free_slots <- w.free_slots + 1
+
+let rec worker_loop w =
+  let t = w.wsched in
+  match pick_next w with
+  | None -> w.busy <- false
+  | Some (f, extra_instr) ->
+    w.busy <- true;
+    (* A thread resuming after a block pays the kernel switch + cache
+       refill even when it is the worker's only fiber; a co-routine
+       resuming on its own still-warm worker pays nothing. *)
+    let sw =
+      match t.cfg.model with
+      | Thread -> switch_instr t
+      | Coroutine -> if w.last_fiber = f.fid then 0 else switch_instr t
+    in
+    if sw > 0 then Counters.add t.ctrs Component.Switch sw;
+    let delay = ns_of_instr t w (sw + extra_instr) + w.carry_ns in
+    w.carry_ns <- 0;
+    w.busy_ns <- w.busy_ns + delay;
+    Engine.schedule t.eng ~delay (fun () -> resume w f)
+
+and pick_next w =
+  let t = w.wsched in
+  if not (Queue.is_empty w.runq_hi) then Some (Queue.pop w.runq_hi, 0)
+  else if w.free_slots > 0 && not (Queue.is_empty w.local_tasks) then Some (start_task w (Queue.pop w.local_tasks), t.cfg.cost.Cost.task_dispatch)
+  else if w.free_slots > 0 && not (Queue.is_empty t.global_tasks) then Some (start_task w (Queue.pop t.global_tasks), t.cfg.cost.Cost.task_dispatch)
+  else if not (Queue.is_empty w.runq_lo) then Some (Queue.pop w.runq_lo, 0)
+  else None
+
+and start_task w task =
+  let t = w.wsched in
+  t.next_fid <- t.next_fid + 1;
+  t.live <- t.live + 1;
+  let slot = alloc_slot w in
+  {
+    fid = t.next_fid;
+    fworker = w;
+    fslot = slot;
+    cont = None;
+    main = Some task.run;
+    locals = [];
+    done_ = false;
+    pending_instr = 0;
+  }
+
+and resume w f =
+  let t = w.wsched in
+  w.disposition <- Ran_to_completion;
+  cur := Some f;
+  (match f.cont with
+  | Some k ->
+    f.cont <- None;
+    Effect.Deep.continue k ()
+  | None -> (
+    match f.main with
+    | None -> invalid_arg "resume: fiber has neither continuation nor main"
+    | Some main ->
+      f.main <- None;
+      run_fiber w f main));
+  cur := None;
+  w.last_fiber <- f.fid;
+  (* Residual un-flushed charge time rides on the worker's next dispatch
+     so coalescing never loses virtual time. *)
+  if f.pending_instr > 0 then begin
+    w.carry_ns <- w.carry_ns + ns_of_instr t w f.pending_instr;
+    f.pending_instr <- 0
+  end;
+  (match w.disposition with
+  | Charged ns ->
+    w.busy_ns <- w.busy_ns + ns;
+    Engine.schedule t.eng ~delay:ns (fun () -> resume w f)
+  | Ran_to_completion ->
+    f.done_ <- true;
+    t.live <- t.live - 1;
+    release_slot w f;
+    continue_after_carry w
+  | Suspended -> continue_after_carry w
+  | Yielded u ->
+    (match u with High -> Queue.push f w.runq_hi | Low -> Queue.push f w.runq_lo);
+    continue_after_carry w)
+
+(* Realise any residual coalesced charge time before the worker picks its
+   next fiber, so virtual time and utilisation stay exact even when a
+   fiber ends below the flush granule. *)
+and continue_after_carry w =
+  if w.carry_ns > 0 then begin
+    let d = w.carry_ns in
+    w.carry_ns <- 0;
+    w.busy_ns <- w.busy_ns + d;
+    Engine.schedule w.wsched.eng ~delay:d (fun () -> worker_loop w)
+  end
+  else worker_loop w
+
+and run_fiber w f main =
+  let t = w.wsched in
+  let open Effect.Deep in
+  match_with main ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          if t.failure = None then begin
+            t.failure <- Some e;
+            (* the re-raise in run_until_quiescent loses the original
+               trace; surface it here when backtraces are on *)
+            if Printexc.backtrace_status () then
+              prerr_string
+                (Printf.sprintf "fiber exception: %s
+%s" (Printexc.to_string e)
+                   (Printexc.get_backtrace ()))
+          end);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_charge_time instr ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                w.disposition <- Charged (ns_of_instr t w instr);
+                f.cont <- Some k)
+          | E_yield u ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                w.disposition <- Yielded u;
+                f.cont <- Some k)
+          | E_io register ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                w.disposition <- Suspended;
+                f.cont <- Some k;
+                register (fun () -> wake f High))
+          | E_block q ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                w.disposition <- Suspended;
+                f.cont <- Some k;
+                Queue.push f q)
+          | _ -> None);
+    }
+
+and wake f urgency =
+  let w = f.fworker in
+  (match urgency with High -> Queue.push f w.runq_hi | Low -> Queue.push f w.runq_lo);
+  if not w.busy then worker_loop w
+
+let kick_any t =
+  let rec go i =
+    if i < Array.length t.workers then begin
+      let w = t.workers.(i) in
+      if (not w.busy) && (w.free_slots > 0 || not (Queue.is_empty w.runq_lo)) then worker_loop w
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let submit ?affinity t run =
+  (match affinity with
+  | Some a ->
+    let w = t.workers.(a mod t.cfg.n_workers) in
+    Queue.push { run } w.local_tasks;
+    if not w.busy then worker_loop w
+  | None ->
+    Queue.push { run } t.global_tasks;
+    kick_any t);
+  ()
+
+let run_until_quiescent t =
+  Engine.run t.eng;
+  (match t.failure with
+  | Some e ->
+    t.failure <- None;
+    raise e
+  | None -> ());
+  if t.live > 0 then
+    Fmt.failwith "Scheduler: deadlock, %d fiber(s) still live with no pending events" t.live
+
+let busy_fraction t =
+  let elapsed = Engine.now t.eng - t.created_at in
+  if elapsed <= 0 then 0.0
+  else
+    let total_busy = Array.fold_left (fun acc w -> acc + w.busy_ns) 0 t.workers in
+    float_of_int total_busy /. (float_of_int elapsed *. float_of_int t.cfg.n_workers)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber-side operations                                               *)
+
+let in_fiber () = !cur <> None
+
+(* Charges are coalesced: the component counters update immediately (the
+   Exp 7 accounting stays exact), but the virtual-time advance is
+   batched into ~[granule]-instruction steps. This cuts simulator events
+   per transaction by an order of magnitude; interleaving granularity
+   between cores coarsens from each micro-operation to the granule,
+   which leaves all suspension-point (lock/IO) interleavings intact. *)
+let charge_granule_instr = 20_000
+
+let flush_pending () =
+  match !cur with
+  | Some f when f.pending_instr > 0 ->
+    let n = f.pending_instr in
+    f.pending_instr <- 0;
+    Effect.perform (E_charge_time n)
+  | _ -> ()
+
+let charge comp instr =
+  match !cur with
+  | Some f when instr > 0 ->
+    Counters.add f.fworker.wsched.ctrs comp instr;
+    f.pending_instr <- f.pending_instr + instr;
+    if f.pending_instr >= charge_granule_instr then flush_pending ()
+  | _ -> ()
+
+(* Note: suspension effects must NOT flush pending charge time first —
+   a flush is itself a suspension, and e.g. a Waitq.wait whose caller
+   just checked the holder's liveness would open a lost-wakeup window.
+   Residual time is carried onto the worker's next dispatch instead
+   (see [continue_after_carry]), which is exact. *)
+let yield u = match !cur with Some _ -> Effect.perform (E_yield u) | None -> ()
+
+let io_wait register =
+  match !cur with Some _ -> Effect.perform (E_io register) | None -> register (fun () -> ())
+
+let current_fiber () =
+  match !cur with Some f -> f | None -> failwith "Scheduler: not inside a fiber"
+
+let current_worker () = (current_fiber ()).fworker.wid
+
+let current_slot () =
+  let f = current_fiber () in
+  (f.fworker.wid * f.fworker.wsched.cfg.slots_per_worker) + f.fslot
+
+let current_scheduler () = match !cur with Some f -> Some f.fworker.wsched | None -> None
+
+let set_local l =
+  let f = current_fiber () in
+  f.locals <- l :: f.locals
+
+let find_local extract =
+  match !cur with None -> None | Some f -> List.find_map extract f.locals
+
+let remove_local pred =
+  let f = current_fiber () in
+  f.locals <- List.filter (fun l -> not (pred l)) f.locals
+
+module Waitq = struct
+  type q = fiber Queue.t
+
+  let create () : q = Queue.create ()
+
+  let wait q =
+    match !cur with
+    | None -> failwith "Waitq.wait: not inside a fiber"
+    | Some _ -> Effect.perform (E_block q)
+
+  let signal_all q =
+    let rec drain () =
+      if not (Queue.is_empty q) then begin
+        let f = Queue.pop q in
+        wake f Low;
+        drain ()
+      end
+    in
+    drain ()
+
+  let is_empty = Queue.is_empty
+  let length = Queue.length
+end

@@ -1,0 +1,115 @@
+(** Co-routine pool runtime with a pull-based smart scheduler (paper §7.1).
+
+    Transactions are submitted to a global task queue; simulated worker
+    threads pull tasks into their task slots when slots are vacant. A task
+    slot runs one co-routine (an OCaml 5 effect-handled fiber) at a time,
+    without switching until the fiber voluntarily yields. Yields are
+    categorised by urgency: latch spins and asynchronous reads are
+    high-urgency (resumed before new tasks are accepted), tuple-lock waits
+    are low-urgency.
+
+    The same runtime also emulates the thread-per-transaction model used
+    as the Exp 6 baseline: one slot per worker, kernel-priced context
+    switches, and time-shared cores once workers outnumber them. *)
+
+type t
+
+type model = Coroutine | Thread
+
+type urgency = High | Low
+
+type config = {
+  model : model;
+  n_workers : int;
+  slots_per_worker : int;
+  cpu : Cpu.t;
+  cost : Phoebe_sim.Cost.t;
+}
+
+val default_config : config
+(** Coroutine model, 4 workers, 32 slots per worker, default CPU/costs. *)
+
+val create : Phoebe_sim.Engine.t -> config -> t
+
+val engine : t -> Phoebe_sim.Engine.t
+val counters : t -> Phoebe_sim.Counters.t
+val cost : t -> Phoebe_sim.Cost.t
+val config : t -> config
+val now : t -> int
+
+val n_slots : t -> int
+(** Total task slots across all workers ([n_workers * slots_per_worker]). *)
+
+val submit : ?affinity:int -> t -> (unit -> unit) -> unit
+(** Enqueue a task. [affinity w] pins it to worker [w mod n_workers]'s
+    local queue; otherwise any worker may pull it. The task body runs as
+    a fiber and may use all fiber-side operations below. *)
+
+val run_until_quiescent : t -> unit
+(** Drive the simulation until no events remain. Re-raises the first
+    uncaught exception from any fiber. *)
+
+val pending_tasks : t -> int
+val live_fibers : t -> int
+
+val busy_fraction : t -> float
+(** Mean CPU utilisation across workers since creation (Exp 9's 77%). *)
+
+(** {1 Fiber-side operations}
+
+    These may only be called from inside a submitted task (except
+    [charge], [yield] and [io_wait], which degrade gracefully outside a
+    fiber so that bulk loaders can reuse the kernel code paths without
+    consuming virtual time). *)
+
+val in_fiber : unit -> bool
+
+val charge : Phoebe_sim.Component.t -> int -> unit
+(** Consume CPU: tags the instructions for Exp 7 and advances this
+    worker's virtual clock. Does not switch fibers. No-op outside a fiber. *)
+
+val yield : urgency -> unit
+(** Voluntarily yield the worker; the fiber is re-queued at the given
+    urgency. No-op outside a fiber. *)
+
+val io_wait : ((unit -> unit) -> unit) -> unit
+(** [io_wait register] suspends the fiber and calls [register resume];
+    the I/O device calls [resume] on completion, which re-queues the
+    fiber at high urgency. Outside a fiber, [register] is called with a
+    no-op continuation (synchronous completion). *)
+
+val current_worker : unit -> int
+(** Worker id of the running fiber. @raise Failure outside a fiber. *)
+
+val current_slot : unit -> int
+(** Global task-slot id ([worker * slots_per_worker + slot]). Slot-scoped
+    engine state (WAL writers, UNDO arenas, tuple-lock registers) indexes
+    off this. @raise Failure outside a fiber. *)
+
+val current_scheduler : unit -> t option
+
+(** {1 Fiber-local storage} *)
+
+type local = ..
+
+val set_local : local -> unit
+val find_local : (local -> 'a option) -> 'a option
+val remove_local : (local -> bool) -> unit
+
+(** {1 Wait queues (condition variables for fibers)} *)
+
+module Waitq : sig
+  type q
+
+  val create : unit -> q
+
+  val wait : q -> unit
+  (** Block the current fiber until signalled (low-urgency wake).
+      @raise Failure outside a fiber. *)
+
+  val signal_all : q -> unit
+  (** Wake every waiter. Callable from anywhere. *)
+
+  val is_empty : q -> bool
+  val length : q -> int
+end

@@ -1,0 +1,25 @@
+type t = Effective | Latch | Lock | Wal | Mvcc | Buffer | Gc | Switch
+
+let all = [ Effective; Latch; Lock; Wal; Mvcc; Buffer; Gc; Switch ]
+
+let to_string = function
+  | Effective -> "effective"
+  | Latch -> "latching"
+  | Lock -> "locking"
+  | Wal -> "wal"
+  | Mvcc -> "mvcc"
+  | Buffer -> "buffer"
+  | Gc -> "gc"
+  | Switch -> "switch"
+
+let index = function
+  | Effective -> 0
+  | Latch -> 1
+  | Lock -> 2
+  | Wal -> 3
+  | Mvcc -> 4
+  | Buffer -> 5
+  | Gc -> 6
+  | Switch -> 7
+
+let count = 8

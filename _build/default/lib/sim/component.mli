@@ -1,0 +1,18 @@
+(** Kernel components whose per-transaction instruction shares the paper
+    breaks down in Exp 7 (Figure 12). Every cycle charged to the simulated
+    CPUs is tagged with one of these. *)
+
+type t =
+  | Effective  (** de-facto transaction computation: search, tuple work, app logic *)
+  | Latch  (** page/node latching, OLC validation and restarts *)
+  | Lock  (** tuple locks and transaction-ID locks *)
+  | Wal  (** log record construction and flush bookkeeping *)
+  | Mvcc  (** UNDO construction, version-chain walks, visibility checks *)
+  | Buffer  (** buffer-manager lookups, swizzling, eviction *)
+  | Gc  (** UNDO / twin-table / deleted-tuple garbage collection *)
+  | Switch  (** context switching (co-routine or thread) *)
+
+val all : t list
+val to_string : t -> string
+val index : t -> int
+val count : int

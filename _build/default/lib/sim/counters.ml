@@ -1,0 +1,22 @@
+type t = int array
+
+let create () = Array.make Component.count 0
+let add t c n = t.(Component.index c) <- t.(Component.index c) + n
+let get t c = t.(Component.index c)
+let total t = Array.fold_left ( + ) 0 t
+
+type snapshot = int array
+
+let snapshot t = Array.copy t
+let diff older newer = Array.init Component.count (fun i -> newer.(i) - older.(i))
+
+let breakdown snap =
+  let total = Array.fold_left ( + ) 0 snap in
+  let denom = if total = 0 then 1.0 else float_of_int total in
+  List.map
+    (fun c ->
+      let v = snap.(Component.index c) in
+      (c, v, float_of_int v /. denom))
+    Component.all
+
+let reset t = Array.fill t 0 (Array.length t) 0

@@ -1,0 +1,22 @@
+(** Per-component instruction accounting (Exp 7 / Figure 12).
+
+    Every [charge] performed by a fiber lands here, tagged with the
+    {!Component.t} it belongs to. Counters can be snapshotted and diffed
+    so harnesses can report instructions-per-transaction per component. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Component.t -> int -> unit
+val get : t -> Component.t -> int
+val total : t -> int
+
+type snapshot = int array
+
+val snapshot : t -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+
+val breakdown : snapshot -> (Component.t * int * float) list
+(** [(component, instructions, share)] with shares summing to 1. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Array Ast Hashtbl Lexer List Option Parser Phoebe_core Phoebe_storage Phoebe_txn Printf

@@ -1,0 +1,1 @@
+lib/sql/sql.mli: Ast Phoebe_core Phoebe_storage

@@ -1,0 +1,53 @@
+(* Abstract syntax for the SQL subset (the paper's future-work item 1:
+   "Develop SQL interface to establish PhoebeDB as a standalone server").
+
+   The subset covers the OLTP surface the kernel exposes: CREATE TABLE /
+   CREATE [UNIQUE] INDEX, INSERT .. VALUES, single-table SELECT with
+   conjunctive predicates, ORDER BY / LIMIT, aggregates with optional
+   GROUP BY, UPDATE with arithmetic SET expressions, DELETE, and
+   explicit transaction control. *)
+
+type col_type = T_int | T_float | T_text | T_bool
+
+type literal = L_int of int | L_float of float | L_string of string | L_bool of bool | L_null
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+(* conjunction of simple comparisons: col OP literal *)
+type predicate = { pcol : string; op : cmp_op; value : literal }
+
+type scalar_expr =
+  | E_lit of literal
+  | E_col of string
+  | E_add of scalar_expr * scalar_expr
+  | E_sub of scalar_expr * scalar_expr
+  | E_mul of scalar_expr * scalar_expr
+
+type agg_fn = Count_star | Count of string | Sum of string | Avg of string | Min of string | Max of string
+
+type select_item = S_star | S_col of string | S_agg of agg_fn
+
+type order_by = { ocol : string; descending : bool }
+
+type select = {
+  items : select_item list;
+  from_table : string;
+  where : predicate list;  (** ANDed; empty = no filter *)
+  group_by : string option;
+  order : order_by option;
+  limit : int option;
+}
+
+type statement =
+  | Create_table of { tname : string; columns : (string * col_type) list }
+  | Create_index of { iname : string; on_table : string; cols : string list; unique : bool }
+  | Insert of { tname : string; columns : string list option; rows : literal list list }
+  | Select of select
+  | Update of { tname : string; assignments : (string * scalar_expr) list; where : predicate list }
+  | Delete of { tname : string; where : predicate list }
+  | Begin
+  | Commit
+  | Rollback
+  | Show_tables
+
+let string_of_cmp = function Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="

@@ -1,0 +1,107 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Keyword of string
+  | Symbol of string
+  | Eof
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "CREATE"; "TABLE"; "INDEX"; "UNIQUE"; "ON"; "INSERT"; "INTO"; "VALUES"; "SELECT"; "FROM";
+    "WHERE"; "AND"; "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "GROUP"; "UPDATE"; "SET"; "DELETE";
+    "BEGIN"; "COMMIT"; "ROLLBACK"; "INT"; "INTEGER"; "FLOAT"; "REAL"; "TEXT"; "VARCHAR"; "BOOL";
+    "BOOLEAN"; "TRUE"; "FALSE"; "NULL"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "SHOW"; "TABLES";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* -- comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (Keyword upper)
+      else emit (Ident (String.lowercase_ascii word))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (Float_lit (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (Int_lit (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error "unterminated string literal");
+      emit (String_lit (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" ->
+        emit (Symbol (if two = "!=" then "<>" else two));
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '(' | ')' | ',' | ';' | '*' | '=' | '<' | '>' | '+' | '-' | '.' ->
+          emit (Symbol (String.make 1 c));
+          incr i
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  List.rev (Eof :: !tokens)
+
+let pp_token = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit v -> string_of_int v
+  | Float_lit v -> string_of_float v
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Keyword k -> k
+  | Symbol s -> Printf.sprintf "%S" s
+  | Eof -> "<end of input>"

@@ -1,0 +1,17 @@
+(** SQL tokenizer. Keywords are case-insensitive; identifiers are
+    lower-cased; strings use single quotes with [''] escaping. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Keyword of string  (** upper-cased *)
+  | Symbol of string  (** punctuation and operators: ( ) , ; * = <> <= >= < > + - . *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+
+val pp_token : token -> string

@@ -1,0 +1,329 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_kw st kw =
+  match peek st with
+  | Lexer.Keyword k when k = kw -> advance st
+  | t -> fail "expected %s, found %s" kw (Lexer.pp_token t)
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Keyword k when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_sym st sym =
+  match peek st with
+  | Lexer.Symbol s when s = sym -> advance st
+  | t -> fail "expected %S, found %s" sym (Lexer.pp_token t)
+
+let accept_sym st sym =
+  match peek st with
+  | Lexer.Symbol s when s = sym ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | t -> fail "expected an identifier, found %s" (Lexer.pp_token t)
+
+let literal st =
+  match peek st with
+  | Lexer.Int_lit v ->
+    advance st;
+    L_int v
+  | Lexer.Float_lit v ->
+    advance st;
+    L_float v
+  | Lexer.String_lit s ->
+    advance st;
+    L_string s
+  | Lexer.Keyword "TRUE" ->
+    advance st;
+    L_bool true
+  | Lexer.Keyword "FALSE" ->
+    advance st;
+    L_bool false
+  | Lexer.Keyword "NULL" ->
+    advance st;
+    L_null
+  | Lexer.Symbol "-" -> (
+    advance st;
+    match peek st with
+    | Lexer.Int_lit v ->
+      advance st;
+      L_int (-v)
+    | Lexer.Float_lit v ->
+      advance st;
+      L_float (-.v)
+    | t -> fail "expected a number after '-', found %s" (Lexer.pp_token t))
+  | t -> fail "expected a literal, found %s" (Lexer.pp_token t)
+
+let col_type st =
+  match peek st with
+  | Lexer.Keyword ("INT" | "INTEGER") ->
+    advance st;
+    T_int
+  | Lexer.Keyword ("FLOAT" | "REAL") ->
+    advance st;
+    T_float
+  | Lexer.Keyword ("TEXT" | "VARCHAR") ->
+    advance st;
+    (* tolerate VARCHAR(n) *)
+    if accept_sym st "(" then begin
+      (match peek st with Lexer.Int_lit _ -> advance st | _ -> fail "expected a length");
+      expect_sym st ")"
+    end;
+    T_text
+  | Lexer.Keyword ("BOOL" | "BOOLEAN") ->
+    advance st;
+    T_bool
+  | t -> fail "expected a column type, found %s" (Lexer.pp_token t)
+
+let comma_list st parse_item =
+  let rec go acc =
+    let item = parse_item st in
+    if accept_sym st "," then go (item :: acc) else List.rev (item :: acc)
+  in
+  go []
+
+let cmp_op st =
+  match peek st with
+  | Lexer.Symbol "=" ->
+    advance st;
+    Eq
+  | Lexer.Symbol "<>" ->
+    advance st;
+    Ne
+  | Lexer.Symbol "<=" ->
+    advance st;
+    Le
+  | Lexer.Symbol ">=" ->
+    advance st;
+    Ge
+  | Lexer.Symbol "<" ->
+    advance st;
+    Lt
+  | Lexer.Symbol ">" ->
+    advance st;
+    Gt
+  | t -> fail "expected a comparison operator, found %s" (Lexer.pp_token t)
+
+let where_clause st =
+  if accept_kw st "WHERE" then begin
+    let rec go acc =
+      let pcol = ident st in
+      let op = cmp_op st in
+      let value = literal st in
+      let acc = { pcol; op; value } :: acc in
+      if accept_kw st "AND" then go acc else List.rev acc
+    in
+    go []
+  end
+  else []
+
+(* scalar expressions for UPDATE ... SET: left-associative + - over
+   atoms (literal | column | parenthesised), with * binding tighter *)
+let rec scalar_expr st =
+  let lhs = term st in
+  let rec go lhs =
+    if accept_sym st "+" then go (E_add (lhs, term st))
+    else if accept_sym st "-" then go (E_sub (lhs, term st))
+    else lhs
+  in
+  go lhs
+
+and term st =
+  let lhs = atom st in
+  let rec go lhs = if accept_sym st "*" then go (E_mul (lhs, atom st)) else lhs in
+  go lhs
+
+and atom st =
+  match peek st with
+  | Lexer.Ident name ->
+    advance st;
+    E_col name
+  | Lexer.Symbol "(" ->
+    advance st;
+    let e = scalar_expr st in
+    expect_sym st ")";
+    e
+  | _ -> E_lit (literal st)
+
+let agg_fn st kw =
+  advance st;
+  expect_sym st "(";
+  let fn =
+    match kw with
+    | "COUNT" ->
+      if accept_sym st "*" then Count_star
+      else Count (ident st)
+    | "SUM" -> Sum (ident st)
+    | "AVG" -> Avg (ident st)
+    | "MIN" -> Min (ident st)
+    | "MAX" -> Max (ident st)
+    | _ -> fail "unknown aggregate %s" kw
+  in
+  expect_sym st ")";
+  fn
+
+let select_item st =
+  match peek st with
+  | Lexer.Symbol "*" ->
+    advance st;
+    S_star
+  | Lexer.Keyword (("COUNT" | "SUM" | "AVG" | "MIN" | "MAX") as kw) -> S_agg (agg_fn st kw)
+  | _ -> S_col (ident st)
+
+let select st =
+  let items = comma_list st select_item in
+  expect_kw st "FROM";
+  let from_table = ident st in
+  let where = where_clause st in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      Some (ident st)
+    end
+    else None
+  in
+  let order =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let ocol = ident st in
+      let descending = if accept_kw st "DESC" then true else (ignore (accept_kw st "ASC"); false) in
+      Some { ocol; descending }
+    end
+    else None
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match peek st with
+      | Lexer.Int_lit v ->
+        advance st;
+        Some v
+      | t -> fail "expected a number after LIMIT, found %s" (Lexer.pp_token t)
+    else None
+  in
+  { items; from_table; where; group_by; order; limit }
+
+let statement st =
+  match peek st with
+  | Lexer.Keyword "CREATE" -> (
+    advance st;
+    let unique = accept_kw st "UNIQUE" in
+    match peek st with
+    | Lexer.Keyword "TABLE" when not unique ->
+      advance st;
+      let tname = ident st in
+      expect_sym st "(";
+      let columns =
+        comma_list st (fun st ->
+            let name = ident st in
+            let ty = col_type st in
+            (name, ty))
+      in
+      expect_sym st ")";
+      Create_table { tname; columns }
+    | Lexer.Keyword "INDEX" ->
+      advance st;
+      let iname = ident st in
+      expect_kw st "ON";
+      let on_table = ident st in
+      expect_sym st "(";
+      let cols = comma_list st ident in
+      expect_sym st ")";
+      Create_index { iname; on_table; cols; unique }
+    | t -> fail "expected TABLE or INDEX after CREATE, found %s" (Lexer.pp_token t))
+  | Lexer.Keyword "INSERT" ->
+    advance st;
+    expect_kw st "INTO";
+    let tname = ident st in
+    let columns =
+      if accept_sym st "(" then begin
+        let cols = comma_list st ident in
+        expect_sym st ")";
+        Some cols
+      end
+      else None
+    in
+    expect_kw st "VALUES";
+    let row st =
+      expect_sym st "(";
+      let vs = comma_list st literal in
+      expect_sym st ")";
+      vs
+    in
+    let rows = comma_list st row in
+    Insert { tname; columns; rows }
+  | Lexer.Keyword "SELECT" ->
+    advance st;
+    Select (select st)
+  | Lexer.Keyword "UPDATE" ->
+    advance st;
+    let tname = ident st in
+    expect_kw st "SET";
+    let assignments =
+      comma_list st (fun st ->
+          let col = ident st in
+          expect_sym st "=";
+          (col, scalar_expr st))
+    in
+    let where = where_clause st in
+    Update { tname; assignments; where }
+  | Lexer.Keyword "DELETE" ->
+    advance st;
+    expect_kw st "FROM";
+    let tname = ident st in
+    let where = where_clause st in
+    Delete { tname; where }
+  | Lexer.Keyword "BEGIN" ->
+    advance st;
+    Begin
+  | Lexer.Keyword "COMMIT" ->
+    advance st;
+    Commit
+  | Lexer.Keyword "ROLLBACK" ->
+    advance st;
+    Rollback
+  | Lexer.Keyword "SHOW" ->
+    advance st;
+    expect_kw st "TABLES";
+    Show_tables
+  | t -> fail "expected a statement, found %s" (Lexer.pp_token t)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Lexer.Eof -> List.rev acc
+    | Lexer.Symbol ";" ->
+      advance st;
+      go acc
+    | _ ->
+      let s = statement st in
+      (match peek st with
+      | Lexer.Symbol ";" | Lexer.Eof -> ()
+      | t -> fail "unexpected %s after statement" (Lexer.pp_token t));
+      go (s :: acc)
+  in
+  go []
+
+let parse_one src =
+  match parse src with
+  | [ s ] -> s
+  | [] -> fail "empty input"
+  | _ -> fail "expected exactly one statement"

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.statement list
+(** Parse one or more semicolon-separated statements.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+
+val parse_one : string -> Ast.statement
+(** Exactly one statement. *)

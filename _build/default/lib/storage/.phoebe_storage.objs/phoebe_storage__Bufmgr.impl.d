@@ -1,0 +1,1 @@
+lib/storage/bufmgr.ml: Array Bytes Hashtbl Latch Phoebe_io Phoebe_runtime Phoebe_sim Queue

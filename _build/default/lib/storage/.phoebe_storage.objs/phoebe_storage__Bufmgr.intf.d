@@ -1,0 +1,1 @@
+lib/storage/bufmgr.mli: Bytes Latch Phoebe_io Phoebe_sim

@@ -1,0 +1,1 @@
+lib/storage/frozen.ml: Array Buffer Bytes Char Fmt Hashtbl List Pax Phoebe_util String Value

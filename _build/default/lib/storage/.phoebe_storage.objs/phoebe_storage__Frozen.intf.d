@@ -1,0 +1,1 @@
+lib/storage/frozen.mli: Bytes Pax Value

@@ -1,0 +1,1 @@
+lib/storage/latch.ml: Phoebe_runtime Phoebe_sim

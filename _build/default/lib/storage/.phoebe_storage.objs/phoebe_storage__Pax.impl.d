@@ -1,0 +1,1 @@
+lib/storage/pax.ml: Array Buffer Bytes Char Fmt List Phoebe_util String Value

@@ -1,0 +1,1 @@
+lib/storage/pax.mli: Bytes Value

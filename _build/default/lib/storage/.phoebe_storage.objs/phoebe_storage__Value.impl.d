@@ -1,0 +1,1 @@
+lib/storage/value.ml: Array Buffer Bytes Char Fmt Format Hashtbl Int64 List Phoebe_util Printf Stdlib String

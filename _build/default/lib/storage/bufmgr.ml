@@ -1,0 +1,321 @@
+module Scheduler = Phoebe_runtime.Scheduler
+module Component = Phoebe_sim.Component
+module Cost = Phoebe_sim.Cost
+module Engine = Phoebe_sim.Engine
+module Pagestore = Phoebe_io.Pagestore
+
+type state = Hot | Cooling
+
+type 'p codec = { encode : 'p -> Bytes.t; decode : Bytes.t -> 'p; size : 'p -> int }
+
+type 'p frame = {
+  fpage_id : int;
+  fpartition : int;
+  flatch : Latch.t;
+  mutable fpayload : 'p option;
+  mutable fstate : state;
+  mutable fdirty : bool;
+  mutable fpinned : int;
+  mutable fsize : int;
+  mutable faccess_count : int;
+  mutable flast_access : int;
+  mutable fgsn : int;
+  mutable fwriter_slot : int;
+  mutable fparent : 'p swip option;
+}
+
+and 'p ref_state = Swizzled of 'p frame | Unswizzled of int
+
+and 'p swip = { mutable ptr : 'p ref_state }
+
+type 'p partition = {
+  frames : (int, 'p frame) Hashtbl.t;  (** resident frames by page id *)
+  cooling : 'p frame Queue.t;
+  mutable used_bytes : int;
+  mutable budget : int;
+  mutable clock : 'p frame list;  (** snapshot used by the cooling sweep *)
+}
+
+type 'p t = {
+  engine : Engine.t;
+  pstore : Pagestore.t;
+  parts : 'p partition array;
+  codec : 'p codec;
+  mutable next_page_id : int;
+  (* A real system keeps the GSN and last-writer in the page header; the
+     payload codec here is page-content only, so evicted pages park that
+     metadata in a sidecar and recover it at fault-in. *)
+  gsn_sidecar : (int, int * int) Hashtbl.t;
+}
+
+let create engine ~store ~partitions ~budget_bytes ~codec =
+  let per = budget_bytes / max 1 partitions in
+  {
+    engine;
+    pstore = store;
+    parts =
+      Array.init partitions (fun _ ->
+          { frames = Hashtbl.create 256; cooling = Queue.create (); used_bytes = 0; budget = per; clock = [] });
+    codec;
+    next_page_id = 0;
+    gsn_sidecar = Hashtbl.create 256;
+  }
+
+let set_budget t ~budget_bytes =
+  let per = budget_bytes / max 1 (Array.length t.parts) in
+  Array.iter (fun p -> p.budget <- per) t.parts
+
+let costs () =
+  match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
+
+let now t = Engine.now t.engine
+
+let alloc t ~partition payload =
+  t.next_page_id <- t.next_page_id + 1;
+  let part = t.parts.(partition) in
+  let size = t.codec.size payload in
+  let frame =
+    {
+      fpage_id = t.next_page_id;
+      fpartition = partition;
+      flatch = Latch.create ();
+      fpayload = Some payload;
+      fstate = Hot;
+      fdirty = true;
+      fpinned = 0;
+      fsize = size;
+      faccess_count = 0;
+      flast_access = now t;
+      fgsn = 0;
+      fwriter_slot = -1;
+      fparent = None;
+    }
+  in
+  Hashtbl.replace part.frames frame.fpage_id frame;
+  part.used_bytes <- part.used_bytes + size;
+  frame
+
+let swip_of frame = { ptr = Swizzled frame }
+
+let payload frame =
+  match frame.fpayload with
+  | Some p -> p
+  | None -> invalid_arg "Bufmgr.payload: frame not resident"
+
+let latch f = f.flatch
+let page_id f = f.fpage_id
+let mark_dirty f = f.fdirty <- true
+let is_dirty f = f.fdirty
+
+let update_size t frame =
+  let part = t.parts.(frame.fpartition) in
+  let size = match frame.fpayload with Some p -> t.codec.size p | None -> 0 in
+  part.used_bytes <- part.used_bytes + size - frame.fsize;
+  frame.fsize <- size
+
+let pin f = f.fpinned <- f.fpinned + 1
+
+let unpin f =
+  if f.fpinned <= 0 then invalid_arg "Bufmgr.unpin: not pinned";
+  f.fpinned <- f.fpinned - 1
+
+let set_parent f swip = f.fparent <- Some swip
+
+let touch_frame t frame ~touch =
+  (* the OLTP temperature counter honours [touch] (scans must not warm
+     data, 5.2) but eviction recency must not: any resolver may hold the
+     frame reference across a coalesced-charge suspension *)
+  if touch then frame.faccess_count <- frame.faccess_count + 1;
+  frame.flast_access <- now t;
+  if frame.fstate = Cooling then frame.fstate <- Hot
+
+let resolve ?(touch = true) t swip =
+  match swip.ptr with
+  | Swizzled frame ->
+    (* recency first: the charge may suspend at a coalescing boundary,
+       and an un-refreshed frame could be evicted in that window *)
+    touch_frame t frame ~touch;
+    Scheduler.charge Component.Buffer (costs ()).Cost.buffer_hit;
+    touch_frame t frame ~touch:false;
+    frame
+  | Unswizzled pid -> (
+    Scheduler.charge Component.Buffer (costs ()).Cost.buffer_miss;
+    let raw = Pagestore.read t.pstore ~page_id:pid in
+    (* The calling fiber suspended for the read: someone else may have
+       faulted the same page in meanwhile. *)
+    match swip.ptr with
+    | Swizzled frame ->
+      touch_frame t frame ~touch;
+      frame
+    | Unswizzled _ ->
+      let payload = t.codec.decode raw in
+      let gsn, writer_slot =
+        match Hashtbl.find_opt t.gsn_sidecar pid with Some meta -> meta | None -> (0, -1)
+      in
+      (* Allocate into the faulting worker's partition: ownership of a
+         page follows whoever re-heats it. *)
+      let partition =
+        match Scheduler.current_scheduler () with
+        | Some _ when Scheduler.in_fiber () ->
+          Scheduler.current_worker () mod Array.length t.parts
+        | _ -> 0
+      in
+      let part = t.parts.(partition) in
+      let frame =
+        {
+          fpage_id = pid;
+          fpartition = partition;
+          flatch = Latch.create ();
+          fpayload = Some payload;
+          fstate = Hot;
+          fdirty = false;
+          fpinned = 0;
+          fsize = t.codec.size payload;
+          faccess_count = (if touch then 1 else 0);
+          flast_access = now t;
+          fgsn = gsn;
+          fwriter_slot = writer_slot;
+          fparent = Some swip;
+        }
+      in
+      Hashtbl.replace part.frames pid frame;
+      part.used_bytes <- part.used_bytes + frame.fsize;
+      swip.ptr <- Swizzled frame;
+      frame)
+
+let drop t frame =
+  let part = t.parts.(frame.fpartition) in
+  if Hashtbl.mem part.frames frame.fpage_id then begin
+    Hashtbl.remove part.frames frame.fpage_id;
+    part.used_bytes <- part.used_bytes - frame.fsize
+  end;
+  frame.fpayload <- None;
+  Pagestore.delete t.pstore ~page_id:frame.fpage_id
+
+let write_back t frame =
+  match frame.fpayload with
+  | Some p when frame.fdirty ->
+    Pagestore.write t.pstore ~page_id:frame.fpage_id (t.codec.encode p);
+    frame.fdirty <- false
+  | _ -> ()
+
+let access_count f = f.faccess_count
+let last_access f = f.flast_access
+let page_gsn f = f.fgsn
+let set_page_gsn f g = f.fgsn <- g
+let last_writer_slot f = f.fwriter_slot
+let set_last_writer_slot f s = f.fwriter_slot <- s
+
+let reset_access_stats f = f.faccess_count <- 0
+let halve_access_count f = f.faccess_count <- f.faccess_count / 2
+
+let resident_frame_of_swip swip =
+  match swip.ptr with Swizzled f -> Some f | Unswizzled _ -> None
+
+let page_id_of_swip swip =
+  match swip.ptr with Swizzled f -> f.fpage_id | Unswizzled pid -> pid
+
+let cold_swip _t pid = { ptr = Unswizzled pid }
+
+let needs_maintenance t ~partition =
+  let part = t.parts.(partition) in
+  part.used_bytes > part.budget
+
+(* Frames touched within this window of virtual time are never demoted
+   or evicted: a fiber that just resolved a frame may be suspended on a
+   coalesced CPU charge and still hold the direct reference. Operations
+   that can *wait* (locks, I/O) re-resolve instead of relying on this. *)
+let recency_guard_ns = 100_000
+
+(* Demote hot frames to cooling in (arbitrary but stable) clock order.
+   Pinned, latched or recently-touched frames are skipped; so are frames
+   already cooling. *)
+let refill_cooling t part =
+  let now = Engine.now t.engine in
+  if part.clock = [] then part.clock <- Hashtbl.fold (fun _ f acc -> f :: acc) part.frames [];
+  let rec demote budget_frames clock =
+    if budget_frames = 0 then clock
+    else
+      match clock with
+      | [] -> []
+      | f :: rest ->
+        if
+          f.fstate = Hot && f.fpinned = 0
+          && (not (Latch.is_exclusive f.flatch))
+          && now - f.flast_access >= recency_guard_ns
+          && Hashtbl.mem part.frames f.fpage_id
+        then begin
+          f.fstate <- Cooling;
+          Queue.push f part.cooling;
+          demote (budget_frames - 1) rest
+        end
+        else demote budget_frames rest
+  in
+  part.clock <- demote 16 part.clock
+
+let evict_one t part =
+  let c = costs () in
+  let rec try_pop () =
+    match Queue.take_opt part.cooling with
+    | None -> false
+    | Some f ->
+      if
+        f.fstate <> Cooling || f.fpinned > 0
+        || Engine.now t.engine - f.flast_access < recency_guard_ns
+        || not (Hashtbl.mem part.frames f.fpage_id)
+      then
+        (* touched (second chance), recently used, pinned, or dropped *)
+        try_pop ()
+      else begin
+        Scheduler.charge Component.Buffer c.Cost.buffer_evict;
+        (match f.fpayload with
+        | Some p ->
+          if f.fdirty then begin
+            let raw = t.codec.encode p in
+            Pagestore.write t.pstore ~page_id:f.fpage_id raw;
+            f.fdirty <- false
+          end;
+          (* Re-check: the write suspended us; the frame may have been
+             re-heated or re-touched while we were writing back. *)
+          if
+            f.fstate = Cooling && f.fpinned = 0
+            && Engine.now t.engine - f.flast_access >= recency_guard_ns
+          then begin
+            (match f.fparent with
+            | Some swip -> swip.ptr <- Unswizzled f.fpage_id
+            | None -> ());
+            Hashtbl.replace t.gsn_sidecar f.fpage_id (f.fgsn, f.fwriter_slot);
+            f.fpayload <- None;
+            Hashtbl.remove part.frames f.fpage_id;
+            part.used_bytes <- part.used_bytes - f.fsize;
+            true
+          end
+          else true
+        | None ->
+          Hashtbl.remove part.frames f.fpage_id;
+          true)
+      end
+  in
+  try_pop ()
+
+let maintain t ~partition =
+  let part = t.parts.(partition) in
+  let rec go fuel =
+    if fuel > 0 && part.used_bytes > part.budget then begin
+      if Queue.is_empty part.cooling then refill_cooling t part;
+      if evict_one t part then go (fuel - 1)
+      else if not (Queue.is_empty part.cooling) then go (fuel - 1)
+      else begin
+        refill_cooling t part;
+        if not (Queue.is_empty part.cooling) then go (fuel - 1)
+      end
+    end
+  in
+  go (Hashtbl.length part.frames + 16)
+
+let resident_bytes t = Array.fold_left (fun acc p -> acc + p.used_bytes) 0 t.parts
+let resident_pages t = Array.fold_left (fun acc p -> acc + Hashtbl.length p.frames) 0 t.parts
+let partition_of_frame f = f.fpartition
+let is_resident f = f.fpayload <> None
+let store t = t.pstore
+let n_partitions t = Array.length t.parts

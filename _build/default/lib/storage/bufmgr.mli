@@ -1,0 +1,127 @@
+(** The pointer-swizzling buffer manager (paper §5.3).
+
+    Leaf data pages are managed in buffer frames referenced through
+    swizzled pointers ([swip]s): a hot swip points directly at the frame
+    (no global hash table), a cold swip carries the on-disk page id.
+    Pages pass through the Hot → Cooling → Cold state machine: cooling
+    pages stay resident with the cooling bit set (second chance — an
+    access swizzles them straight back to hot); cold pages have been
+    written out and unswizzled.
+
+    The pool is partitioned per worker thread (paper §7.1: each worker
+    manages its own buffer partition and swaps pages locally), removing
+    cross-worker contention on replacement state.
+
+    Inner B-tree nodes are deliberately not buffer-managed: they are a
+    fraction of a percent of the data and pinning them in memory is what
+    production systems do in practice; only leaves participate in
+    eviction, which keeps the parent pointers needed for unswizzling
+    trivially stable. *)
+
+type 'p t
+
+type 'p frame
+
+type 'p swip
+
+(** {1 Construction} *)
+
+type 'p codec = {
+  encode : 'p -> Bytes.t;
+  decode : Bytes.t -> 'p;
+  size : 'p -> int;  (** in-memory footprint estimate *)
+}
+
+val create :
+  Phoebe_sim.Engine.t ->
+  store:Phoebe_io.Pagestore.t ->
+  partitions:int ->
+  budget_bytes:int ->
+  codec:'p codec ->
+  'p t
+(** [budget_bytes] is the total pool budget, split evenly across
+    partitions. *)
+
+val set_budget : 'p t -> budget_bytes:int -> unit
+
+(** {1 Page lifecycle} *)
+
+val alloc : 'p t -> partition:int -> 'p -> 'p frame
+(** New hot, dirty page in [partition]'s pool. *)
+
+val swip_of : 'p frame -> 'p swip
+(** A (swizzled) swip for a freshly allocated frame. *)
+
+val resolve : ?touch:bool -> 'p t -> 'p swip -> 'p frame
+(** Follow a swip. Hot hit: direct dereference. Cooling: swizzle back to
+    hot. Cold: fault the page in from the store (the calling fiber
+    suspends for the read) and swizzle. [touch] (default true) counts an
+    OLTP access for temperature tracking; pass [false] for scans so they
+    do not warm data (§5.2). *)
+
+val payload : 'p frame -> 'p
+(** @raise Invalid_argument if the frame is not resident. *)
+
+val latch : 'p frame -> Latch.t
+val page_id : 'p frame -> int
+val mark_dirty : 'p frame -> unit
+val is_dirty : 'p frame -> bool
+val update_size : 'p t -> 'p frame -> unit
+
+val pin : 'p frame -> unit
+(** Prevent eviction while the holder is suspended on I/O. *)
+
+val unpin : 'p frame -> unit
+
+val set_parent : 'p frame -> 'p swip -> unit
+(** Register the inner-node swip pointing at this frame so eviction can
+    unswizzle it. *)
+
+val drop : 'p t -> 'p frame -> unit
+(** Remove a page entirely (freeze path); the swip holder must forget it. *)
+
+val write_back : 'p t -> 'p frame -> unit
+(** Persist a dirty resident frame to the store without evicting it
+    (checkpointing). No-op on clean or non-resident frames. *)
+
+(** {1 Temperature metadata (read by the freeze engine and RFA)} *)
+
+val access_count : 'p frame -> int
+val last_access : 'p frame -> int
+val page_gsn : 'p frame -> int
+val set_page_gsn : 'p frame -> int -> unit
+val last_writer_slot : 'p frame -> int
+val set_last_writer_slot : 'p frame -> int -> unit
+val reset_access_stats : 'p frame -> unit
+
+val halve_access_count : 'p frame -> unit
+(** Exponential decay step for "access frequency over time" (§5.2). *)
+
+val resident_frame_of_swip : 'p swip -> 'p frame option
+(** The frame a swip points at, without faulting: [None] when cold. *)
+
+val page_id_of_swip : 'p swip -> int
+(** The page id behind a swip, resident or not. *)
+
+val cold_swip : 'p t -> int -> 'p swip
+(** An unswizzled swip for a page known to be in the store (restore
+    path); resolving it faults the page in. *)
+
+(** {1 Replacement} *)
+
+val maintain : 'p t -> partition:int -> unit
+(** Run the cooling/eviction pass for one partition until it is within
+    budget: demote hot pages to cooling in clock order, write back dirty
+    cooling pages and unswizzle them. Runs in the calling fiber (page
+    provider task slot). *)
+
+val needs_maintenance : 'p t -> partition:int -> bool
+
+(** {1 Introspection} *)
+
+val resident_bytes : 'p t -> int
+val resident_pages : 'p t -> int
+val partition_of_frame : 'p frame -> int
+val is_resident : 'p frame -> bool
+val store : 'p t -> Phoebe_io.Pagestore.t
+val n_partitions : 'p t -> int

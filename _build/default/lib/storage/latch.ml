@@ -1,0 +1,93 @@
+module Scheduler = Phoebe_runtime.Scheduler
+module Component = Phoebe_sim.Component
+module Cost = Phoebe_sim.Cost
+
+type mode = Free | Shared of int | Exclusive
+
+type t = { mutable lversion : int; mutable mode : mode }
+
+let create () = { lversion = 0; mode = Free }
+
+let version t = t.lversion
+let is_exclusive t = t.mode = Exclusive
+
+let costs () =
+  match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
+
+let spin () =
+  let c = costs () in
+  Scheduler.charge Component.Latch c.Cost.latch_acquire;
+  Scheduler.yield Scheduler.High
+
+let rec optimistic_read t f =
+  let c = costs () in
+  if t.mode = Exclusive then begin
+    spin ();
+    optimistic_read t f
+  end
+  else begin
+    let v0 = t.lversion in
+    let result = f () in
+    Scheduler.charge Component.Latch c.Cost.olc_validate;
+    if t.mode <> Exclusive && t.lversion = v0 then result
+    else begin
+      Scheduler.charge Component.Latch c.Cost.olc_restart;
+      Scheduler.yield Scheduler.High;
+      optimistic_read t f
+    end
+  end
+
+(* State transitions happen before any charge: a charge suspends the
+   fiber in virtual time, and the acquisition must be atomic w.r.t.
+   fibers interleaving on other simulated cores. *)
+let rec acquire_shared t =
+  match t.mode with
+  | Free ->
+    t.mode <- Shared 1;
+    Scheduler.charge Component.Latch (costs ()).Cost.latch_acquire
+  | Shared n ->
+    t.mode <- Shared (n + 1);
+    Scheduler.charge Component.Latch (costs ()).Cost.latch_acquire
+  | Exclusive ->
+    spin ();
+    acquire_shared t
+
+let release_shared t =
+  match t.mode with
+  | Shared 1 -> t.mode <- Free
+  | Shared n when n > 1 -> t.mode <- Shared (n - 1)
+  | _ -> invalid_arg "Latch.release_shared: not share-latched"
+
+let rec acquire_exclusive t =
+  match t.mode with
+  | Free ->
+    t.mode <- Exclusive;
+    Scheduler.charge Component.Latch (costs ()).Cost.latch_acquire
+  | Shared _ | Exclusive ->
+    spin ();
+    acquire_exclusive t
+
+let release_exclusive t =
+  if t.mode <> Exclusive then invalid_arg "Latch.release_exclusive: not exclusively latched";
+  t.lversion <- t.lversion + 1;
+  t.mode <- Free
+
+let with_shared t f =
+  acquire_shared t;
+  match f () with
+  | r ->
+    release_shared t;
+    r
+  | exception e ->
+    release_shared t;
+    raise e
+
+let with_exclusive t f =
+  acquire_exclusive t;
+  match f () with
+  | r ->
+    release_exclusive t;
+    r
+  | exception e ->
+    release_exclusive t;
+    raise e

@@ -1,0 +1,34 @@
+(** Hybrid latches: optimistic, shared, and exclusive modes (paper §7.2).
+
+    Optimistic readers run without acquiring anything and validate a
+    version counter afterwards, retrying on conflict (OLC). Shared and
+    exclusive modes are used on B-tree leaves for tuple operations. In
+    the co-operative runtime, conflicts arise when a holder suspends on
+    I/O while latched; waiters spin with high-urgency yields, charging
+    latch-spin cost, exactly the high-urgency yield class of §7.1.
+
+    Discipline: never wait on a low-urgency resource (tuple or txn-id
+    lock) while holding a latch — the scheduler's deadlock detector
+    fires in tests if this is violated. *)
+
+type t
+
+val create : unit -> t
+
+val version : t -> int
+val is_exclusive : t -> bool
+
+val optimistic_read : t -> (unit -> 'a) -> 'a
+(** Run a read-only section, validating the version afterwards; retries
+    (with restart cost) until a consistent view is obtained. *)
+
+val acquire_shared : t -> unit
+val release_shared : t -> unit
+
+val acquire_exclusive : t -> unit
+val release_exclusive : t -> unit
+(** Releasing an exclusive latch bumps the version, invalidating
+    concurrent optimistic readers. *)
+
+val with_shared : t -> (unit -> 'a) -> 'a
+val with_exclusive : t -> (unit -> 'a) -> 'a

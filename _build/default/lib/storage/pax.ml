@@ -1,0 +1,242 @@
+module Varint = Phoebe_util.Varint
+module Crc32 = Phoebe_util.Crc32
+
+type col_store =
+  | Ints of int array
+  | Floats of float array
+  | Strs of string array
+  | Bools of Bytes.t
+
+type t = {
+  pschema : Value.Schema.t;
+  pcapacity : int;
+  mutable n : int;
+  row_ids : int array;
+  cols : col_store array;
+  nulls : Bytes.t array;  (** one bitmap per column *)
+  deleted : Bytes.t;
+  mutable str_bytes : int;  (** live string payload, for size accounting *)
+}
+
+let bitmap_get bm i = Char.code (Bytes.get bm (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bitmap_set bm i v =
+  let byte = Char.code (Bytes.get bm (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  Bytes.set bm (i lsr 3) (Char.chr (if v then byte lor mask else byte land lnot mask))
+
+let make_store ctype capacity =
+  match ctype with
+  | Value.T_int -> Ints (Array.make capacity 0)
+  | Value.T_float -> Floats (Array.make capacity 0.0)
+  | Value.T_str -> Strs (Array.make capacity "")
+  | Value.T_bool -> Bools (Bytes.make ((capacity + 7) / 8) '\x00')
+
+let create schema ~capacity =
+  let ncols = Value.Schema.arity schema in
+  {
+    pschema = schema;
+    pcapacity = capacity;
+    n = 0;
+    row_ids = Array.make capacity 0;
+    cols = Array.init ncols (fun i -> make_store (Value.Schema.column_type schema i) capacity);
+    nulls = Array.init ncols (fun _ -> Bytes.make ((capacity + 7) / 8) '\x00');
+    deleted = Bytes.make ((capacity + 7) / 8) '\x00';
+    str_bytes = 0;
+  }
+
+let schema t = t.pschema
+let capacity t = t.pcapacity
+let count t = t.n
+let is_full t = t.n >= t.pcapacity
+let is_empty t = t.n = 0
+
+let live_count t =
+  let live = ref 0 in
+  for i = 0 to t.n - 1 do
+    if not (bitmap_get t.deleted i) then incr live
+  done;
+  !live
+
+let min_row_id t =
+  if t.n = 0 then invalid_arg "Pax.min_row_id: empty page";
+  t.row_ids.(0)
+
+let max_row_id t =
+  if t.n = 0 then invalid_arg "Pax.max_row_id: empty page";
+  t.row_ids.(t.n - 1)
+
+let store_set t ~slot ~col v =
+  (match (t.cols.(col), v) with
+  | _, Value.Null -> bitmap_set t.nulls.(col) slot true
+  | Ints a, Value.Int x ->
+    a.(slot) <- x;
+    bitmap_set t.nulls.(col) slot false
+  | Floats a, Value.Float x ->
+    a.(slot) <- x;
+    bitmap_set t.nulls.(col) slot false
+  | Strs a, Value.Str x ->
+    t.str_bytes <- t.str_bytes + String.length x - String.length a.(slot);
+    a.(slot) <- x;
+    bitmap_set t.nulls.(col) slot false
+  | Bools bm, Value.Bool x ->
+    bitmap_set bm slot x;
+    bitmap_set t.nulls.(col) slot false
+  | _ -> invalid_arg "Pax: value does not match column type");
+  ()
+
+let store_get t ~slot ~col =
+  if bitmap_get t.nulls.(col) slot then Value.Null
+  else
+    match t.cols.(col) with
+    | Ints a -> Value.Int a.(slot)
+    | Floats a -> Value.Float a.(slot)
+    | Strs a -> Value.Str a.(slot)
+    | Bools bm -> Value.Bool (bitmap_get bm slot)
+
+let append t ~row_id row =
+  if is_full t then invalid_arg "Pax.append: page full";
+  if not (Value.Schema.check_row t.pschema row) then invalid_arg "Pax.append: row/schema mismatch";
+  if t.n > 0 && row_id <= t.row_ids.(t.n - 1) then
+    invalid_arg "Pax.append: row ids must increase";
+  let slot = t.n in
+  t.row_ids.(slot) <- row_id;
+  Array.iteri (fun col v -> store_set t ~slot ~col v) row;
+  t.n <- t.n + 1;
+  slot
+
+let find t ~row_id =
+  let lo = ref 0 and hi = ref (t.n - 1) and found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.row_ids.(mid) in
+    if v = row_id then found := Some mid else if v < row_id then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let get t ~slot =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.get: bad slot";
+  Array.init (Value.Schema.arity t.pschema) (fun col -> store_get t ~slot ~col)
+
+let get_col t ~slot ~col =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.get_col: bad slot";
+  store_get t ~slot ~col
+
+let set_col t ~slot ~col v =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.set_col: bad slot";
+  store_set t ~slot ~col v
+
+let row_id_at t ~slot =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.row_id_at: bad slot";
+  t.row_ids.(slot)
+
+let mark_deleted t ~slot =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.mark_deleted: bad slot";
+  bitmap_set t.deleted slot true
+
+let unmark_deleted t ~slot =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.unmark_deleted: bad slot";
+  bitmap_set t.deleted slot false
+
+let is_deleted t ~slot =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.is_deleted: bad slot";
+  bitmap_get t.deleted slot
+
+let iter_live t f =
+  for slot = 0 to t.n - 1 do
+    if not (bitmap_get t.deleted slot) then f t.row_ids.(slot) (get t ~slot)
+  done
+
+let iter_all t f =
+  for slot = 0 to t.n - 1 do
+    f t.row_ids.(slot) ~deleted:(bitmap_get t.deleted slot) (get t ~slot)
+  done
+
+let compact t =
+  let fresh = create t.pschema ~capacity:t.pcapacity in
+  iter_live t (fun row_id row -> ignore (append fresh ~row_id row));
+  fresh
+
+let size_bytes t =
+  let per_row =
+    Array.fold_left
+      (fun acc c -> acc + match c with Ints _ -> 8 | Floats _ -> 8 | Strs _ -> 8 | Bools _ -> 1)
+      8 t.cols
+  in
+  (t.pcapacity * per_row) + t.str_bytes + 64
+
+let encode t =
+  let buf = Buffer.create 1024 in
+  Varint.write_uint buf t.pcapacity;
+  Varint.write_uint buf t.n;
+  let ncols = Value.Schema.arity t.pschema in
+  Varint.write_uint buf ncols;
+  Array.iter
+    (fun (c : Value.Schema.column) ->
+      Varint.write_string buf c.Value.Schema.name;
+      Buffer.add_char buf
+        (match c.Value.Schema.ctype with
+        | Value.T_int -> 'i'
+        | Value.T_float -> 'f'
+        | Value.T_str -> 's'
+        | Value.T_bool -> 'b'))
+    (Value.Schema.columns t.pschema);
+  for slot = 0 to t.n - 1 do
+    Varint.write_uint buf t.row_ids.(slot);
+    Buffer.add_char buf (if bitmap_get t.deleted slot then '\x01' else '\x00')
+  done;
+  (* column-major payload, preserving the PAX layout on disk *)
+  for col = 0 to ncols - 1 do
+    for slot = 0 to t.n - 1 do
+      Value.encode buf (store_get t ~slot ~col)
+    done
+  done;
+  let body = Buffer.to_bytes buf in
+  let crc = Crc32.bytes body ~pos:0 ~len:(Bytes.length body) in
+  let out = Buffer.create (Bytes.length body + 5) in
+  Varint.write_uint out crc;
+  Buffer.add_bytes out body;
+  Buffer.to_bytes out
+
+let decode b =
+  let crc, body_off = Varint.read_uint b 0 in
+  let actual = Crc32.bytes b ~pos:body_off ~len:(Bytes.length b - body_off) in
+  if crc <> actual then failwith "Pax.decode: checksum mismatch";
+  let capacity, off = Varint.read_uint b body_off in
+  let n, off = Varint.read_uint b off in
+  let ncols, off = Varint.read_uint b off in
+  let off = ref off in
+  let specs =
+    List.init ncols (fun _ ->
+        let name, o = Varint.read_string b !off in
+        let ctype =
+          match Bytes.get b o with
+          | 'i' -> Value.T_int
+          | 'f' -> Value.T_float
+          | 's' -> Value.T_str
+          | 'b' -> Value.T_bool
+          | c -> Fmt.failwith "Pax.decode: bad column type %C" c
+        in
+        off := o + 1;
+        (name, ctype))
+  in
+  let t = create (Value.Schema.make specs) ~capacity in
+  let dels = Array.make n false in
+  for slot = 0 to n - 1 do
+    let rid, o = Varint.read_uint b !off in
+    t.row_ids.(slot) <- rid;
+    dels.(slot) <- Bytes.get b o = '\x01';
+    off := o + 1
+  done;
+  t.n <- n;
+  for col = 0 to ncols - 1 do
+    for slot = 0 to n - 1 do
+      let v, o = Value.decode b !off in
+      store_set t ~slot ~col v;
+      off := o
+    done
+  done;
+  for slot = 0 to n - 1 do
+    if dels.(slot) then bitmap_set t.deleted slot true
+  done;
+  t

@@ -1,0 +1,68 @@
+(** PAX-format data pages (Ailamaki et al.; paper §5.2).
+
+    A page stores up to [capacity] tuples column-major: each attribute
+    occupies its own typed minipage (OCaml arrays here), with per-column
+    null bitmaps and a sorted [row_id] vector. Hot and cold pages use
+    this format and support in-place updates; historical versions live
+    in the UNDO side (twin tables), never in the page.
+
+    Row ids are assigned monotonically, so within a page the row_id
+    vector is strictly increasing and lookup is a binary search.
+    Deletion marks a slot; space is reclaimed on freeze or compaction. *)
+
+type t
+
+val create : Value.Schema.t -> capacity:int -> t
+
+val schema : t -> Value.Schema.t
+val capacity : t -> int
+val count : t -> int
+(** Number of occupied slots, including delete-marked ones. *)
+
+val live_count : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val min_row_id : t -> int
+(** @raise Invalid_argument on an empty page. *)
+
+val max_row_id : t -> int
+
+val append : t -> row_id:int -> Value.t array -> int
+(** Add a tuple; returns its slot. Row ids must arrive in increasing
+    order. @raise Invalid_argument if full, out of order, or the row
+    does not match the schema. *)
+
+val find : t -> row_id:int -> int option
+(** Slot of [row_id] (even if delete-marked); [None] if absent. *)
+
+val get : t -> slot:int -> Value.t array
+val get_col : t -> slot:int -> col:int -> Value.t
+val set_col : t -> slot:int -> col:int -> Value.t -> unit
+val row_id_at : t -> slot:int -> int
+
+val mark_deleted : t -> slot:int -> unit
+val unmark_deleted : t -> slot:int -> unit
+(** Rollback of an aborted delete. *)
+
+val is_deleted : t -> slot:int -> bool
+
+val compact : t -> t
+(** Copy with delete-marked slots dropped. *)
+
+val iter_live : t -> (int -> Value.t array -> unit) -> unit
+(** [iter_live t f] calls [f row_id tuple] for each non-deleted tuple in
+    row_id order. *)
+
+val iter_all : t -> (int -> deleted:bool -> Value.t array -> unit) -> unit
+(** Like {!iter_live} but includes delete-marked tuples (MVCC scans need
+    them: a marked tuple may still be visible to older snapshots). *)
+
+val size_bytes : t -> int
+(** Current storage footprint estimate (for buffer budgets). *)
+
+val encode : t -> Bytes.t
+(** Serialise with a trailing CRC32. *)
+
+val decode : Bytes.t -> t
+(** @raise Failure on checksum mismatch or malformed input. *)

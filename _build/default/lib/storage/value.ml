@@ -1,0 +1,132 @@
+module Varint = Phoebe_util.Varint
+
+type t = Null | Int of int | Float of float | Str of string | Bool of bool
+
+type col_type = T_int | T_float | T_str | T_bool
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Str _ -> Some T_str
+  | Bool _ -> Some T_bool
+
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | Str _ -> 3 | Bool _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Null -> "NULL"
+  | Int v -> string_of_int v
+  | Float v -> Printf.sprintf "%g" v
+  | Str v -> v
+  | Bool v -> string_of_bool v
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let size_bytes = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s -> String.length s + 2
+  | Bool _ -> 1
+
+let encode buf = function
+  | Null -> Buffer.add_char buf '\x00'
+  | Int v ->
+    Buffer.add_char buf '\x01';
+    Varint.write_int buf v
+  | Float v ->
+    Buffer.add_char buf '\x02';
+    Varint.write_float buf v
+  | Str v ->
+    Buffer.add_char buf '\x03';
+    Varint.write_string buf v
+  | Bool v ->
+    Buffer.add_char buf '\x04';
+    Buffer.add_char buf (if v then '\x01' else '\x00')
+
+let decode b off =
+  let tag = Bytes.get b off in
+  let off = off + 1 in
+  match tag with
+  | '\x00' -> (Null, off)
+  | '\x01' ->
+    let v, off = Varint.read_int b off in
+    (Int v, off)
+  | '\x02' ->
+    let v, off = Varint.read_float b off in
+    (Float v, off)
+  | '\x03' ->
+    let v, off = Varint.read_string b off in
+    (Str v, off)
+  | '\x04' -> (Bool (Bytes.get b off = '\x01'), off + 1)
+  | c -> Fmt.failwith "Value.decode: bad tag %C" c
+
+(* Memcomparable encoding: a type-rank byte, then a representation whose
+   bytewise order matches value order. Ints are biased to unsigned
+   big-endian; floats get the standard sign-flip trick; strings are
+   escaped with 0x00->0x00 0xFF so that the 0x00 0x00 terminator sorts
+   shorter strings first. *)
+let encode_key buf v =
+  Buffer.add_char buf (Char.chr (rank v));
+  match v with
+  | Null -> ()
+  | Int x ->
+    let biased = Int64.add (Int64.of_int x) Int64.min_int in
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical biased (i * 8)) land 0xff))
+    done
+  | Float f ->
+    let bits = Int64.bits_of_float f in
+    let bits =
+      if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int else Int64.lognot bits
+    in
+    for i = 7 downto 0 do
+      Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical bits (i * 8)) land 0xff))
+    done
+  | Str s ->
+    String.iter
+      (fun c ->
+        Buffer.add_char buf c;
+        if c = '\x00' then Buffer.add_char buf '\xff')
+      s;
+    Buffer.add_string buf "\x00\x00"
+  | Bool b -> Buffer.add_char buf (if b then '\x01' else '\x00')
+
+module Schema = struct
+  type value = t
+
+  type column = { name : string; ctype : col_type }
+
+  type t = { cols : column array; by_name : (string, int) Hashtbl.t }
+
+  let make specs =
+    let cols = Array.of_list (List.map (fun (name, ctype) -> { name; ctype }) specs) in
+    let by_name = Hashtbl.create (Array.length cols) in
+    Array.iteri (fun i c -> Hashtbl.replace by_name c.name i) cols;
+    { cols; by_name }
+
+  let columns t = t.cols
+  let arity t = Array.length t.cols
+
+  let column_index t name =
+    match Hashtbl.find_opt t.by_name name with Some i -> i | None -> raise Not_found
+
+  let column_type t i = t.cols.(i).ctype
+
+  let check_row t row =
+    Array.length row = Array.length t.cols
+    && Array.for_all2
+         (fun v c -> match type_of v with None -> true | Some ty -> ty = c.ctype)
+         row t.cols
+end

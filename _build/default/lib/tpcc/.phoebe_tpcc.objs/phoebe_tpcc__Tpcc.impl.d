@@ -1,0 +1,1 @@
+lib/tpcc/tpcc.ml: Array Fmt Hashtbl List Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_util Printf String

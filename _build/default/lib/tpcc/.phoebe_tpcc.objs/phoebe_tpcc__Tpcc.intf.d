@@ -1,0 +1,1 @@
+lib/tpcc/tpcc.mli: Phoebe_core Phoebe_util

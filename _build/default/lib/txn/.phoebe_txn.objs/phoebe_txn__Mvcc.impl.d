@@ -1,0 +1,1 @@
+lib/txn/mvcc.ml: Array Clock Phoebe_runtime Phoebe_sim Phoebe_storage Undo

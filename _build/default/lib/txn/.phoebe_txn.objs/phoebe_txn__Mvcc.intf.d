@@ -1,0 +1,1 @@
+lib/txn/mvcc.mli: Phoebe_storage Undo

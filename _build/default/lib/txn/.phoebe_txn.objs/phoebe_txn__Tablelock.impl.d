@@ -1,0 +1,1 @@
+lib/txn/tablelock.ml: Hashtbl Phoebe_runtime

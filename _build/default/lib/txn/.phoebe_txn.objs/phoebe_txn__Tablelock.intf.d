@@ -1,0 +1,1 @@
+lib/txn/tablelock.mli: Phoebe_runtime

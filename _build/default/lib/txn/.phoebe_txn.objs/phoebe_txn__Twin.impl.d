@@ -1,0 +1,1 @@
+lib/txn/twin.ml: Hashtbl List Phoebe_runtime Undo

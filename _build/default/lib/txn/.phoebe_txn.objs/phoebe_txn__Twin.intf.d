@@ -1,0 +1,1 @@
+lib/txn/twin.mli: Phoebe_runtime Undo

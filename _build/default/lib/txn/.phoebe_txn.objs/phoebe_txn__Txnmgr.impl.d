@@ -1,0 +1,1 @@
+lib/txn/txnmgr.ml: Array Clock Hashtbl List Phoebe_runtime Phoebe_sim Phoebe_wal Printf Queue Tablelock Twin Undo

@@ -1,0 +1,1 @@
+lib/txn/txnmgr.mli: Clock Phoebe_runtime Phoebe_sim Phoebe_wal Tablelock Twin Undo

@@ -1,0 +1,1 @@
+lib/txn/undo.ml: Array Clock Phoebe_storage

@@ -1,0 +1,1 @@
+lib/txn/undo.mli: Phoebe_storage

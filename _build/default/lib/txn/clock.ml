@@ -1,0 +1,20 @@
+type t = { mutable ts : int }
+
+let create () = { ts = 0 }
+
+let next t =
+  t.ts <- t.ts + 1;
+  t.ts
+
+let current t = t.ts
+let advance_to t ts = if ts > t.ts then t.ts <- ts
+
+let xid_marker = 1 lsl 61
+
+(* One bit below the marker is reserved, mirroring the paper's layout. *)
+let xid_of_start_ts ts =
+  assert (ts >= 0 && ts < 1 lsl 59);
+  xid_marker lor (ts lsl 1)
+
+let is_xid v = v land xid_marker <> 0
+let start_ts_of_xid v = (v land lnot xid_marker) lsr 1

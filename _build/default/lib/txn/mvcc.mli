@@ -1,0 +1,29 @@
+(** Visible-version retrieval — Algorithm 1 of the paper.
+
+    Given the current in-page tuple, its page delete mark and its version
+    chain, reconstruct the version visible to a snapshot. Because XIDs
+    carry a high marker bit, an uncommitted [ets] compares greater than
+    every snapshot and the algorithm needs no committed/uncommitted case
+    split, exactly as in the paper. *)
+
+val visible_version :
+  xid:int ->
+  snapshot:int ->
+  current:Phoebe_storage.Value.t array ->
+  deleted_in_page:bool ->
+  head:Undo.t option ->
+  Phoebe_storage.Value.t array option
+(** [None] means the row is invisible at this snapshot (deleted, or not
+    yet inserted). [head] should come from {!Twin.chain_head} (reclaimed
+    chains read as [None], making the in-page version visible). *)
+
+type write_check =
+  | Write_ok  (** no newer committed version, no concurrent writer *)
+  | Write_conflict of int  (** a committed version newer than the snapshot: [cts] *)
+  | Write_wait of int  (** an uncommitted writer holds the tuple: its XID *)
+
+val check_write : xid:int -> snapshot:int -> head:Undo.t option -> write_check
+(** The pre-write protocol of §6.2: examine the chain header before
+    modifying a tuple. [Write_wait] directs the caller to the holder's
+    transaction-ID lock; what happens after the wait (retry vs abort)
+    depends on the isolation level. *)

@@ -1,0 +1,40 @@
+module Waitq = Phoebe_runtime.Scheduler.Waitq
+
+type mode = Shared | Exclusive
+
+type t = {
+  mutable x_holder : int;  (* xid, 0 = none *)
+  shared : (int, unit) Hashtbl.t;  (* xid set *)
+  q : Waitq.q;
+}
+
+let create () = { x_holder = 0; shared = Hashtbl.create 8; q = Waitq.create () }
+
+let holders t = if t.x_holder <> 0 then 1 else Hashtbl.length t.shared
+let exclusive_holder t = t.x_holder
+
+let is_free_for t mode ~xid =
+  match mode with
+  | Shared -> t.x_holder = 0 || t.x_holder = xid
+  | Exclusive ->
+    (t.x_holder = 0 || t.x_holder = xid)
+    && Hashtbl.fold (fun holder () ok -> ok && holder = xid) t.shared true
+
+let add_holder t mode ~xid =
+  match mode with
+  | Shared -> Hashtbl.replace t.shared xid ()
+  | Exclusive ->
+    t.x_holder <- xid;
+    Hashtbl.remove t.shared xid
+
+let remove_holder t ~xid =
+  if t.x_holder = xid then t.x_holder <- 0;
+  Hashtbl.remove t.shared xid;
+  Waitq.signal_all t.q
+
+let held_by t ~xid =
+  if t.x_holder = xid then Some Exclusive
+  else if Hashtbl.mem t.shared xid then Some Shared
+  else None
+
+let waiters t = t.q

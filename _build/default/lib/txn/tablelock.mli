@@ -1,0 +1,24 @@
+(** Table locks (paper §7.2): each relation's B-tree carries its own
+    lock block — no global lock table. DML takes the lock in shared
+    mode (compatible with other DML); DDL-style operations take it
+    exclusively. Locks are held to transaction end. *)
+
+type t
+
+type mode = Shared | Exclusive
+
+val create : unit -> t
+
+val holders : t -> int
+(** Number of shared holders (0 or 1 exclusive holder counts as 1). *)
+
+val exclusive_holder : t -> int
+(** XID of the exclusive holder, or 0. *)
+
+val is_free_for : t -> mode -> xid:int -> bool
+
+val add_holder : t -> mode -> xid:int -> unit
+val remove_holder : t -> xid:int -> unit
+val held_by : t -> xid:int -> mode option
+
+val waiters : t -> Phoebe_runtime.Scheduler.Waitq.q

@@ -1,0 +1,40 @@
+module Waitq = Phoebe_runtime.Scheduler.Waitq
+
+type entry = {
+  mutable head : Undo.t option;
+  mutable lock_xid : int;
+  lock_waiters : Waitq.q;
+  mutable wgsn : int;
+  mutable wslot : int;
+}
+
+type t = { entries : (int, entry) Hashtbl.t; mutable max_xid : int }
+
+let create () = { entries = Hashtbl.create 16; max_xid = 0 }
+
+let find t ~rid = Hashtbl.find_opt t.entries rid
+
+let find_or_add t ~rid =
+  match Hashtbl.find_opt t.entries rid with
+  | Some e -> e
+  | None ->
+    let e = { head = None; lock_xid = 0; lock_waiters = Waitq.create (); wgsn = 0; wslot = -1 } in
+    Hashtbl.add t.entries rid e;
+    e
+
+let max_modifier_xid t = t.max_xid
+let note_modifier t ~xid = if xid > t.max_xid then t.max_xid <- xid
+let entry_count t = Hashtbl.length t.entries
+
+let chain_head entry =
+  match entry.head with
+  | Some u when not u.Undo.reclaimed -> Some u
+  | _ -> None
+
+let sweep t =
+  let dead =
+    Hashtbl.fold
+      (fun rid e acc -> if chain_head e = None && e.lock_xid = 0 then rid :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) dead

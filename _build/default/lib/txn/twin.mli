@@ -1,0 +1,41 @@
+(** Twin tables (paper §6.2): the page-level mapping from tuples to their
+    version chains.
+
+    Rather than widening every tuple with a version pointer, each data
+    page that has ever been modified owns a twin table mapping row ids to
+    version-chain heads — created lazily on first modification, so the
+    memory footprint tracks the hot working set. Tuple-lock metadata
+    (granted count / owner) also lives here (§7.2). *)
+
+type entry = {
+  mutable head : Undo.t option;
+  mutable lock_xid : int;  (** 0 when the tuple lock is free *)
+  lock_waiters : Phoebe_runtime.Scheduler.Waitq.q;
+  mutable wgsn : int;  (** GSN of the tuple's last write (tuple-level RFA, §8) *)
+  mutable wslot : int;  (** slot that performed it; -1 = none/flushed long ago *)
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> rid:int -> entry option
+
+val find_or_add : t -> rid:int -> entry
+
+val max_modifier_xid : t -> int
+
+val note_modifier : t -> xid:int -> unit
+(** Record the largest XID that has modified this page (twin-table GC
+    reclaims a table only once that XID is globally frozen, §7.3). *)
+
+val entry_count : t -> int
+
+val sweep : t -> unit
+(** Drop entries whose chain head has been reclaimed (or is empty) and
+    whose tuple lock is free. *)
+
+val chain_head : entry -> Undo.t option
+(** The head, filtered through the reclaimed flag: reclaimed heads read
+    as [None] (the paper's "invalid pointer" case), without taking any
+    latch — the queue-like reclamation order makes the flag check safe. *)

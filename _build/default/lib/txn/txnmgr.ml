@@ -1,0 +1,369 @@
+module Scheduler = Phoebe_runtime.Scheduler
+module Waitq = Scheduler.Waitq
+module Component = Phoebe_sim.Component
+module Cost = Phoebe_sim.Cost
+module Wal = Phoebe_wal.Wal
+module Record = Phoebe_wal.Record
+
+module Resource = Phoebe_sim.Resource
+module Engine = Phoebe_sim.Engine
+
+type isolation = Read_committed | Repeatable_read
+type state = Active | Committed | Aborted
+type snapshot_mode = O1_timestamp | Scan_active
+
+type contention = {
+  engine : Engine.t;
+  lock_table : (Resource.t * int) option;
+  proc_array : (Resource.t * int) option;
+}
+
+exception Abort of string
+
+type txn = {
+  xid : int;
+  start_ts : int;
+  isolation : isolation;
+  slot : int;
+  mutable snapshot : int;
+  mutable cts : int;
+  mutable state : state;
+  mutable undo_newest : Undo.t option;
+  mutable undo_count : int;
+  waiters : Waitq.q;
+  mutable needs_remote : bool;
+  mutable remote_gsn : int;
+  mutable wrote : bool;
+  mutable waiting_on : int;
+  mutable held_table_locks : Tablelock.t list;
+}
+
+type bundle = { bcts : int; bxid : int; undos : Undo.t option }
+
+type t = {
+  tclock : Clock.t;
+  twal : Wal.t;
+  snapshot_mode : snapshot_mode;
+  contention : contention option;
+  active : (int, txn) Hashtbl.t;
+  slot_bundles : bundle Queue.t array;
+  slot_last_reclaimed_xid : int array;
+  twins : (int, Twin.t) Hashtbl.t;
+  mutable live_undo_bytes : int;
+  mutable n_committed : int;
+  mutable n_aborted : int;
+}
+
+let create ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention () =
+  {
+    tclock = clock;
+    twal = wal;
+    snapshot_mode;
+    contention;
+    active = Hashtbl.create 256;
+    slot_bundles = Array.init n_slots (fun _ -> Queue.create ());
+    slot_last_reclaimed_xid = Array.make n_slots 0;
+    twins = Hashtbl.create 1024;
+    live_undo_bytes = 0;
+    n_committed = 0;
+    n_aborted = 0;
+  }
+
+let clock t = t.tclock
+let wal t = t.twal
+
+let costs () =
+  match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
+
+(* Pass through a globally serialised resource: queue behind everyone
+   ahead, hold it for [hold_ns], resume when service completes. *)
+let serialize eng r ~hold_ns =
+  let finish = Resource.acquire_for r ~hold_ns in
+  if finish > Engine.now eng then
+    Scheduler.io_wait (fun resume -> Engine.schedule_at eng ~time:finish resume)
+
+let through_lock_table t =
+  match t.contention with
+  | Some { engine; lock_table = Some (r, hold_ns); _ } -> serialize engine r ~hold_ns
+  | _ -> ()
+
+let through_proc_array t =
+  match t.contention with
+  | Some { engine; proc_array = Some (r, hold_ns); _ } -> serialize engine r ~hold_ns
+  | _ -> ()
+
+let take_snapshot t =
+  let c = costs () in
+  match t.snapshot_mode with
+  | O1_timestamp ->
+    Scheduler.charge Component.Mvcc c.Cost.snapshot_acquire;
+    Clock.current t.tclock
+  | Scan_active ->
+    (* PostgreSQL-style: take the proc-array latch, then walk the active
+       transactions; O(active transactions) with a serialization point. *)
+    through_proc_array t;
+    Scheduler.charge Component.Mvcc
+      (c.Cost.snapshot_acquire + (c.Cost.snapshot_scan_per_txn * Hashtbl.length t.active));
+    Clock.current t.tclock
+
+let begin_txn t ~isolation ~slot =
+  let c = costs () in
+  Scheduler.charge Component.Effective c.Cost.txn_begin;
+  let start_ts = Clock.next t.tclock in
+  let xid = Clock.xid_of_start_ts start_ts in
+  let txn =
+    {
+      xid;
+      start_ts;
+      isolation;
+      slot;
+      snapshot = 0;
+      cts = 0;
+      state = Active;
+      undo_newest = None;
+      undo_count = 0;
+      waiters = Waitq.create ();
+      needs_remote = false;
+      remote_gsn = 0;
+      wrote = false;
+      waiting_on = 0;
+      held_table_locks = [];
+    }
+  in
+  txn.snapshot <- take_snapshot t;
+  Hashtbl.replace t.active xid txn;
+  txn
+
+let refresh_snapshot t txn =
+  match txn.isolation with
+  | Read_committed -> txn.snapshot <- take_snapshot t
+  | Repeatable_read -> ()
+
+let add_undo t txn undo =
+  Scheduler.charge Component.Mvcc (costs ()).Cost.undo_create;
+  undo.Undo.next_in_txn <- txn.undo_newest;
+  txn.undo_newest <- Some undo;
+  txn.undo_count <- txn.undo_count + 1;
+  txn.wrote <- true;
+  t.live_undo_bytes <- t.live_undo_bytes + Undo.size_bytes undo
+
+let finish t txn final_state =
+  txn.state <- final_state;
+  Hashtbl.remove t.active txn.xid;
+  List.iter (fun tl -> Tablelock.remove_holder tl ~xid:txn.xid) txn.held_table_locks;
+  txn.held_table_locks <- [];
+  Waitq.signal_all txn.waiters
+
+let commit t txn =
+  if txn.state <> Active then invalid_arg "Txnmgr.commit: transaction not active";
+  let c = costs () in
+  Scheduler.charge Component.Effective c.Cost.txn_finalize;
+  let cts = Clock.next t.tclock in
+  txn.cts <- cts;
+  (* one scan over the transaction's grouped UNDO logs (§6.2) *)
+  Undo.iter_txn txn.undo_newest (fun u ->
+      Scheduler.charge Component.Mvcc c.Cost.commit_stamp_per_undo;
+      u.Undo.ets <- cts);
+  if txn.wrote then begin
+    let gsn = Wal.next_gsn t.twal ~slot:txn.slot ~page_gsn:0 in
+    let lsn = Wal.append t.twal ~slot:txn.slot (Record.Commit { xid = txn.xid; cts }) ~gsn in
+    (* without RFA, a commit must wait for every log with a lower GSN to
+       be durable (the distributed-logging rule the paper contrasts) *)
+    let needs_remote, remote_gsn =
+      if (Wal.config t.twal).Wal.rfa then (txn.needs_remote, txn.remote_gsn)
+      else (true, gsn - 1)
+    in
+    Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn
+  end;
+  (* bundle joins the slot's GC queue in commit order *)
+  if txn.undo_newest <> None then
+    Queue.push { bcts = cts; bxid = txn.xid; undos = txn.undo_newest } t.slot_bundles.(txn.slot);
+  t.n_committed <- t.n_committed + 1;
+  finish t txn Committed
+
+let abort t txn ~rollback =
+  if txn.state <> Active then invalid_arg "Txnmgr.abort: transaction not active";
+  let c = costs () in
+  Scheduler.charge Component.Effective c.Cost.txn_finalize;
+  Undo.iter_txn txn.undo_newest (fun u ->
+      rollback u;
+      u.Undo.reclaimed <- true;
+      t.live_undo_bytes <- t.live_undo_bytes - Undo.size_bytes u);
+  if txn.wrote then begin
+    let gsn = Wal.next_gsn t.twal ~slot:txn.slot ~page_gsn:0 in
+    ignore (Wal.append t.twal ~slot:txn.slot (Record.Abort { xid = txn.xid }) ~gsn)
+  end;
+  t.n_aborted <- t.n_aborted + 1;
+  finish t txn Aborted
+
+let find_active t ~xid = Hashtbl.find_opt t.active xid
+let active_count t = Hashtbl.length t.active
+
+(* ------------------------------------------------------------------ *)
+(* Transaction-ID locks *)
+
+(* Deadlock detection: walk the waiting_on chain from the lock holder;
+   if it reaches the requester, granting the wait would close a cycle. *)
+let would_deadlock t ~requester ~holder_xid =
+  let rec walk xid depth =
+    if depth > 64 then false
+    else if xid = requester.xid then true
+    else
+      match Hashtbl.find_opt t.active xid with
+      | None -> false
+      | Some holder -> if holder.waiting_on = 0 then false else walk holder.waiting_on (depth + 1)
+  in
+  walk holder_xid 0
+
+let wait_for_txn t txn ~holder_xid =
+  let c = costs () in
+  through_lock_table t;
+  Scheduler.charge Component.Lock c.Cost.txnid_lock;
+  match Hashtbl.find_opt t.active holder_xid with
+  | None -> () (* already finished: the shared lock is granted instantly *)
+  | Some holder ->
+    if would_deadlock t ~requester:txn ~holder_xid then
+      raise (Abort (Printf.sprintf "deadlock waiting for xid %d" holder_xid));
+    txn.waiting_on <- holder_xid;
+    Waitq.wait holder.waiters;
+    txn.waiting_on <- 0
+
+let holder_state_after_wait t ~xid =
+  match Hashtbl.find_opt t.active xid with
+  | Some _ -> Active
+  | None -> Committed
+(* Aborted holders are also absent from the active table; the caller
+   distinguishes them by re-examining the version chain header: an
+   aborted writer's UNDO log is marked reclaimed during rollback. *)
+
+(* ------------------------------------------------------------------ *)
+(* Twin tables *)
+
+let twin_for_page t ~page_id =
+  match Hashtbl.find_opt t.twins page_id with
+  | Some tw -> tw
+  | None ->
+    let tw = Twin.create () in
+    Hashtbl.add t.twins page_id tw;
+    tw
+
+let twin_of_page t ~page_id = Hashtbl.find_opt t.twins page_id
+
+let lock_tuple t txn (entry : Twin.entry) =
+  let c = costs () in
+  through_lock_table t;
+  (match t.contention with
+  | Some { lock_table = Some _; _ } -> Scheduler.charge Component.Lock c.Cost.global_lock_table
+  | _ -> ());
+  Scheduler.charge Component.Lock c.Cost.tuple_lock;
+  let rec acquire () =
+    if entry.Twin.lock_xid = 0 || entry.Twin.lock_xid = txn.xid then entry.Twin.lock_xid <- txn.xid
+    else begin
+      (match Hashtbl.find_opt t.active entry.Twin.lock_xid with
+      | Some _ when would_deadlock t ~requester:txn ~holder_xid:entry.Twin.lock_xid ->
+        raise (Abort "deadlock on tuple lock")
+      | Some _ ->
+        txn.waiting_on <- entry.Twin.lock_xid;
+        Waitq.wait entry.Twin.lock_waiters;
+        txn.waiting_on <- 0;
+        (* re-acquisition work; charged after the wake — a charge can
+           suspend, and nothing may suspend between the liveness check
+           and the wait *)
+        Scheduler.charge Component.Lock c.Cost.tuple_lock
+      | None -> entry.Twin.lock_xid <- 0);
+      acquire ()
+    end
+  in
+  acquire ()
+
+let unlock_tuple _t txn (entry : Twin.entry) =
+  if entry.Twin.lock_xid = txn.xid then begin
+    entry.Twin.lock_xid <- 0;
+    Waitq.signal_all entry.Twin.lock_waiters
+  end
+
+let lock_table t txn tl ~mode =
+  let c = costs () in
+  let already =
+    match (Tablelock.held_by tl ~xid:txn.xid, mode) with
+    | Some Tablelock.Exclusive, _ -> true
+    | Some Tablelock.Shared, Tablelock.Shared -> true
+    | _ -> false
+  in
+  if not already then begin
+    let rec acquire () =
+      Scheduler.charge Component.Lock c.Cost.tuple_lock;
+      if Tablelock.is_free_for tl mode ~xid:txn.xid then begin
+        if Tablelock.held_by tl ~xid:txn.xid = None then
+          txn.held_table_locks <- tl :: txn.held_table_locks;
+        Tablelock.add_holder tl mode ~xid:txn.xid
+      end
+      else begin
+        let holder = Tablelock.exclusive_holder tl in
+        if holder <> 0 && would_deadlock t ~requester:txn ~holder_xid:holder then
+          raise (Abort "deadlock on table lock");
+        txn.waiting_on <- (if holder <> 0 then holder else txn.waiting_on);
+        Waitq.wait (Tablelock.waiters tl);
+        txn.waiting_on <- 0;
+        acquire ()
+      end
+    in
+    acquire ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection *)
+
+let min_active_start_ts t =
+  (* one pass over the active transactions — computed once per GC cycle
+     and passed to every slot's reclaim *)
+  let c = costs () in
+  Scheduler.charge Component.Gc (30 * max 1 (Hashtbl.length t.active));
+  ignore c;
+  Hashtbl.fold (fun _ txn acc -> min acc txn.start_ts) t.active max_int
+
+let max_frozen_xid t =
+  Array.fold_left (fun acc x -> min acc x) max_int t.slot_last_reclaimed_xid
+
+let gc_slot t ~slot ~watermark ~on_reclaim =
+  let c = costs () in
+  let q = t.slot_bundles.(slot) in
+  let reclaimed = ref 0 in
+  let rec go () =
+    match Queue.peek_opt q with
+    | Some b when b.bcts < watermark ->
+      ignore (Queue.pop q);
+      Undo.iter_txn b.undos (fun u ->
+          Scheduler.charge Component.Gc c.Cost.gc_per_undo;
+          on_reclaim u;
+          u.Undo.reclaimed <- true;
+          t.live_undo_bytes <- t.live_undo_bytes - Undo.size_bytes u;
+          incr reclaimed);
+      if b.bxid > t.slot_last_reclaimed_xid.(slot) then t.slot_last_reclaimed_xid.(slot) <- b.bxid;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  !reclaimed
+
+let gc_twins t =
+  let frozen = max_frozen_xid t in
+  let removed = ref 0 in
+  let dead_tables = ref [] in
+  Hashtbl.iter
+    (fun page_id tw ->
+      let before = Twin.entry_count tw in
+      Twin.sweep tw;
+      removed := !removed + before - Twin.entry_count tw;
+      if Twin.entry_count tw = 0 && Twin.max_modifier_xid tw <= frozen then
+        dead_tables := page_id :: !dead_tables)
+    t.twins;
+  List.iter (Hashtbl.remove t.twins) !dead_tables;
+  !removed
+
+let dump_active t =
+  Hashtbl.fold (fun _ txn acc -> (txn.xid, txn.slot, txn.waiting_on) :: acc) t.active []
+
+let undo_bytes t = t.live_undo_bytes
+let stats_aborted t = t.n_aborted
+let stats_committed t = t.n_committed

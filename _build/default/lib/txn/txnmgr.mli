@@ -1,0 +1,148 @@
+(** Transaction lifecycle, decentralized locks, and garbage collection
+    (paper §6, §7.2, §7.3).
+
+    Each transaction gets an XID embedding its start timestamp; its
+    snapshot is a single clock read (O(1)), refreshed per statement under
+    read committed and pinned at start under repeatable read. Commit
+    stamps every UNDO log with the commit timestamp in one scan, logs a
+    commit record, and waits for WAL durability per the RFA rule.
+
+    Locks are decentralized: each transaction carries the wait queue for
+    its own transaction-ID lock (no global lock table); tuple-lock
+    metadata lives in the twin tables. A wait-for walk at block time
+    aborts the requester on cycles (deadlock). *)
+
+type isolation = Read_committed | Repeatable_read
+
+type state = Active | Committed | Aborted
+
+type snapshot_mode =
+  | O1_timestamp  (** PhoebeDB: one clock read *)
+  | Scan_active  (** PostgreSQL-style: cost scales with active transactions (baseline/ablation) *)
+
+(** Serialization points of the PostgreSQL-style baseline: a global
+    lock-manager latch every lock operation funnels through, and the
+    proc-array latch serialising snapshot acquisition. [None] = the
+    decentralized PhoebeDB design (§7.2). *)
+type contention = {
+  engine : Phoebe_sim.Engine.t;
+  lock_table : (Phoebe_sim.Resource.t * int) option;  (** resource, hold ns per lock op *)
+  proc_array : (Phoebe_sim.Resource.t * int) option;  (** resource, hold ns per snapshot *)
+}
+
+exception Abort of string
+(** Raised into the transaction body on conflicts/deadlocks; the runner
+    rolls back (and typically retries). *)
+
+type txn = {
+  xid : int;
+  start_ts : int;
+  isolation : isolation;
+  slot : int;
+  mutable snapshot : int;
+  mutable cts : int;
+  mutable state : state;
+  mutable undo_newest : Undo.t option;
+  mutable undo_count : int;
+  waiters : Phoebe_runtime.Scheduler.Waitq.q;  (** this txn's ID lock *)
+  mutable needs_remote : bool;
+  mutable remote_gsn : int;
+  mutable wrote : bool;
+  mutable waiting_on : int;  (** xid currently blocked on; 0 = none *)
+  mutable held_table_locks : Tablelock.t list;  (** released at txn end (§7.2) *)
+}
+
+type t
+
+val create :
+  clock:Clock.t ->
+  wal:Phoebe_wal.Wal.t ->
+  n_slots:int ->
+  ?snapshot_mode:snapshot_mode ->
+  ?contention:contention ->
+  unit ->
+  t
+
+val clock : t -> Clock.t
+val wal : t -> Phoebe_wal.Wal.t
+
+(** {1 Lifecycle} *)
+
+val begin_txn : t -> isolation:isolation -> slot:int -> txn
+
+val refresh_snapshot : t -> txn -> unit
+(** Statement boundary under read committed: take a fresh snapshot.
+    No-op under repeatable read. *)
+
+val add_undo : t -> txn -> Undo.t -> unit
+(** Register a freshly created UNDO log with its transaction. *)
+
+val commit : t -> txn -> unit
+(** Assign cts, stamp the UNDO logs, log + await durability (RFA), wake
+    ID-lock waiters, and queue the UNDO bundle for GC. *)
+
+val abort : t -> txn -> rollback:(Undo.t -> unit) -> unit
+(** Roll back newest-to-oldest via [rollback], log an abort record, wake
+    waiters. *)
+
+val find_active : t -> xid:int -> txn option
+val active_count : t -> int
+
+(** {1 Waiting (transaction-ID locks)} *)
+
+val wait_for_txn : t -> txn -> holder_xid:int -> unit
+(** Take a shared lock on [holder_xid]'s ID lock: block until that
+    transaction finishes. Detects wait-for cycles and raises {!Abort}
+    on deadlock. Returns immediately if the holder already finished. *)
+
+val holder_state_after_wait : t -> xid:int -> state
+(** After a wait, what became of the holder (for the RR commit/abort
+    decision). [Committed] if it is no longer active. *)
+
+(** {1 Twin tables} *)
+
+val twin_for_page : t -> page_id:int -> Twin.t
+val twin_of_page : t -> page_id:int -> Twin.t option
+
+val lock_tuple : t -> txn -> Twin.entry -> unit
+(** Short-duration tuple lock (held at most for one operation, §7.2). *)
+
+val lock_table : t -> txn -> Tablelock.t -> mode:Tablelock.mode -> unit
+(** Acquire a table lock, blocking behind incompatible holders (with
+    deadlock detection); held until commit/abort. DML takes [Shared]
+    (compatible with other DML), DDL-style operations [Exclusive]. *)
+
+val unlock_tuple : t -> txn -> Twin.entry -> unit
+
+(** {1 Garbage collection (§7.3)} *)
+
+val min_active_start_ts : t -> int
+(** The low watermark: UNDO logs with cts below it are reclaimable.
+    [max_int] when no transaction is active. *)
+
+val max_frozen_xid : t -> int
+(** High watermark: all transactions with XID at or below it are
+    globally visible (by-product of UNDO GC). *)
+
+val gc_slot : t -> slot:int -> watermark:int -> on_reclaim:(Undo.t -> unit) -> int
+(** Reclaim committed UNDO bundles of one slot queue-style up to
+    [watermark] (from {!min_active_start_ts}, computed once per GC
+    cycle). [on_reclaim] fires for every reclaimed log (before the
+    reclaimed flag is set) so the caller can do the physical cleanup:
+    strip index entries of deleted tuples, drop stale index entries of
+    key updates. Returns the number of UNDO logs reclaimed. *)
+
+val gc_twins : t -> int
+(** Sweep twin tables: drop reclaimed entries, drop tables whose max
+    modifier XID is at or below the frozen watermark. Returns entries
+    removed. *)
+
+val undo_bytes : t -> int
+(** Live UNDO memory (decreases as GC reclaims). *)
+
+val stats_aborted : t -> int
+val stats_committed : t -> int
+
+val dump_active : t -> (int * int * int) list
+(** (xid, slot, waiting_on) of every active transaction — deadlock
+    diagnostics for tests and tooling. *)

@@ -1,0 +1,43 @@
+module Value = Phoebe_storage.Value
+
+type kind = Created | Updated of (int * Value.t) array | Deleted of Value.t array
+
+type t = {
+  table_id : int;
+  rid : int;
+  kind : kind;
+  sts : int;
+  mutable ets : int;
+  slot : int;
+  mutable next : t option;
+  mutable next_in_txn : t option;
+  mutable reclaimed : bool;
+}
+
+let make ~table_id ~rid ~kind ~sts ~xid ~slot ~prev =
+  { table_id; rid; kind; sts; ets = xid; slot; next = prev; next_in_txn = None; reclaimed = false }
+
+let is_committed t = not (Clock.is_xid t.ets)
+
+let iter_txn head f =
+  let rec go = function
+    | None -> ()
+    | Some u ->
+      f u;
+      go u.next_in_txn
+  in
+  go head
+
+let txn_length head =
+  let n = ref 0 in
+  iter_txn head (fun _ -> incr n);
+  !n
+
+let size_bytes t =
+  let delta =
+    match t.kind with
+    | Created -> 0
+    | Updated cols -> Array.fold_left (fun acc (_, v) -> acc + Value.size_bytes v) 0 cols
+    | Deleted row -> Array.fold_left (fun acc v -> acc + Value.size_bytes v) 0 row
+  in
+  64 + delta

@@ -1,0 +1,45 @@
+(** In-memory UNDO logs (paper §6.2).
+
+    Each UNDO log is a before-image delta: for updates, the prior values
+    of only the changed columns; for deletes, the full prior tuple (the
+    deleted-tuple GC needs it to strip index entries); for inserts, the
+    fact that the row did not exist. Logs carry the two timestamps of the
+    paper's design: [sts] (when the before image was committed — the
+    [ets] of the previous log, or 0 if reclaimed/none) and [ets] (the
+    writer's XID while active, overwritten with its commit timestamp).
+
+    Logs of one transaction are linked through [next_in_txn] so commit
+    can stamp all [ets] fields in one scan; logs of one tuple are linked
+    newest-to-oldest through [next], forming the version chain. *)
+
+type kind =
+  | Created
+  | Updated of (int * Phoebe_storage.Value.t) array  (** (column, before image) *)
+  | Deleted of Phoebe_storage.Value.t array  (** full before image *)
+
+type t = {
+  table_id : int;
+  rid : int;
+  kind : kind;
+  sts : int;
+  mutable ets : int;
+  slot : int;
+  mutable next : t option;  (** version chain, newest first *)
+  mutable next_in_txn : t option;
+  mutable reclaimed : bool;
+}
+
+val make :
+  table_id:int -> rid:int -> kind:kind -> sts:int -> xid:int -> slot:int -> prev:t option -> t
+(** New chain head: [ets] starts as [xid], [next] points at [prev]. *)
+
+val is_committed : t -> bool
+(** True once [ets] holds a commit timestamp rather than an XID. *)
+
+val iter_txn : t option -> (t -> unit) -> unit
+(** Iterate a transaction's logs from newest to oldest. *)
+
+val txn_length : t option -> int
+
+val size_bytes : t -> int
+(** Rough memory footprint, for UNDO-space accounting (§7.3). *)

@@ -1,0 +1,15 @@
+(** Mutable binary min-heap, used as the simulator's event queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit

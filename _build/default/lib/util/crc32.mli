@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE 802.3 polynomial) checksums for page and WAL integrity. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> int
+(** Checksum of a byte range; result fits in 32 bits. *)
+
+val string : string -> int
+(** Checksum of a whole string. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable xoshiro256** generator. Every stochastic
+    component of the system (workload generators, schedulers, simulators)
+    takes an explicit generator so that whole-system runs are reproducible
+    from a single seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed via splitmix64. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] is advanced. *)
+
+val next_int64 : t -> int64
+(** Uniform random 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_incl : t -> int -> int -> int
+(** [int_incl t lo hi] is uniform in [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val alpha_string : t -> min_len:int -> max_len:int -> string
+(** Random string of letters and digits, length uniform in the range. *)
+
+val numeric_string : t -> len:int -> string
+(** Random string of decimal digits of exactly [len] characters. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,106 @@
+module Scalar = struct
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; sum = 0.0; sumsq = 0.0; min = infinity; max = neg_infinity }
+
+  let add t v =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    t.sumsq <- t.sumsq +. (v *. v);
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+  let stddev t =
+    if t.count < 2 then 0.0
+    else
+      let n = float_of_int t.count in
+      let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+      if var < 0.0 then 0.0 else sqrt var
+
+  let min t = t.min
+  let max t = t.max
+end
+
+module Histogram = struct
+  (* Buckets are [2^(i/4)] pseudo-log spaced: 4 sub-buckets per power of
+     two keeps percentile error under ~19%. *)
+  let n_buckets = 256
+
+  type t = { buckets : int array; mutable count : int; mutable sum : float }
+
+  let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0.0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else
+      let b = int_of_float (4.0 *. (Float.log (float_of_int v) /. Float.log 2.0)) in
+      if b < 0 then 0 else if b >= n_buckets then n_buckets - 1 else b
+
+  let value_of b = Float.pow 2.0 (float_of_int b /. 4.0)
+
+  let add t v =
+    let b = bucket_of v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. float_of_int v
+
+  let count t = t.count
+
+  let percentile t p =
+    if t.count = 0 then 0.0
+    else begin
+      let target = int_of_float (p *. float_of_int t.count) in
+      let acc = ref 0 in
+      let result = ref (value_of (n_buckets - 1)) in
+      (try
+         for b = 0 to n_buckets - 1 do
+           acc := !acc + t.buckets.(b);
+           if !acc > target then begin
+             result := value_of b;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+end
+
+module Series = struct
+  type t = { bucket_width : int; tbl : (int, float ref) Hashtbl.t }
+
+  let create ~bucket_width = { bucket_width; tbl = Hashtbl.create 64 }
+
+  let add t ~time v =
+    let b = time / t.bucket_width in
+    match Hashtbl.find_opt t.tbl b with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.add t.tbl b (ref v)
+
+  let buckets t =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] in
+    match keys with
+    | [] -> []
+    | _ ->
+      let lo = List.fold_left Stdlib.min (List.hd keys) keys in
+      let hi = List.fold_left Stdlib.max (List.hd keys) keys in
+      List.init (hi - lo + 1) (fun i ->
+          let b = lo + i in
+          let v = match Hashtbl.find_opt t.tbl b with Some r -> !r | None -> 0.0 in
+          (b * t.bucket_width, v))
+
+  let rate_per_second t =
+    let width_s = float_of_int t.bucket_width /. 1e9 in
+    List.map (fun (time, v) -> (float_of_int time /. 1e9, v /. width_s)) (buckets t)
+end

@@ -1,0 +1,47 @@
+(** Streaming statistics: scalar accumulators, latency histograms, and
+    bucketed time series used by the experiment harnesses. *)
+
+module Scalar : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+module Histogram : sig
+  (** Log-scaled latency histogram (nanosecond samples). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] approximates the p99 sample value. *)
+
+  val mean : t -> float
+end
+
+module Series : sig
+  (** Values accumulated into fixed-width time buckets, e.g. bytes
+      flushed per simulated second. *)
+
+  type t
+
+  val create : bucket_width:int -> t
+  (** [bucket_width] is in the same (nanosecond) unit as timestamps. *)
+
+  val add : t -> time:int -> float -> unit
+  val buckets : t -> (int * float) list
+  (** [(bucket_start_time, total)] pairs in time order, gaps filled with 0. *)
+
+  val rate_per_second : t -> (float * float) list
+  (** [(seconds, per-second rate)] pairs, for throughput-over-time plots. *)
+end

@@ -1,0 +1,90 @@
+let write_uint buf v =
+  assert (v >= 0);
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+(* Writes the full native word as an unsigned quantity; zigzagged values
+   may have the top bit set, which plain [write_uint] rejects. *)
+let write_uint_word buf v =
+  let rec go v =
+    if v land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let write_int buf v = write_uint_word buf (zigzag v)
+
+let write_uint64 buf v =
+  let rec go v =
+    if Int64.unsigned_compare v 0x80L < 0 then Buffer.add_char buf (Char.chr (Int64.to_int v))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (Int64.to_int v land 0x7f)));
+      go (Int64.shift_right_logical v 7)
+    end
+  in
+  go v
+
+let write_int64 buf v =
+  write_uint64 buf (Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63))
+
+let write_string buf s =
+  write_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical bits (i * 8)) land 0xff))
+  done
+
+let read_uint b off =
+  let rec go acc shift off =
+    if off >= Bytes.length b then failwith "Varint.read_uint: overrun";
+    let c = Char.code (Bytes.get b off) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then (acc, off + 1) else go acc (shift + 7) (off + 1)
+  in
+  go 0 0 off
+
+let read_int b off =
+  let v, off = read_uint b off in
+  (unzigzag v, off)
+
+let read_uint64 b off =
+  let rec go acc shift off =
+    if off >= Bytes.length b then failwith "Varint.read_uint64: overrun";
+    let c = Char.code (Bytes.get b off) in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (c land 0x7f)) shift) in
+    if c land 0x80 = 0 then (acc, off + 1) else go acc (shift + 7) (off + 1)
+  in
+  go 0L 0 off
+
+let read_int64 b off =
+  let v, off = read_uint64 b off in
+  ( Int64.logxor (Int64.shift_right_logical v 1) (Int64.neg (Int64.logand v 1L)),
+    off )
+
+let read_string b off =
+  let len, off = read_uint b off in
+  if off + len > Bytes.length b then failwith "Varint.read_string: overrun";
+  (Bytes.sub_string b off len, off + len)
+
+let read_float b off =
+  if off + 8 > Bytes.length b then failwith "Varint.read_float: overrun";
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  (Int64.float_of_bits !bits, off + 8)

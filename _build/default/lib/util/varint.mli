@@ -1,0 +1,28 @@
+(** LEB128 variable-length integer codec, plus fixed-width helpers.
+
+    Used by the page serialiser, the frozen-block compressor, and the WAL
+    record codec. Encoders append to a [Buffer.t]; decoders read from
+    [Bytes.t] at an offset and return the new offset. *)
+
+val write_uint : Buffer.t -> int -> unit
+(** Unsigned LEB128; the argument must be non-negative. *)
+
+val write_int : Buffer.t -> int -> unit
+(** Signed integers via zigzag + LEB128. *)
+
+val write_int64 : Buffer.t -> int64 -> unit
+(** Full 64-bit value, zigzag + LEB128. *)
+
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed string. *)
+
+val write_float : Buffer.t -> float -> unit
+(** IEEE-754 bits, fixed 8 bytes little-endian. *)
+
+val read_uint : Bytes.t -> int -> int * int
+(** [read_uint b off] is [(value, off')]. Raises [Failure] on overrun. *)
+
+val read_int : Bytes.t -> int -> int * int
+val read_int64 : Bytes.t -> int -> int64 * int
+val read_string : Bytes.t -> int -> string * int
+val read_float : Bytes.t -> int -> float * int

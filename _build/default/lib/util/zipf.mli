@@ -1,0 +1,17 @@
+(** Skewed integer distributions for workload generation. *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [create ~theta ~n ()] prepares a Zipfian distribution over
+    [\[0, n)] with skew [theta] (default [0.99], the YCSB default).
+    Uses the Gray et al. rejection-free method; O(1) per sample. *)
+
+val sample : t -> Prng.t -> int
+(** Draw from the distribution; item 0 is the most popular. *)
+
+val n : t -> int
+
+val nurand : Prng.t -> a:int -> c:int -> x:int -> y:int -> int
+(** The TPC-C NURand(A, x, y) non-uniform generator (clause 2.1.6) with
+    run-time constant [c]. *)

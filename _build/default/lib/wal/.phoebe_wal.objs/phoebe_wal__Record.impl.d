@@ -1,0 +1,1 @@
+lib/wal/record.ml: Array Buffer Bytes Fmt Format List Phoebe_storage Phoebe_util Printf

@@ -1,0 +1,1 @@
+lib/wal/record.mli: Buffer Bytes Format Phoebe_storage

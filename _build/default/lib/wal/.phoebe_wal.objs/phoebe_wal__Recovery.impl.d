@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: List Phoebe_io Phoebe_storage Record

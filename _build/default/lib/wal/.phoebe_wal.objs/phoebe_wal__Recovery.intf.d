@@ -1,0 +1,1 @@
+lib/wal/recovery.mli: Phoebe_io Phoebe_storage

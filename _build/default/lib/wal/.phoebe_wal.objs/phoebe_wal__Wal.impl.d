@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Array Buffer List Phoebe_io Phoebe_runtime Phoebe_sim Printf Queue Record

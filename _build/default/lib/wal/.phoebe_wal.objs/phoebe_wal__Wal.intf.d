@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Phoebe_io Phoebe_sim Record

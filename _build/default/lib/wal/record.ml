@@ -1,0 +1,134 @@
+module Varint = Phoebe_util.Varint
+module Crc32 = Phoebe_util.Crc32
+module Value = Phoebe_storage.Value
+
+type op =
+  | Insert of { table : int; rid : int; row : Value.t array }
+  | Update of { table : int; rid : int; cols : (int * Value.t) array }
+  | Delete of { table : int; rid : int }
+  | Commit of { xid : int; cts : int }
+  | Abort of { xid : int }
+
+type t = { slot : int; lsn : int; gsn : int; op : op }
+
+let encode_body buf t =
+  Varint.write_uint buf t.slot;
+  Varint.write_uint buf t.lsn;
+  Varint.write_uint buf t.gsn;
+  match t.op with
+  | Insert { table; rid; row } ->
+    Buffer.add_char buf 'I';
+    Varint.write_uint buf table;
+    Varint.write_uint buf rid;
+    Varint.write_uint buf (Array.length row);
+    Array.iter (Value.encode buf) row
+  | Update { table; rid; cols } ->
+    Buffer.add_char buf 'U';
+    Varint.write_uint buf table;
+    Varint.write_uint buf rid;
+    Varint.write_uint buf (Array.length cols);
+    Array.iter
+      (fun (c, v) ->
+        Varint.write_uint buf c;
+        Value.encode buf v)
+      cols
+  | Delete { table; rid } ->
+    Buffer.add_char buf 'D';
+    Varint.write_uint buf table;
+    Varint.write_uint buf rid
+  | Commit { xid; cts } ->
+    Buffer.add_char buf 'C';
+    Varint.write_int buf xid;
+    Varint.write_uint buf cts
+  | Abort { xid } ->
+    Buffer.add_char buf 'A';
+    Varint.write_int buf xid
+
+let encode buf t =
+  let body = Buffer.create 64 in
+  encode_body body t;
+  let body = Buffer.to_bytes body in
+  Varint.write_uint buf (Bytes.length body);
+  Varint.write_uint buf (Crc32.bytes body ~pos:0 ~len:(Bytes.length body));
+  Buffer.add_bytes buf body
+
+let decode b off =
+  let len, off = Varint.read_uint b off in
+  let crc, off = Varint.read_uint b off in
+  if off + len > Bytes.length b then failwith "Record.decode: truncated";
+  if Crc32.bytes b ~pos:off ~len <> crc then failwith "Record.decode: checksum mismatch";
+  let endpos = off + len in
+  let slot, off = Varint.read_uint b off in
+  let lsn, off = Varint.read_uint b off in
+  let gsn, off = Varint.read_uint b off in
+  let tag = Bytes.get b off in
+  let off = off + 1 in
+  let record =
+    match tag with
+    | 'I' ->
+      let table, off = Varint.read_uint b off in
+      let rid, off = Varint.read_uint b off in
+      let n, off = Varint.read_uint b off in
+      let off = ref off in
+      let row =
+        Array.init n (fun _ ->
+            let v, o = Value.decode b !off in
+            off := o;
+            v)
+      in
+      Insert { table; rid; row }
+    | 'U' ->
+      let table, off = Varint.read_uint b off in
+      let rid, off = Varint.read_uint b off in
+      let n, off = Varint.read_uint b off in
+      let off = ref off in
+      let cols =
+        Array.init n (fun _ ->
+            let c, o = Varint.read_uint b !off in
+            let v, o = Value.decode b o in
+            off := o;
+            (c, v))
+      in
+      Update { table; rid; cols }
+    | 'D' ->
+      let table, off = Varint.read_uint b off in
+      let rid, _ = Varint.read_uint b off in
+      Delete { table; rid }
+    | 'C' ->
+      let xid, off = Varint.read_int b off in
+      let cts, _ = Varint.read_uint b off in
+      Commit { xid; cts }
+    | 'A' ->
+      let xid, _ = Varint.read_int b off in
+      Abort { xid }
+    | c -> Fmt.failwith "Record.decode: bad tag %C" c
+  in
+  ({ slot; lsn; gsn; op = record }, endpos)
+
+let decode_all b ~slot:_ =
+  let rec go off acc =
+    if off >= Bytes.length b then List.rev acc
+    else
+      match decode b off with
+      | r, off' -> go off' (r :: acc)
+      | exception Failure _ -> List.rev acc (* torn tail after a crash *)
+  in
+  go 0 []
+
+let size_bytes t =
+  let buf = Buffer.create 64 in
+  encode buf t;
+  Buffer.length buf
+
+let is_commit t = match t.op with Commit _ -> true | _ -> false
+
+let pp fmt t =
+  let kind =
+    match t.op with
+    | Insert { table; rid; _ } -> Printf.sprintf "INSERT t%d r%d" table rid
+    | Update { table; rid; cols } -> Printf.sprintf "UPDATE t%d r%d (%d cols)" table rid (Array.length cols)
+    | Delete { table; rid } -> Printf.sprintf "DELETE t%d r%d" table rid
+    | Commit { xid; cts } -> Printf.sprintf "COMMIT xid=%d cts=%d" xid cts
+    | Abort { xid } -> Printf.sprintf "ABORT xid=%d" xid
+  in
+  Format.fprintf fmt "[slot=%d lsn=%d gsn=%d %s]" t.slot t.lsn t.gsn kind

@@ -1,0 +1,34 @@
+(** WAL record format.
+
+    Redo-only records (UNDO information lives in memory, §6.2): logical
+    after-images of tuple operations plus commit records. Every record
+    carries its writer slot, LSN (strictly increasing per WAL writer) and
+    GSN (the Lamport-style global sequence number used to order
+    cross-page dependencies at recovery, §8). Records are length-prefixed
+    and CRC-protected. *)
+
+type op =
+  | Insert of { table : int; rid : int; row : Phoebe_storage.Value.t array }
+  | Update of { table : int; rid : int; cols : (int * Phoebe_storage.Value.t) array }
+  | Delete of { table : int; rid : int }
+  | Commit of { xid : int; cts : int }
+  | Abort of { xid : int }
+      (** written at rollback so recovery does not attribute the
+          transaction's earlier records to the slot's next commit *)
+
+type t = { slot : int; lsn : int; gsn : int; op : op }
+
+val encode : Buffer.t -> t -> unit
+
+val decode : Bytes.t -> int -> t * int
+(** @raise Failure on CRC mismatch or truncation. *)
+
+val decode_all : Bytes.t -> slot:int -> t list
+(** Decode a whole WAL file; a trailing torn record (simulated crash cut)
+    is tolerated and ignored. *)
+
+val size_bytes : t -> int
+(** Encoded size, for WAL-volume accounting. *)
+
+val is_commit : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+module Walstore = Phoebe_io.Walstore
+
+type apply = {
+  insert : table:int -> rid:int -> Phoebe_storage.Value.t array -> unit;
+  update : table:int -> rid:int -> (int * Phoebe_storage.Value.t) array -> unit;
+  delete : table:int -> rid:int -> unit;
+}
+
+type report = {
+  files_read : int;
+  records_read : int;
+  committed_txns : int;
+  ops_replayed : int;
+  ops_dropped : int;
+}
+
+let read_all store =
+  List.concat_map
+    (fun file -> Record.decode_all (Walstore.contents store ~file) ~slot:file)
+    (Walstore.files store)
+
+(* A transaction's data records carry no xid (they are ordered within
+   their slot's file); its commit record in the same file covers every
+   earlier record of that slot... but a slot runs many transactions, so
+   we attribute a slot's data records to the next commit record *in that
+   slot's LSN order* — exactly how the slot writer interleaves them:
+   [ops of txn1][commit txn1][ops of txn2][commit txn2]... A trailing run
+   of data records without a commit belongs to an uncommitted
+   transaction and is dropped. *)
+let replay ?(after = fun _ -> -1) store apply =
+  let files = Walstore.files store in
+  let records_read = ref 0 in
+  let committed = ref 0 in
+  let replayable = ref [] in
+  let dropped = ref 0 in
+  List.iter
+    (fun file ->
+      let records = Record.decode_all (Walstore.contents store ~file) ~slot:file in
+      let records =
+        List.filter (fun (r : Record.t) -> r.Record.lsn > after r.Record.slot) records
+      in
+      records_read := !records_read + List.length records;
+      (* records are already in LSN order within the file *)
+      let pending = ref [] in
+      List.iter
+        (fun (r : Record.t) ->
+          match r.Record.op with
+          | Record.Commit _ ->
+            incr committed;
+            replayable := List.rev_append !pending !replayable;
+            pending := []
+          | Record.Abort _ ->
+            dropped := !dropped + List.length !pending;
+            pending := []
+          | _ -> pending := r :: !pending)
+        records;
+      dropped := !dropped + List.length !pending)
+    files;
+  let ordered =
+    List.sort
+      (fun (a : Record.t) (b : Record.t) ->
+        if a.gsn <> b.gsn then compare a.gsn b.gsn
+        else if a.slot <> b.slot then compare a.slot b.slot
+        else compare a.lsn b.lsn)
+      !replayable
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      match r.Record.op with
+      | Record.Insert { table; rid; row } -> apply.insert ~table ~rid row
+      | Record.Update { table; rid; cols } -> apply.update ~table ~rid cols
+      | Record.Delete { table; rid } -> apply.delete ~table ~rid
+      | Record.Commit _ | Record.Abort _ -> ())
+    ordered;
+  {
+    files_read = List.length files;
+    records_read = !records_read;
+    committed_txns = !committed;
+    ops_replayed = List.length ordered;
+    ops_dropped = !dropped;
+  }
+
+let committed_transactions store =
+  let commits =
+    List.filter_map
+      (fun (r : Record.t) ->
+        match r.Record.op with Record.Commit { xid; cts } -> Some (xid, cts) | _ -> None)
+      (read_all store)
+  in
+  List.sort (fun (_, a) (_, b) -> compare a b) commits

@@ -1,0 +1,31 @@
+(** Crash recovery: rebuild committed state from the per-slot WAL files.
+
+    Pass 1 collects commit records (xid → cts) from every file; pass 2
+    merges all files by (GSN, slot, LSN) — the GSN Lamport order makes
+    same-page operations globally ordered — and replays the operations of
+    committed transactions through the caller's apply callbacks. Records
+    from uncommitted transactions are dropped, implementing the redo side
+    of "Non-Force, Steal" (in-memory UNDO never survives a crash, so
+    nothing needs rolling back). *)
+
+type apply = {
+  insert : table:int -> rid:int -> Phoebe_storage.Value.t array -> unit;
+  update : table:int -> rid:int -> (int * Phoebe_storage.Value.t) array -> unit;
+  delete : table:int -> rid:int -> unit;
+}
+
+type report = {
+  files_read : int;
+  records_read : int;
+  committed_txns : int;
+  ops_replayed : int;
+  ops_dropped : int;  (** operations of uncommitted transactions *)
+}
+
+val replay : ?after:(int -> int) -> Phoebe_io.Walstore.t -> apply -> report
+(** [after slot] is a per-slot LSN frontier: records at or below it are
+    already reflected in the restored state (checkpoint) and skipped.
+    Default: replay everything. *)
+
+val committed_transactions : Phoebe_io.Walstore.t -> (int * int) list
+(** (xid, cts) pairs found in the logs, sorted by cts. *)

@@ -1,0 +1,266 @@
+module Engine = Phoebe_sim.Engine
+module Component = Phoebe_sim.Component
+module Cost = Phoebe_sim.Cost
+module Scheduler = Phoebe_runtime.Scheduler
+module Walstore = Phoebe_io.Walstore
+
+type config = {
+  group_flush_bytes : int;
+  group_flush_interval_ns : int;
+  sync_commit : bool;
+  rfa : bool;
+  single_writer : bool;
+}
+
+let default_config =
+  {
+    group_flush_bytes = 16 * 1024;
+    group_flush_interval_ns = 50_000;
+    sync_commit = true;
+    rfa = true;
+    single_writer = false;
+  }
+
+type writer = {
+  wslot : int;
+  buf : Buffer.t;
+  pending : (int * int) Queue.t;  (** (lsn, gsn) of each unflushed record *)
+  mutable next_lsn : int;
+  mutable flushed_lsn : int;
+  mutable cur_gsn : int;
+  mutable max_buffered_gsn : int;
+  mutable max_flushed_gsn : int;
+  mutable inflight : bool;
+  mutable inflight_lsn : int;
+  mutable inflight_gsn : int;
+  mutable lsn_waiters : (int * (unit -> unit)) list;
+}
+
+type t = {
+  engine : Engine.t;
+  wstore : Walstore.t;
+  cfg : config;
+  writers : writer array;
+  mutable remote_waiters : (int * (unit -> unit)) list;  (** (gsn, resume) *)
+  mutable running : bool;
+  mutable records : int;
+  mutable bytes : int;
+  mutable n_remote_waits : int;
+  mutable n_local_commits : int;
+}
+
+let create ?(resume = false) engine ~store ~n_slots cfg =
+  let t =
+  {
+    engine;
+    wstore = store;
+    cfg;
+    writers =
+      Array.init n_slots (fun wslot ->
+          {
+            wslot;
+            buf = Buffer.create 4096;
+            pending = Queue.create ();
+            next_lsn = 0;
+            flushed_lsn = -1;
+            cur_gsn = 0;
+            max_buffered_gsn = 0;
+            max_flushed_gsn = 0;
+            inflight = false;
+            inflight_lsn = -1;
+            inflight_gsn = 0;
+            lsn_waiters = [];
+          });
+    remote_waiters = [];
+    running = false;
+    records = 0;
+    bytes = 0;
+    n_remote_waits = 0;
+    n_local_commits = 0;
+  }
+  in
+  if resume then
+    List.iter
+      (fun file ->
+        if file < n_slots then begin
+          let w = t.writers.(file) in
+          List.iter
+            (fun (r : Record.t) ->
+              w.next_lsn <- max w.next_lsn (r.Record.lsn + 1);
+              w.flushed_lsn <- max w.flushed_lsn r.Record.lsn;
+              w.cur_gsn <- max w.cur_gsn r.Record.gsn;
+              w.max_flushed_gsn <- max w.max_flushed_gsn r.Record.gsn)
+            (Record.decode_all (Walstore.contents t.wstore ~file) ~slot:file)
+        end)
+      (Walstore.files t.wstore);
+  t
+
+let config t = t.cfg
+
+let costs () =
+  match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
+
+(* The durable-GSN floor: every record with GSN <= floor is durable in
+   every writer. A writer with no unflushed records imposes no bound. *)
+let durable_floor t =
+  Array.fold_left
+    (fun floor w ->
+      match Queue.peek_opt w.pending with
+      | None -> floor
+      | Some (_, gsn) -> min floor (gsn - 1))
+    max_int t.writers
+
+let wake_remote_waiters t =
+  let floor = durable_floor t in
+  let ready, waiting = List.partition (fun (gsn, _) -> gsn <= floor) t.remote_waiters in
+  t.remote_waiters <- waiting;
+  List.iter (fun (_, resume) -> resume ()) ready
+
+let wake_lsn_waiters w =
+  let ready, waiting = List.partition (fun (lsn, _) -> lsn <= w.flushed_lsn) w.lsn_waiters in
+  w.lsn_waiters <- waiting;
+  List.iter (fun (_, resume) -> resume ()) ready
+
+let debug = ref false
+let rec flush t w =
+  if (not w.inflight) && Buffer.length w.buf > 0 then begin
+    if !debug then Printf.printf "flush slot=%d bytes=%d next_lsn=%d\n%!" w.wslot (Buffer.length w.buf) w.next_lsn;
+    let data = Buffer.to_bytes w.buf in
+    Buffer.clear w.buf;
+    w.inflight <- true;
+    w.inflight_lsn <- w.next_lsn - 1;
+    w.inflight_gsn <- w.max_buffered_gsn;
+    Walstore.append t.wstore ~file:w.wslot data ~on_durable:(fun () ->
+        if !debug then Printf.printf "durable slot=%d lsn=%d\n%!" w.wslot w.inflight_lsn;
+        w.flushed_lsn <- w.inflight_lsn;
+        w.max_flushed_gsn <- max w.max_flushed_gsn w.inflight_gsn;
+        w.inflight <- false;
+        let rec drain () =
+          match Queue.peek_opt w.pending with
+          | Some (lsn, _) when lsn <= w.flushed_lsn ->
+            ignore (Queue.pop w.pending);
+            drain ()
+          | _ -> ()
+        in
+        drain ();
+        wake_lsn_waiters w;
+        wake_remote_waiters t;
+        (* Bytes may have accumulated while this flush was in flight; if
+           a committer is waiting on them (here or via the global RFA
+           floor), or the group threshold is reached, flush again. *)
+        if
+          Buffer.length w.buf > 0
+          && (w.lsn_waiters <> [] || t.remote_waiters <> []
+             || Buffer.length w.buf >= t.cfg.group_flush_bytes)
+        then flush t w)
+  end
+
+let effective_slot t slot = if t.cfg.single_writer then 0 else slot
+
+let next_gsn t ~slot ~page_gsn =
+  let w = t.writers.(effective_slot t slot) in
+  w.cur_gsn <- (max w.cur_gsn page_gsn) + 1;
+  w.cur_gsn
+
+let observe_page t ~slot ~page_gsn ~writer_slot =
+  if (not t.cfg.rfa) || writer_slot < 0 || writer_slot = slot then not t.cfg.rfa
+  else page_gsn > t.writers.(writer_slot).max_flushed_gsn
+
+let append t ~slot op ~gsn =
+  let slot = effective_slot t slot in
+  let w = t.writers.(slot) in
+  let lsn = w.next_lsn in
+  w.next_lsn <- lsn + 1;
+  let record = { Record.slot; lsn; gsn; op } in
+  let before = Buffer.length w.buf in
+  Record.encode w.buf record;
+  let size = Buffer.length w.buf - before in
+  Queue.push (lsn, gsn) w.pending;
+  w.max_buffered_gsn <- max w.max_buffered_gsn gsn;
+  w.cur_gsn <- max w.cur_gsn gsn;
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + size;
+  let c = costs () in
+  Scheduler.charge Component.Wal (c.Cost.wal_record_base + (size / 16 * c.Cost.wal_record_per_byte_x16));
+  (* RFA waiters block on the global durable floor: any freshly buffered
+     record could be holding it down (registration-time nudges only cover
+     records that already existed), so flush eagerly while they wait. *)
+  if Buffer.length w.buf >= t.cfg.group_flush_bytes || t.remote_waiters <> [] then flush t w;
+  lsn
+
+let current_lsn t ~slot = t.writers.(effective_slot t slot).next_lsn - 1
+let flushed_lsn t ~slot = t.writers.(effective_slot t slot).flushed_lsn
+
+let commit_durable t ~slot ~lsn ~needs_remote ~remote_gsn =
+  if !debug then Printf.printf "commit_durable slot=%d lsn=%d flushed=%d remote=%b\n%!" slot lsn t.writers.(slot).flushed_lsn needs_remote;
+  Scheduler.charge Component.Wal (costs ()).Cost.wal_commit;
+  if t.cfg.sync_commit then begin
+    let slot = effective_slot t slot in
+    let w = t.writers.(slot) in
+    if lsn > w.flushed_lsn then begin
+      flush t w;
+      Scheduler.io_wait (fun resume ->
+          if lsn <= w.flushed_lsn then resume ()
+          else w.lsn_waiters <- (lsn, resume) :: w.lsn_waiters)
+    end;
+    if needs_remote then begin
+      t.n_remote_waits <- t.n_remote_waits + 1;
+      if durable_floor t < remote_gsn then begin
+        (* nudge the writers still holding back the floor *)
+        Array.iter
+          (fun w' ->
+            match Queue.peek_opt w'.pending with
+            | Some (_, gsn) when gsn <= remote_gsn -> flush t w'
+            | _ -> ())
+          t.writers;
+        Scheduler.io_wait (fun resume ->
+            if durable_floor t >= remote_gsn then resume ()
+            else t.remote_waiters <- (remote_gsn, resume) :: t.remote_waiters)
+      end
+    end
+    else t.n_local_commits <- t.n_local_commits + 1
+  end
+
+let rec schedule_tick t =
+  if t.running then
+    Engine.schedule t.engine ~delay:t.cfg.group_flush_interval_ns (fun () ->
+        if t.running then begin
+          Array.iter (fun w -> flush t w) t.writers;
+          schedule_tick t
+        end)
+
+let start_background_flusher t =
+  if not t.running then begin
+    t.running <- true;
+    schedule_tick t
+  end
+
+let stop t = t.running <- false
+
+let flush_all t ~on_done =
+  Array.iter (fun w -> flush t w) t.writers;
+  let rec check () =
+    let pending = Array.exists (fun w -> w.inflight || Buffer.length w.buf > 0) t.writers in
+    if pending then Engine.schedule t.engine ~delay:10_000 (fun () ->
+        Array.iter (fun w -> flush t w) t.writers;
+        check ())
+    else on_done ()
+  in
+  check ()
+
+let dump_writers t =
+  Array.to_list t.writers
+  |> List.filter_map (fun w ->
+         if w.next_lsn = 0 then None
+         else
+           Some
+             (w.wslot, Buffer.length w.buf, Queue.length w.pending, w.inflight, w.flushed_lsn,
+              List.length w.lsn_waiters))
+
+let remote_waiter_count t = List.length t.remote_waiters
+
+let total_records t = t.records
+let total_bytes t = t.bytes
+let remote_waits t = t.n_remote_waits
+let local_commits t = t.n_local_commits
+let store t = t.wstore

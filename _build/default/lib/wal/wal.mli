@@ -1,0 +1,95 @@
+(** Parallel Write-Ahead Logging with Remote Flush Avoidance (paper §8).
+
+    One WAL writer per task slot, each appending to its own WAL file on
+    the (simulated) log device. LSNs are strictly monotone within a
+    writer; GSNs are a Lamport clock advanced through page stamps, so
+    records that touched the same page are globally ordered. A committing
+    transaction normally waits only for its own slot's WAL to flush
+    (local durability); it must additionally wait for remote writers only
+    when it depended on a page whose latest GSN was produced by another
+    slot and is not yet durable — exactly the RFA rule. The "Non-Force,
+    Steal" policy holds: data pages may be evicted with uncommitted
+    changes, and recovery replays committed work from the logs alone. *)
+
+type t
+
+type config = {
+  group_flush_bytes : int;  (** flush a writer when this much is buffered *)
+  group_flush_interval_ns : int;  (** periodic background flush cadence *)
+  sync_commit : bool;  (** false = asynchronous commit (no durability wait) *)
+  rfa : bool;  (** false disables RFA: every commit waits for all writers (ablation) *)
+  single_writer : bool;
+      (** true = all slots funnel into one WAL writer, the traditional
+          serialized design (PostgreSQL baseline, §8 "Traditional WAL
+          Flushing") *)
+}
+
+val default_config : config
+
+val create :
+  ?resume:bool ->
+  Phoebe_sim.Engine.t ->
+  store:Phoebe_io.Walstore.t ->
+  n_slots:int ->
+  config ->
+  t
+(** [resume:true] (restore path) initialises each writer's LSN/GSN
+    counters from the store's existing file contents so new records
+    extend the old sequence. *)
+
+val config : t -> config
+
+(** {1 Logging (called with the owning slot id)} *)
+
+val next_gsn : t -> slot:int -> page_gsn:int -> int
+(** Advance the slot's Lamport clock past [page_gsn] and return the GSN
+    for a new record; the caller stamps the page with it. *)
+
+val observe_page : t -> slot:int -> page_gsn:int -> writer_slot:int -> bool
+(** RFA dependency check when touching a page last written by
+    [writer_slot]: returns true if the caller now depends on a remote
+    unflushed GSN (the transaction must set its remote flag). *)
+
+val append : t -> slot:int -> Record.op -> gsn:int -> int
+(** Append a record to the slot's WAL buffer; returns its LSN. *)
+
+val current_lsn : t -> slot:int -> int
+val flushed_lsn : t -> slot:int -> int
+
+(** {1 Commit durability} *)
+
+val commit_durable :
+  t -> slot:int -> lsn:int -> needs_remote:bool -> remote_gsn:int -> unit
+(** Block the calling fiber until the commit record at [lsn] in [slot]'s
+    WAL is durable — and, if [needs_remote], until every writer has
+    flushed all records with GSN [<= remote_gsn]. No-op when
+    [sync_commit] is off. *)
+
+val start_background_flusher : t -> unit
+(** Schedule the periodic group-flush events on the simulation engine.
+    Stops automatically when [stop] is called. *)
+
+val stop : t -> unit
+
+val flush_all : t -> on_done:(unit -> unit) -> unit
+(** Force-flush every writer (shutdown / quiesce path). *)
+
+(** {1 Introspection} *)
+
+val total_records : t -> int
+val total_bytes : t -> int
+val remote_waits : t -> int
+(** Commits that had to wait for a remote writer (RFA misses). *)
+
+val local_commits : t -> int
+(** Commits satisfied by the local writer alone (RFA hits). *)
+
+val store : t -> Phoebe_io.Walstore.t
+
+val debug : bool ref
+
+val dump_writers : t -> (int * int * int * bool * int * int) list
+(** (slot, buffered_bytes, pending_records, inflight, flushed_lsn,
+    lsn_waiters) for every writer with any activity — diagnostics. *)
+
+val remote_waiter_count : t -> int

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_util

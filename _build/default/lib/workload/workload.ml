@@ -1,0 +1,126 @@
+module Db = Phoebe_core.Db
+module Table = Phoebe_core.Table
+module Value = Phoebe_storage.Value
+module Txnmgr = Phoebe_txn.Txnmgr
+module Scheduler = Phoebe_runtime.Scheduler
+module Engine = Phoebe_sim.Engine
+module Prng = Phoebe_util.Prng
+module Zipf = Phoebe_util.Zipf
+module Stats = Phoebe_util.Stats
+
+type key_dist = Uniform | Zipfian of float
+
+type op_mix = { read : float; update : float; insert : float; scan : float }
+
+let read_mostly = { read = 0.95; update = 0.05; insert = 0.0; scan = 0.0 }
+let update_heavy = { read = 0.5; update = 0.5; insert = 0.0; scan = 0.0 }
+let mixed = { read = 0.7; update = 0.2; insert = 0.05; scan = 0.05 }
+
+type t = {
+  wdb : Db.t;
+  wtable : Table.t;
+  mutable n_keys : int;
+  value_bytes : int;
+}
+
+let table t = t.wtable
+
+let setup db ?(table_name = "kv") ~rows ~value_bytes ~seed () =
+  let rng = Prng.create ~seed in
+  let tbl =
+    Db.create_table db ~name:table_name ~schema:[ ("k", Value.T_int); ("payload", Value.T_str) ]
+  in
+  Db.create_index db tbl ~name:(table_name ^ "_pk") ~cols:[ "k" ] ~unique:true;
+  let chunk = 1000 in
+  let k = ref 0 in
+  while !k < rows do
+    Db.with_txn db (fun txn ->
+        for _ = 1 to min chunk (rows - !k) do
+          incr k;
+          ignore
+            (Table.insert tbl txn
+               [| Value.Int !k; Value.Str (Prng.alpha_string rng ~min_len:value_bytes ~max_len:value_bytes) |])
+        done)
+  done;
+  ignore (Db.gc db);
+  { wdb = db; wtable = tbl; n_keys = rows; value_bytes }
+
+type results = {
+  committed : int;
+  aborted : int;
+  duration_s : float;
+  txn_per_s : float;
+  p99_us : float;
+}
+
+let run t ?(dist = Zipfian 0.99) ?(mix = mixed) ?(ops_per_txn = 4) ~concurrency ~duration_ns ~seed
+    () =
+  let db = t.wdb in
+  let eng = Db.engine db in
+  let sched = Db.scheduler db in
+  let zipf = match dist with Zipfian theta -> Some (Zipf.create ~theta ~n:t.n_keys ()) | Uniform -> None in
+  let pick_key rng =
+    match zipf with Some z -> 1 + Zipf.sample z rng | None -> 1 + Prng.int rng t.n_keys
+  in
+  let index = Table.name t.wtable ^ "_pk" in
+  let start = Engine.now eng in
+  let deadline = start + duration_ns in
+  let committed = ref 0 in
+  let latency = Stats.Histogram.create () in
+  let one_op t txn rng =
+    let r = Prng.float rng 1.0 in
+    let key = pick_key rng in
+    if r < mix.read then ignore (Table.index_lookup_first t.wtable txn ~index ~key:[ Value.Int key ])
+    else if r < mix.read +. mix.update then begin
+      match Table.index_lookup_first t.wtable txn ~index ~key:[ Value.Int key ] with
+      | Some (rid, _) ->
+        ignore
+          (Table.update t.wtable txn ~rid
+             [ ("payload", Value.Str (Prng.alpha_string rng ~min_len:t.value_bytes ~max_len:t.value_bytes)) ])
+      | None -> ()
+    end
+    else if r < mix.read +. mix.update +. mix.insert then begin
+      t.n_keys <- t.n_keys + 1;
+      ignore
+        (Table.insert t.wtable txn
+           [|
+             Value.Int t.n_keys;
+             Value.Str (Prng.alpha_string rng ~min_len:t.value_bytes ~max_len:t.value_bytes);
+           |])
+    end
+    else begin
+      let n = ref 0 in
+      Table.index_prefix t.wtable txn ~index ~prefix:[] (fun _ _ ->
+          incr n;
+          !n < 10)
+    end
+  in
+  let rec user rng () =
+    if Engine.now eng < deadline then begin
+      let began = Engine.now eng in
+      Scheduler.submit sched (fun () ->
+          (try
+             Db.with_txn db (fun txn ->
+                 for _ = 1 to ops_per_txn do
+                   one_op t txn rng
+                 done);
+             incr committed
+           with Txnmgr.Abort _ -> ());
+          Db.after_commit_housekeeping db;
+          Stats.Histogram.add latency (Engine.now eng - began);
+          user rng ())
+    end
+  in
+  let rng0 = Prng.create ~seed in
+  for _ = 1 to concurrency do
+    user (Prng.split rng0) ()
+  done;
+  Scheduler.run_until_quiescent sched;
+  let duration_s = float_of_int (Engine.now eng - start) /. 1e9 in
+  {
+    committed = !committed;
+    aborted = Db.aborted db;
+    duration_s;
+    txn_per_s = (if duration_s > 0.0 then float_of_int !committed /. duration_s else 0.0);
+    p99_us = Stats.Histogram.percentile latency 0.99 /. 1e3;
+  }

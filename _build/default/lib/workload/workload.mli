@@ -1,0 +1,48 @@
+(** Generic key-value workloads (YCSB-flavoured) over a PhoebeDB table:
+    used by the examples and the ablation benchmarks, where TPC-C's five
+    fixed procedures are too coarse a knob. *)
+
+type key_dist = Uniform | Zipfian of float  (** skew theta *)
+
+type op_mix = {
+  read : float;
+  update : float;
+  insert : float;
+  scan : float;  (** short range scans (10 rows via the secondary index) *)
+}
+
+val read_mostly : op_mix  (** 95 / 5 / 0 / 0 *)
+
+val update_heavy : op_mix  (** 50 / 50 / 0 / 0 *)
+
+val mixed : op_mix  (** 70 / 20 / 5 / 5 *)
+
+type t
+
+val setup :
+  Phoebe_core.Db.t -> ?table_name:string -> rows:int -> value_bytes:int -> seed:int -> unit -> t
+(** Create and load a two-column (key, payload) table with a unique
+    index on the key. *)
+
+val table : t -> Phoebe_core.Table.t
+
+type results = {
+  committed : int;
+  aborted : int;
+  duration_s : float;
+  txn_per_s : float;
+  p99_us : float;
+}
+
+val run :
+  t ->
+  ?dist:key_dist ->
+  ?mix:op_mix ->
+  ?ops_per_txn:int ->
+  concurrency:int ->
+  duration_ns:int ->
+  seed:int ->
+  unit ->
+  results
+(** Drive the mix with [concurrency] outstanding transactions for a
+    virtual-time window (same driver shape as the TPC-C harness). *)

@@ -1,0 +1,1 @@
+test/test_analytics.ml: Alcotest Array Config Db Float List Phoebe_analytics Phoebe_btree Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_util Printf Table

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Hashtbl Index_tree List Option Phoebe_btree Phoebe_io Phoebe_sim Phoebe_storage Phoebe_util Printf QCheck QCheck_alcotest Table_tree

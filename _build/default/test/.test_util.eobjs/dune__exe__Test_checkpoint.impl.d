@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Array Checkpoint Config Db List Phoebe_btree Phoebe_core Phoebe_storage Phoebe_txn Phoebe_util Phoebe_wal Table

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Config Db List Phoebe_btree Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_util Phoebe_wal Printf Table

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Bytes List Phoebe_io Phoebe_sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Config Db Hashtbl List Phoebe_btree Phoebe_core Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_util Phoebe_wal Table

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Config Db List Phoebe_core Phoebe_replication Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_util Phoebe_wal Table

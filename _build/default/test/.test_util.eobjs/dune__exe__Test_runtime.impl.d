@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cpu List Phoebe_runtime Phoebe_sim Scheduler

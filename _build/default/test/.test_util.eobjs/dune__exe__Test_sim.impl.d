@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Component Cost Counters Engine List Phoebe_sim Resource

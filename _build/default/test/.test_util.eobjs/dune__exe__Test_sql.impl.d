@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Config Db List Phoebe_core Phoebe_sql Phoebe_storage Printf String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer Bufmgr Bytes Char Frozen Fun Latch List Pax Phoebe_io Phoebe_sim Phoebe_storage Printf QCheck QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Array Config Db List Phoebe_baseline Phoebe_core Phoebe_io Phoebe_runtime Phoebe_storage Phoebe_tpcc Phoebe_txn Phoebe_util Phoebe_wal Phoebe_workload Table

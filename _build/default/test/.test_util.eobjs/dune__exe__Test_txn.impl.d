@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Buffer Bytes List Phoebe_io Phoebe_runtime Phoebe_sim Phoebe_storage Phoebe_txn Phoebe_wal Printf QCheck QCheck_alcotest String

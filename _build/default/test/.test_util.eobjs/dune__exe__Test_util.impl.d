@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Binheap Buffer Bytes Crc32 Float Fun List Phoebe_util Prng QCheck QCheck_alcotest Stats String Varint Zipf

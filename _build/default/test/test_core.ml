@@ -1,0 +1,549 @@
+(* End-to-end kernel tests: transactional DML, snapshot isolation
+   semantics, conflicts/deadlocks under concurrent fibers, GC, freeze,
+   and crash recovery. *)
+open Phoebe_core
+module Value = Phoebe_storage.Value
+module Txnmgr = Phoebe_txn.Txnmgr
+module Scheduler = Phoebe_runtime.Scheduler
+module Wal = Phoebe_wal.Wal
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_config =
+  { Config.default with Config.n_workers = 2; slots_per_worker = 4; buffer_bytes = 64 * 1024 * 1024 }
+
+let make_db ?(cfg = small_config) () = Db.create cfg
+
+let accounts_db ?cfg () =
+  let db = make_db ?cfg () in
+  let t =
+    Db.create_table db ~name:"accounts"
+      ~schema:[ ("owner", Value.T_str); ("balance", Value.T_int) ]
+  in
+  Db.create_index db t ~name:"accounts_by_owner" ~cols:[ "owner" ] ~unique:true;
+  (db, t)
+
+let insert_account db t owner balance =
+  Db.with_txn db (fun txn -> Table.insert t txn [| Value.Str owner; Value.Int balance |])
+
+let balance_of db t rid =
+  Db.with_txn db (fun txn ->
+      match Table.get t txn ~rid with
+      | Some row -> ( match row.(1) with Value.Int v -> v | _ -> -1)
+      | None -> -1)
+
+(* ------------------------------------------------------------------ *)
+(* Basic DML *)
+
+let test_insert_get () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "alice" 100 in
+  check_int "balance" 100 (balance_of db t rid);
+  Db.with_txn db (fun txn ->
+      match Table.get_col t txn ~rid ~col:"owner" with
+      | Some (Value.Str s) -> Alcotest.(check string) "owner" "alice" s
+      | _ -> Alcotest.fail "owner column missing")
+
+let test_update () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "bob" 50 in
+  let ok = Db.with_txn db (fun txn -> Table.update t txn ~rid [ ("balance", Value.Int 75) ]) in
+  check_bool "updated" true ok;
+  check_int "new balance" 75 (balance_of db t rid)
+
+let test_update_missing_row () =
+  let db, t = accounts_db () in
+  let ok = Db.with_txn db (fun txn -> Table.update t txn ~rid:999 [ ("balance", Value.Int 1) ]) in
+  check_bool "no such row" false ok
+
+let test_delete () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "carol" 10 in
+  let ok = Db.with_txn db (fun txn -> Table.delete t txn ~rid) in
+  check_bool "deleted" true ok;
+  Db.with_txn db (fun txn -> check_bool "gone" true (Table.get t txn ~rid = None));
+  let again = Db.with_txn db (fun txn -> Table.delete t txn ~rid) in
+  check_bool "double delete" false again
+
+let test_multi_statement_txn () =
+  let db, t = accounts_db () in
+  let a = insert_account db t "a" 100 in
+  let b = insert_account db t "b" 100 in
+  Db.with_txn db (fun txn ->
+      ignore (Table.update t txn ~rid:a [ ("balance", Value.Int 60) ]);
+      ignore (Table.update t txn ~rid:b [ ("balance", Value.Int 140) ]));
+  check_int "a" 60 (balance_of db t a);
+  check_int "b" 140 (balance_of db t b)
+
+(* ------------------------------------------------------------------ *)
+(* Rollback *)
+
+let test_abort_rolls_back_update () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "dave" 100 in
+  (try
+     Db.with_txn db (fun txn ->
+         ignore (Table.update t txn ~rid [ ("balance", Value.Int 0) ]);
+         failwith "user error")
+   with Failure _ -> ());
+  check_int "balance restored" 100 (balance_of db t rid)
+
+let test_abort_rolls_back_insert () =
+  let db, t = accounts_db () in
+  (try
+     Db.with_txn db (fun txn ->
+         ignore (Table.insert t txn [| Value.Str "ghost"; Value.Int 1 |]);
+         failwith "user error")
+   with Failure _ -> ());
+  Db.with_txn db (fun txn ->
+      check_bool "insert rolled back in index" true
+        (Table.index_lookup t txn ~index:"accounts_by_owner" ~key:[ Value.Str "ghost" ] = []))
+
+let test_abort_rolls_back_delete () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "erin" 5 in
+  (try
+     Db.with_txn db (fun txn ->
+         ignore (Table.delete t txn ~rid);
+         failwith "user error")
+   with Failure _ -> ());
+  check_int "row resurrected" 5 (balance_of db t rid)
+
+(* ------------------------------------------------------------------ *)
+(* Unique constraints *)
+
+let test_unique_violation_aborts () =
+  let db, t = accounts_db () in
+  ignore (insert_account db t "frank" 1);
+  check_bool "duplicate owner rejected" true
+    (try
+       ignore (insert_account db t "frank" 2);
+       false
+     with Txnmgr.Abort _ -> true)
+
+let test_unique_after_delete_ok () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "gina" 1 in
+  ignore (Db.with_txn db (fun txn -> Table.delete t txn ~rid));
+  let rid2 = insert_account db t "gina" 2 in
+  check_bool "re-insert after delete" true (rid2 > rid)
+
+(* ------------------------------------------------------------------ *)
+(* Index access *)
+
+let test_index_lookup () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "henry" 42 in
+  Db.with_txn db (fun txn ->
+      match Table.index_lookup_first t txn ~index:"accounts_by_owner" ~key:[ Value.Str "henry" ] with
+      | Some (r, row) ->
+        check_int "rid" rid r;
+        check_bool "balance" true (row.(1) = Value.Int 42)
+      | None -> Alcotest.fail "index lookup failed")
+
+let test_index_prefix_scan () =
+  let db = make_db () in
+  let t =
+    Db.create_table db ~name:"orders"
+      ~schema:[ ("w", Value.T_int); ("d", Value.T_int); ("o", Value.T_int) ]
+  in
+  Db.create_index db t ~name:"orders_pk" ~cols:[ "w"; "d"; "o" ] ~unique:true;
+  Db.with_txn db (fun txn ->
+      for w = 1 to 2 do
+        for d = 1 to 3 do
+          for o = 1 to 4 do
+            ignore (Table.insert t txn [| Value.Int w; Value.Int d; Value.Int o |])
+          done
+        done
+      done);
+  Db.with_txn db (fun txn ->
+      let seen = ref [] in
+      Table.index_prefix t txn ~index:"orders_pk" ~prefix:[ Value.Int 1; Value.Int 2 ] (fun _ row ->
+          (match row.(2) with Value.Int o -> seen := o :: !seen | _ -> ());
+          true);
+      Alcotest.(check (list int)) "prefix rows in order" [ 1; 2; 3; 4 ] (List.rev !seen))
+
+let test_scan_visibility () =
+  let db, t = accounts_db () in
+  let _r1 = insert_account db t "s1" 1 in
+  let r2 = insert_account db t "s2" 2 in
+  ignore (Db.with_txn db (fun txn -> Table.delete t txn ~rid:r2));
+  Db.with_txn db (fun txn ->
+      let seen = ref [] in
+      Table.scan t txn (fun _ row -> seen := Value.to_string row.(0) :: !seen);
+      Alcotest.(check (list string)) "only live rows" [ "s1" ] (List.rev !seen))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot isolation between interleaved fibers *)
+
+let test_uncommitted_writes_invisible () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "iris" 100 in
+  let observed = ref (-1) in
+  let q = Scheduler.Waitq.create () in
+  (* writer: update then park (uncommitted) until reader has looked *)
+  Db.submit db (fun txn ->
+      ignore (Table.update t txn ~rid [ ("balance", Value.Int 999) ]);
+      Scheduler.Waitq.wait q);
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      (* big enough to flush past the coalescing granule, so the reader
+         runs strictly after the writer's (uncommitted) update *)
+      Scheduler.charge Phoebe_sim.Component.Effective 100_000;
+      Db.with_txn db (fun txn ->
+          match Table.get t txn ~rid with
+          | Some row -> (match row.(1) with Value.Int v -> observed := v | _ -> ())
+          | None -> observed := -2);
+      Scheduler.Waitq.signal_all q);
+  Db.run db;
+  check_int "reader saw committed value" 100 !observed
+
+let test_read_committed_sees_new_commits () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "jack" 1 in
+  let before = ref 0 and after = ref 0 in
+  let q = Scheduler.Waitq.create () in
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      let txn = Txnmgr.begin_txn (Db.txnmgr db) ~isolation:Txnmgr.Read_committed ~slot:(Scheduler.current_slot ()) in
+      (match Table.get t txn ~rid with Some row -> (match row.(1) with Value.Int v -> before := v | _ -> ()) | None -> ());
+      Scheduler.Waitq.wait q;
+      (* statement boundary: read committed refreshes and sees the new value *)
+      (match Table.get t txn ~rid with Some row -> (match row.(1) with Value.Int v -> after := v | _ -> ()) | None -> ());
+      Txnmgr.commit (Db.txnmgr db) txn);
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      Scheduler.charge Phoebe_sim.Component.Effective 100_000;
+      Db.with_txn db (fun txn -> ignore (Table.update t txn ~rid [ ("balance", Value.Int 2) ]));
+      Scheduler.Waitq.signal_all q);
+  Db.run db;
+  check_int "before" 1 !before;
+  check_int "read committed sees commit" 2 !after
+
+let test_repeatable_read_stable () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "kate" 1 in
+  let before = ref 0 and after = ref 0 in
+  let q = Scheduler.Waitq.create () in
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      let txn = Txnmgr.begin_txn (Db.txnmgr db) ~isolation:Txnmgr.Repeatable_read ~slot:(Scheduler.current_slot ()) in
+      (match Table.get t txn ~rid with Some row -> (match row.(1) with Value.Int v -> before := v | _ -> ()) | None -> ());
+      Scheduler.Waitq.wait q;
+      (match Table.get t txn ~rid with Some row -> (match row.(1) with Value.Int v -> after := v | _ -> ()) | None -> ());
+      Txnmgr.commit (Db.txnmgr db) txn);
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      Scheduler.charge Phoebe_sim.Component.Effective 100_000;
+      Db.with_txn db (fun txn -> ignore (Table.update t txn ~rid [ ("balance", Value.Int 2) ]));
+      Scheduler.Waitq.signal_all q);
+  Db.run db;
+  check_int "before" 1 !before;
+  check_int "repeatable read stays at snapshot" 1 !after
+
+(* ------------------------------------------------------------------ *)
+(* Write-write conflicts *)
+
+let test_concurrent_increments_serialize () =
+  (* Read committed permits lost updates for read-then-write patterns;
+     repeatable read's first-committer-wins plus the retry loop makes
+     increments atomic. *)
+  let db, t = accounts_db () in
+  let rid = insert_account db t "counter" 0 in
+  for _ = 1 to 50 do
+    Db.submit ~isolation:Txnmgr.Repeatable_read db (fun txn ->
+        match Table.get t txn ~rid with
+        | Some row ->
+          let v = match row.(1) with Value.Int v -> v | _ -> 0 in
+          Scheduler.charge Phoebe_sim.Component.Effective 5_000;
+          ignore (Table.update t txn ~rid [ ("balance", Value.Int (v + 1)) ])
+        | None -> ())
+  done;
+  Db.run db;
+  check_int "no lost updates under RR" 50 (balance_of db t rid)
+
+let test_rr_first_committer_wins () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "rr" 0 in
+  let aborted = ref 0 in
+  let attempt () =
+    Scheduler.submit (Db.scheduler db) (fun () ->
+        let txn =
+          Txnmgr.begin_txn (Db.txnmgr db) ~isolation:Txnmgr.Repeatable_read
+            ~slot:(Scheduler.current_slot ())
+        in
+        match
+          ignore (Table.get t txn ~rid);
+          Scheduler.charge Phoebe_sim.Component.Effective 50_000;
+          Table.update t txn ~rid [ ("balance", Value.Int 1) ]
+        with
+        | _ -> Txnmgr.commit (Db.txnmgr db) txn
+        | exception Txnmgr.Abort _ ->
+          incr aborted;
+          Txnmgr.abort (Db.txnmgr db) txn ~rollback:(fun _ -> ()))
+  in
+  attempt ();
+  attempt ();
+  Db.run db;
+  check_int "exactly one aborted" 1 !aborted
+
+let test_deadlock_detected_and_resolved () =
+  let db, t = accounts_db () in
+  let a = insert_account db t "x" 0 in
+  let b = insert_account db t "y" 0 in
+  (* Two RR transactions updating (a then b) and (b then a), paused in
+     between so they collide. Deadlock detection must abort one; the
+     retry loop then lets both finish. *)
+  let submit_pair first second =
+    Db.submit ~isolation:Txnmgr.Repeatable_read db (fun txn ->
+        ignore (Table.update t txn ~rid:first [ ("balance", Value.Int 1) ]);
+        Scheduler.charge Phoebe_sim.Component.Effective 50_000;
+        Scheduler.yield Scheduler.Low;
+        ignore (Table.update t txn ~rid:second [ ("balance", Value.Int 2) ]))
+  in
+  submit_pair a b;
+  submit_pair b a;
+  Db.run db;
+  check_bool "both eventually committed" true (Db.committed db >= 4);
+  check_bool "someone aborted along the way" true (Db.aborted db >= 1);
+  (* whichever pair committed last wrote 1 to its first row and 2 to its
+     second: the final balances are {1, 2} in some order *)
+  Alcotest.(check (list int)) "final balances" [ 1; 2 ]
+    (List.sort compare [ balance_of db t a; balance_of db t b ])
+
+(* ------------------------------------------------------------------ *)
+(* Banking invariant under concurrency *)
+
+let test_transfers_conserve_money () =
+  let db, t = accounts_db () in
+  let n = 10 in
+  let rids = Array.init n (fun i -> insert_account db t (Printf.sprintf "acct%d" i) 100) in
+  let rng = Phoebe_util.Prng.create ~seed:7 in
+  for _ = 1 to 200 do
+    let from_ = rids.(Phoebe_util.Prng.int rng n) and to_ = rids.(Phoebe_util.Prng.int rng n) in
+    let amount = Phoebe_util.Prng.int rng 20 in
+    if from_ <> to_ then
+      Db.submit ~isolation:Txnmgr.Repeatable_read db (fun txn ->
+          let bal rid =
+            match Table.get t txn ~rid with
+            | Some row -> ( match row.(1) with Value.Int v -> v | _ -> 0)
+            | None -> 0
+          in
+          let fb = bal from_ in
+          if fb >= amount then begin
+            ignore (Table.update t txn ~rid:from_ [ ("balance", Value.Int (fb - amount)) ]);
+            let tb = bal to_ in
+            ignore (Table.update t txn ~rid:to_ [ ("balance", Value.Int (tb + amount)) ])
+          end)
+  done;
+  Db.run db;
+  let total = Array.fold_left (fun acc rid -> acc + balance_of db t rid) 0 rids in
+  check_int "money conserved" (n * 100) total
+
+(* ------------------------------------------------------------------ *)
+(* GC *)
+
+let test_gc_reclaims_undo () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "gc" 0 in
+  for i = 1 to 200 do
+    Db.submit db (fun txn -> ignore (Table.update t txn ~rid [ ("balance", Value.Int i) ]))
+  done;
+  Db.run db;
+  let before = balance_of db t rid in
+  check_bool "some update committed" true (before >= 1 && before <= 200);
+  let reclaimed = Db.gc db in
+  check_bool "gc reclaimed the update history" true (reclaimed > 0);
+  check_int "all undo memory released" 0 (Db.stats db).Db.undo_bytes;
+  check_int "gc does not change the visible value" before (balance_of db t rid)
+
+let test_gc_removes_deleted_tuples_from_index () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "purge" 0 in
+  ignore (Db.with_txn db (fun txn -> Table.delete t txn ~rid));
+  (* Enough committed work through fibers to trigger housekeeping GC. *)
+  for i = 0 to 99 do
+    Db.submit db (fun txn ->
+        ignore (Table.insert t txn [| Value.Str (Printf.sprintf "filler%d" i); Value.Int 0 |]))
+  done;
+  Db.run db;
+  ignore (Db.gc db);
+  Db.with_txn db (fun txn ->
+      check_bool "index entry stripped or invisible" true
+        (Table.index_lookup t txn ~index:"accounts_by_owner" ~key:[ Value.Str "purge" ] = []))
+
+(* ------------------------------------------------------------------ *)
+(* Freeze *)
+
+let test_freeze_and_read_back () =
+  let db = make_db () in
+  let t = Db.create_table db ~name:"history" ~schema:[ ("n", Value.T_int); ("s", Value.T_str) ] in
+  Db.with_txn db (fun txn ->
+      for i = 1 to 2000 do
+        ignore (Table.insert t txn [| Value.Int i; Value.Str (Printf.sprintf "h%d" (i mod 7)) |])
+      done);
+  (* decay away the load-time heat so the prefix freezes *)
+  for _ = 1 to 8 do
+    Phoebe_btree.Table_tree.decay_access_counts (Table.tree t)
+  done;
+  let frozen = Db.freeze_tables db in
+  check_bool "many tuples frozen" true (frozen > 500);
+  Db.with_txn db (fun txn ->
+      match Table.get t txn ~rid:1 with
+      | Some row -> check_bool "frozen row readable" true (row.(0) = Value.Int 1)
+      | None -> Alcotest.fail "frozen row lost");
+  (* frozen rows can still be updated (out-of-place) *)
+  let ok = Db.with_txn db (fun txn -> Table.update t txn ~rid:1 [ ("s", Value.Str "warmed") ]) in
+  check_bool "frozen update ok" true ok;
+  Db.with_txn db (fun txn ->
+      let found = ref false in
+      Table.scan t txn (fun _ row -> if row.(1) = Value.Str "warmed" then found := true);
+      check_bool "updated version findable" true !found)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let same_ddl () =
+  let db = make_db () in
+  let t =
+    Db.create_table db ~name:"accounts"
+      ~schema:[ ("owner", Value.T_str); ("balance", Value.T_int) ]
+  in
+  Db.create_index db t ~name:"accounts_by_owner" ~cols:[ "owner" ] ~unique:true;
+  (db, t)
+
+let test_recovery_end_to_end () =
+  let db1, t1 = same_ddl () in
+  let a = insert_account db1 t1 "alice" 100 in
+  let b = insert_account db1 t1 "bob" 50 in
+  ignore (Db.with_txn db1 (fun txn -> Table.update t1 txn ~rid:a [ ("balance", Value.Int 80) ]));
+  ignore (Db.with_txn db1 (fun txn -> Table.delete t1 txn ~rid:b));
+  (* an aborted transaction must not survive recovery *)
+  (try
+     Db.with_txn db1 (fun txn ->
+         ignore (Table.insert t1 txn [| Value.Str "phantom"; Value.Int 1 |]);
+         failwith "crash before commit")
+   with Failure _ -> ());
+  Db.checkpoint db1;
+  (* "crash": build a fresh instance with identical DDL and replay. *)
+  let db2, t2 = same_ddl () in
+  let report = Db.replay_wal db2 ~from:(Wal.store (Db.wal db1)) in
+  check_bool "some ops replayed" true (report.Phoebe_wal.Recovery.ops_replayed >= 4);
+  check_int "alice recovered" 80 (balance_of db2 t2 a);
+  Db.with_txn db2 (fun txn ->
+      check_bool "bob stays deleted" true (Table.get t2 txn ~rid:b = None);
+      check_bool "phantom absent" true
+        (Table.index_lookup t2 txn ~index:"accounts_by_owner" ~key:[ Value.Str "phantom" ] = []))
+
+let test_recovery_after_concurrent_run () =
+  let db1, t1 = same_ddl () in
+  let rids = Array.init 8 (fun i -> insert_account db1 t1 (Printf.sprintf "c%d" i) 100) in
+  let rng = Phoebe_util.Prng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let rid = rids.(Phoebe_util.Prng.int rng 8) in
+    let amount = Phoebe_util.Prng.int rng 10 in
+    Db.submit db1 (fun txn ->
+        match Table.get t1 txn ~rid with
+        | Some row ->
+          let v = match row.(1) with Value.Int v -> v | _ -> 0 in
+          ignore (Table.update t1 txn ~rid [ ("balance", Value.Int (v + amount)) ])
+        | None -> ())
+  done;
+  Db.run db1;
+  Db.checkpoint db1;
+  let db2, t2 = same_ddl () in
+  ignore (Db.replay_wal db2 ~from:(Wal.store (Db.wal db1)));
+  Array.iter
+    (fun rid -> check_int "balance identical after recovery" (balance_of db1 t1 rid) (balance_of db2 t2 rid))
+    rids
+
+let test_table_lock_blocks_dml () =
+  let db, t = accounts_db () in
+  let rid = insert_account db t "locked" 1 in
+  let order = ref [] in
+  let q = Scheduler.Waitq.create () in
+  (* DDL-style transaction: exclusive table lock, holds it while parked *)
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      Db.with_txn db (fun txn ->
+          Table.lock_exclusive t txn;
+          order := `Locked :: !order;
+          Scheduler.Waitq.wait q;
+          order := `Released :: !order));
+  (* concurrent DML must wait for the exclusive holder *)
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      Scheduler.charge Phoebe_sim.Component.Effective 100_000;
+      Db.with_txn db (fun txn ->
+          ignore (Table.update t txn ~rid [ ("balance", Value.Int 2) ]);
+          order := `Dml :: !order));
+  Phoebe_sim.Engine.schedule (Db.engine db) ~delay:1_000_000 (fun () -> Scheduler.Waitq.signal_all q);
+  Db.run db;
+  (match List.rev !order with
+  | [ `Locked; `Released; `Dml ] -> ()
+  | l -> Alcotest.failf "DML did not wait for the table lock (%d events)" (List.length l));
+  check_int "dml applied after release" 2 (balance_of db t rid)
+
+let test_table_lock_shared_dml_compatible () =
+  (* plain DML transactions do not block each other on the table lock *)
+  let db, t = accounts_db () in
+  let a = insert_account db t "s1" 0 and b = insert_account db t "s2" 0 in
+  for _ = 1 to 20 do
+    Db.submit db (fun txn -> ignore (Table.update t txn ~rid:a [ ("balance", Value.Int 1) ]));
+    Db.submit db (fun txn -> ignore (Table.update t txn ~rid:b [ ("balance", Value.Int 1) ]))
+  done;
+  Db.run db;
+  check_bool "all dml committed" true (Db.committed db >= 42)
+
+let () =
+  Alcotest.run "phoebe_core"
+    [
+      ( "dml",
+        [
+          Alcotest.test_case "insert/get" `Quick test_insert_get;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "update missing" `Quick test_update_missing_row;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "multi-statement txn" `Quick test_multi_statement_txn;
+        ] );
+      ( "rollback",
+        [
+          Alcotest.test_case "update rollback" `Quick test_abort_rolls_back_update;
+          Alcotest.test_case "insert rollback" `Quick test_abort_rolls_back_insert;
+          Alcotest.test_case "delete rollback" `Quick test_abort_rolls_back_delete;
+        ] );
+      ( "unique",
+        [
+          Alcotest.test_case "violation aborts" `Quick test_unique_violation_aborts;
+          Alcotest.test_case "re-insert after delete" `Quick test_unique_after_delete_ok;
+        ] );
+      ( "index+scan",
+        [
+          Alcotest.test_case "lookup" `Quick test_index_lookup;
+          Alcotest.test_case "prefix scan" `Quick test_index_prefix_scan;
+          Alcotest.test_case "scan visibility" `Quick test_scan_visibility;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "uncommitted invisible" `Quick test_uncommitted_writes_invisible;
+          Alcotest.test_case "read committed refresh" `Quick test_read_committed_sees_new_commits;
+          Alcotest.test_case "repeatable read stable" `Quick test_repeatable_read_stable;
+        ] );
+      ( "conflicts",
+        [
+          Alcotest.test_case "concurrent increments" `Quick test_concurrent_increments_serialize;
+          Alcotest.test_case "rr first-committer-wins" `Quick test_rr_first_committer_wins;
+          Alcotest.test_case "deadlock resolved" `Quick test_deadlock_detected_and_resolved;
+          Alcotest.test_case "transfers conserve money" `Quick test_transfers_conserve_money;
+        ] );
+      ( "table-locks",
+        [
+          Alcotest.test_case "exclusive blocks dml" `Quick test_table_lock_blocks_dml;
+          Alcotest.test_case "shared dml compatible" `Quick test_table_lock_shared_dml_compatible;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "undo reclaimed" `Quick test_gc_reclaims_undo;
+          Alcotest.test_case "deleted tuples purged" `Quick test_gc_removes_deleted_tuples_from_index;
+        ] );
+      ("freeze", [ Alcotest.test_case "freeze and read" `Quick test_freeze_and_read_back ]);
+      ( "recovery",
+        [
+          Alcotest.test_case "end to end" `Quick test_recovery_end_to_end;
+          Alcotest.test_case "after concurrent run" `Quick test_recovery_after_concurrent_run;
+        ] );
+    ]

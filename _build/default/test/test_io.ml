@@ -1,0 +1,135 @@
+(* Tests for the simulated NVMe device model, the page store and the WAL
+   store: service-time maths, channel parallelism, queueing, throughput
+   accounting, and content durability semantics. *)
+module Engine = Phoebe_sim.Engine
+module Device = Phoebe_io.Device
+module Pagestore = Phoebe_io.Pagestore
+module Walstore = Phoebe_io.Walstore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_dev ?(channels = 2) ?(iops = 100_000.0) ?(latency_us = 100.0) eng =
+  Device.create eng ~name:"dev"
+    { Device.channels; read_mb_s = 1000.0; write_mb_s = 500.0; iops; latency_us }
+
+let test_completion_time () =
+  let eng = Engine.create () in
+  let dev = small_dev eng in
+  let completed_at = ref (-1) in
+  (* 500 KB at 500 MB/s = 1ms service + 100us latency *)
+  Device.submit dev Device.Write ~bytes:500_000 ~on_complete:(fun () -> completed_at := Engine.now eng);
+  Engine.run eng;
+  check_int "service + latency" 1_100_000 !completed_at
+
+let test_iops_floor () =
+  let eng = Engine.create () in
+  let dev = small_dev ~iops:10_000.0 eng in
+  let completed_at = ref (-1) in
+  (* tiny write: service time floors at 1/iops = 100us *)
+  Device.submit dev Device.Write ~bytes:16 ~on_complete:(fun () -> completed_at := Engine.now eng);
+  Engine.run eng;
+  check_int "iops floor + latency" 200_000 !completed_at
+
+let test_channel_parallelism () =
+  let eng = Engine.create () in
+  let dev = small_dev ~channels:2 eng in
+  let finishes = ref [] in
+  for _ = 1 to 4 do
+    Device.submit dev Device.Write ~bytes:500_000 ~on_complete:(fun () ->
+        finishes := Engine.now eng :: !finishes)
+  done;
+  Engine.run eng;
+  (* two channels: pairs complete at 1.1ms and 2.1ms *)
+  (match List.sort compare !finishes with
+  | [ a; b; c; d ] ->
+    check_int "first pair" 1_100_000 a;
+    check_int "first pair" 1_100_000 b;
+    check_int "second pair" 2_100_000 c;
+    check_int "second pair" 2_100_000 d
+  | _ -> Alcotest.fail "expected 4 completions");
+  check_int "bytes accounted" 2_000_000 (Device.total_bytes dev Device.Write);
+  check_int "ops accounted" 4 (Device.total_ops dev Device.Write)
+
+let test_throughput_series () =
+  let eng = Engine.create () in
+  let dev = small_dev eng in
+  for _ = 1 to 10 do
+    Device.submit dev Device.Write ~bytes:100_000 ~on_complete:(fun () -> ())
+  done;
+  Engine.run eng;
+  let series = Device.throughput_series dev Device.Write in
+  check_bool "series non-empty" true (series <> []);
+  let total = List.fold_left (fun acc (_, mbps) -> acc +. mbps) 0.0 series in
+  check_bool "positive throughput" true (total > 0.0)
+
+let test_pagestore_roundtrip () =
+  let eng = Engine.create () in
+  let store = Pagestore.create (small_dev eng) in
+  Pagestore.write store ~page_id:7 (Bytes.of_string "hello page");
+  Engine.run eng;
+  check_bool "mem" true (Pagestore.mem store ~page_id:7);
+  Alcotest.(check string) "content" "hello page" (Bytes.to_string (Pagestore.read store ~page_id:7));
+  check_int "count" 1 (Pagestore.page_count store);
+  check_int "bytes" 10 (Pagestore.stored_bytes store);
+  (* overwrite adjusts accounting *)
+  Pagestore.write store ~page_id:7 (Bytes.of_string "x");
+  check_int "bytes after overwrite" 1 (Pagestore.stored_bytes store);
+  Pagestore.delete store ~page_id:7;
+  check_int "deleted" 0 (Pagestore.page_count store);
+  check_bool "read missing raises" true
+    (try
+       ignore (Pagestore.read store ~page_id:7);
+       false
+     with Not_found -> true)
+
+let test_pagestore_write_isolated_from_caller () =
+  let eng = Engine.create () in
+  let store = Pagestore.create (small_dev eng) in
+  let buf = Bytes.of_string "abc" in
+  Pagestore.write store ~page_id:1 buf;
+  Bytes.set buf 0 'X';
+  Alcotest.(check string) "store kept its own copy" "abc"
+    (Bytes.to_string (Pagestore.read store ~page_id:1))
+
+let test_walstore_append_order () =
+  let eng = Engine.create () in
+  let store = Walstore.create (small_dev eng) in
+  let durable = ref [] in
+  Walstore.append store ~file:3 (Bytes.of_string "aaa") ~on_durable:(fun () -> durable := "a" :: !durable);
+  Walstore.append store ~file:3 (Bytes.of_string "bbb") ~on_durable:(fun () -> durable := "b" :: !durable);
+  Walstore.append store ~file:5 (Bytes.of_string "cc") ~on_durable:(fun () -> durable := "c" :: !durable);
+  Engine.run eng;
+  check_int "all durable" 3 (List.length !durable);
+  Alcotest.(check string) "file contents in order" "aaabbb"
+    (Bytes.to_string (Walstore.contents store ~file:3));
+  Alcotest.(check string) "other file separate" "cc" (Bytes.to_string (Walstore.contents store ~file:5));
+  Alcotest.(check (list int)) "files listed" [ 3; 5 ] (Walstore.files store);
+  check_int "total appended" 8 (Walstore.total_appended store)
+
+let test_busy_fraction () =
+  let eng = Engine.create () in
+  let dev = small_dev ~channels:1 eng in
+  Device.submit dev Device.Write ~bytes:500_000 ~on_complete:(fun () -> ());
+  Engine.run_until eng ~time:2_000_000;
+  (* 1ms busy of 2ms elapsed on one channel *)
+  Alcotest.(check (float 0.05)) "half busy" 0.5 (Device.busy_fraction dev)
+
+let () =
+  Alcotest.run "phoebe_io"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "completion time" `Quick test_completion_time;
+          Alcotest.test_case "iops floor" `Quick test_iops_floor;
+          Alcotest.test_case "channel parallelism" `Quick test_channel_parallelism;
+          Alcotest.test_case "throughput series" `Quick test_throughput_series;
+          Alcotest.test_case "busy fraction" `Quick test_busy_fraction;
+        ] );
+      ( "pagestore",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pagestore_roundtrip;
+          Alcotest.test_case "copy isolation" `Quick test_pagestore_write_isolated_from_caller;
+        ] );
+      ("walstore", [ Alcotest.test_case "append order" `Quick test_walstore_append_order ]);
+    ]

@@ -1,0 +1,162 @@
+(* Tests for primary-standby WAL shipping: convergence, commit-boundary
+   batching, update/delete ordering through the rid map, lag behaviour,
+   and failover. *)
+open Phoebe_core
+module Repl = Phoebe_replication.Replication
+module Value = Phoebe_storage.Value
+module Scheduler = Phoebe_runtime.Scheduler
+module Engine = Phoebe_sim.Engine
+module Prng = Phoebe_util.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cfg = { Config.default with Config.n_workers = 2; slots_per_worker = 4 }
+
+let ddl db =
+  let t = Db.create_table db ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+  Db.create_index db t ~name:"kv_pk" ~cols:[ "k" ] ~unique:true;
+  t
+
+let pair () =
+  let primary = Db.create cfg in
+  let standby = Db.create_on (Db.engine primary) cfg in
+  let pt = ddl primary in
+  let st = ddl standby in
+  (primary, standby, pt, st)
+
+let dump db t =
+  Db.with_txn db (fun txn ->
+      let acc = ref [] in
+      Table.scan t txn (fun _ row ->
+          match (row.(0), row.(1)) with
+          | Value.Int k, Value.Int v -> acc := (k, v) :: !acc
+          | _ -> ());
+      List.sort compare !acc)
+
+let int_of = function Value.Int v -> v | _ -> Alcotest.fail "int expected"
+
+let test_basic_convergence () =
+  let primary, standby, pt, st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  for k = 1 to 50 do
+    Db.submit primary (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  (* the shipping loop schedules events forever: advance bounded virtual
+     time, then stop it and drain *)
+  Db.run_for primary ~ns:20_000_000;
+  Repl.stop repl;
+  Db.run primary;
+  check_bool "bytes shipped" true (Repl.shipped_bytes repl > 0);
+  Alcotest.(check (list (pair int int))) "standby converged" (dump primary pt) (dump standby st)
+
+let test_updates_deletes_converge () =
+  let primary, standby, pt, st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  let rng = Prng.create ~seed:4 in
+  let rids = ref [] in
+  for k = 1 to 30 do
+    Db.submit primary
+      ~on_done:(fun () -> ())
+      (fun txn -> rids := Table.insert pt txn [| Value.Int k; Value.Int 0 |] :: !rids)
+  done;
+  Db.run_for primary ~ns:10_000_000;
+  for _ = 1 to 100 do
+    let rid = List.nth !rids (Prng.int rng (List.length !rids)) in
+    if Prng.int rng 10 = 0 then
+      Db.submit primary (fun txn -> ignore (Table.delete pt txn ~rid))
+    else
+      Db.submit primary (fun txn ->
+          ignore
+            (Table.update_with pt txn ~rid (fun row ->
+                 [ ("v", Value.Int (int_of row.(1) + 1)) ])))
+  done;
+  Db.run_for primary ~ns:30_000_000;
+  Repl.stop repl;
+  Db.run primary;
+  Alcotest.(check (list (pair int int))) "mutations converged" (dump primary pt) (dump standby st)
+
+let test_uncommitted_not_shipped () =
+  let primary, standby, pt, st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  (* an aborted transaction's inserts must never appear on the standby *)
+  (try
+     Db.with_txn primary (fun txn ->
+         ignore (Table.insert pt txn [| Value.Int 666; Value.Int 666 |]);
+         failwith "abort me")
+   with Failure _ -> ());
+  ignore (Db.with_txn primary (fun txn -> Table.insert pt txn [| Value.Int 1; Value.Int 1 |]));
+  (* checkpoint flushes the WAL without draining the poll loop *)
+  Phoebe_wal.Wal.flush_all (Db.wal primary) ~on_done:(fun () -> ());
+  Db.run_for primary ~ns:20_000_000;
+  Repl.stop repl;
+  Db.run primary;
+  Alcotest.(check (list (pair int int))) "only committed rows" [ (1, 1) ] (dump standby st)
+
+let test_lag_and_catchup () =
+  let primary, standby, pt, st = pair () in
+  (* slow link: shipping visibly trails the primary *)
+  let slow = { Repl.default_link with Repl.poll_interval_us = 5_000.0 } in
+  let repl = Repl.attach ~primary ~standby ~link:slow () in
+  for k = 1 to 40 do
+    Db.submit primary (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  (* immediately after the burst the standby is behind *)
+  Db.run_for primary ~ns:300_000;
+  let behind = List.length (dump standby st) < 40 in
+  Db.run_for primary ~ns:50_000_000;
+  Repl.stop repl;
+  Db.run primary;
+  check_bool "standby trailed during the burst" true behind;
+  Alcotest.(check (list (pair int int))) "caught up afterwards" (dump primary pt) (dump standby st);
+  check_int "no residual lag" 0 (Repl.lag_records repl)
+
+let test_failover_promote () =
+  let primary, standby, pt, st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  for k = 1 to 20 do
+    Db.submit primary (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  Db.run_for primary ~ns:10_000_000;
+  Phoebe_wal.Wal.flush_all (Db.wal primary) ~on_done:(fun () -> ());
+  Db.run_for primary ~ns:1_000_000;
+  (* primary "fails"; promote the standby and keep serving writes *)
+  let promoted = Repl.promote repl in
+  Repl.stop repl;
+  Db.run_for primary ~ns:1_000_000;
+  check_bool "shipping stopped" false (Repl.is_running repl);
+  Alcotest.(check (list (pair int int))) "acknowledged txns survived failover" (dump primary pt)
+    (dump promoted st);
+  ignore (Db.with_txn promoted (fun txn -> Table.insert st txn [| Value.Int 999; Value.Int 1 |]));
+  Db.with_txn promoted (fun txn ->
+      match Table.index_lookup_first st txn ~index:"kv_pk" ~key:[ Value.Int 999 ] with
+      | Some _ -> ()
+      | None -> Alcotest.fail "promoted standby must accept writes")
+
+let test_mismatched_engines_rejected () =
+  let primary = Db.create cfg in
+  let standby = Db.create cfg in
+  ignore (ddl primary);
+  ignore (ddl standby);
+  check_bool "attach rejected" true
+    (try
+       ignore (Repl.attach ~primary ~standby ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "phoebe_replication"
+    [
+      ( "shipping",
+        [
+          Alcotest.test_case "basic convergence" `Quick test_basic_convergence;
+          Alcotest.test_case "updates and deletes" `Quick test_updates_deletes_converge;
+          Alcotest.test_case "uncommitted withheld" `Quick test_uncommitted_not_shipped;
+          Alcotest.test_case "lag and catch-up" `Quick test_lag_and_catchup;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "promote" `Quick test_failover_promote;
+          Alcotest.test_case "engine mismatch" `Quick test_mismatched_engines_rejected;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Tests for the co-routine pool runtime: scheduling semantics, urgency,
+   slots, wait queues, the thread-model emulation and CPU accounting. *)
+open Phoebe_runtime
+module Engine = Phoebe_sim.Engine
+module Component = Phoebe_sim.Component
+module Counters = Phoebe_sim.Counters
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make ?(model = Scheduler.Coroutine) ?(n_workers = 2) ?(slots = 4) () =
+  let eng = Engine.create () in
+  let cfg =
+    { Scheduler.default_config with model; n_workers; slots_per_worker = slots }
+  in
+  (eng, Scheduler.create eng cfg)
+
+let test_task_runs () =
+  let _, s = make () in
+  let ran = ref false in
+  Scheduler.submit s (fun () -> ran := true);
+  Scheduler.run_until_quiescent s;
+  check_bool "task ran" true !ran
+
+let test_many_tasks_all_run () =
+  let _, s = make ~n_workers:3 ~slots:2 () in
+  let n = ref 0 in
+  for _ = 1 to 100 do
+    Scheduler.submit s (fun () ->
+        Scheduler.charge Component.Effective 100;
+        incr n)
+  done;
+  Scheduler.run_until_quiescent s;
+  check_int "all tasks ran" 100 !n;
+  check_int "no live fibers" 0 (Scheduler.live_fibers s);
+  check_int "no pending tasks" 0 (Scheduler.pending_tasks s)
+
+let test_charge_advances_time () =
+  let eng, s = make ~n_workers:1 ~slots:1 () in
+  Scheduler.submit s (fun () -> Scheduler.charge Component.Effective 3300);
+  Scheduler.run_until_quiescent s;
+  (* 3300 instructions at 2.2GHz * 1.5 IPC = 1000 ns, plus switch cost;
+     sub-granule charges are realised when the worker moves on. *)
+  check_bool "time advanced by roughly the charge" true
+    (Engine.now eng >= 1000 && Engine.now eng < 2000)
+
+let test_coalesced_charges_exact_total () =
+  (* Many small charges must advance time by exactly their sum (modulo
+     integer rounding), regardless of the flush granule. *)
+  let eng, s = make ~n_workers:1 ~slots:1 () in
+  Scheduler.submit s (fun () ->
+      for _ = 1 to 100 do
+        Scheduler.charge Component.Effective 3300
+      done);
+  Scheduler.run_until_quiescent s;
+  check_bool "total time ~100us" true (Engine.now eng >= 100_000 && Engine.now eng < 102_000)
+
+let test_charge_is_tagged () =
+  let _, s = make () in
+  Scheduler.submit s (fun () ->
+      Scheduler.charge Component.Wal 500;
+      Scheduler.charge Component.Mvcc 300);
+  Scheduler.run_until_quiescent s;
+  check_int "wal instr" 500 (Counters.get (Scheduler.counters s) Component.Wal);
+  check_int "mvcc instr" 300 (Counters.get (Scheduler.counters s) Component.Mvcc)
+
+let test_no_preemption_between_charges () =
+  (* A fiber that only charges must not interleave with another fiber on
+     the same worker: co-routines run until they voluntarily yield. *)
+  let _, s = make ~n_workers:1 ~slots:2 () in
+  let log = ref [] in
+  let task name =
+    Scheduler.submit s (fun () ->
+        log := (name, `Start) :: !log;
+        Scheduler.charge Component.Effective 1000;
+        Scheduler.charge Component.Effective 1000;
+        log := (name, `End) :: !log)
+  in
+  task "a";
+  task "b";
+  Scheduler.run_until_quiescent s;
+  match List.rev !log with
+  | [ ("a", `Start); ("a", `End); ("b", `Start); ("b", `End) ] -> ()
+  | l -> Alcotest.failf "interleaved execution: %d events in wrong order" (List.length l)
+
+let test_yield_interleaves () =
+  let _, s = make ~n_workers:1 ~slots:2 () in
+  let log = ref [] in
+  let task name =
+    Scheduler.submit s (fun () ->
+        log := (name, 1) :: !log;
+        Scheduler.yield Scheduler.Low;
+        log := (name, 2) :: !log)
+  in
+  task "a";
+  task "b";
+  Scheduler.run_until_quiescent s;
+  (* After a's yield, worker should pick up b before finishing a?  With
+     pull-based scheduling, b's task is pulled when a yields (free slot),
+     so phases interleave. *)
+  let order = List.rev !log in
+  check_int "four events" 4 (List.length order);
+  check_bool "b starts before a finishes" true
+    (let rec index i = function
+       | [] -> -1
+       | x :: rest -> if x = ("b", 1) then i else index (i + 1) rest
+     in
+     let bi = index 0 order in
+     let rec index2 i = function
+       | [] -> -1
+       | x :: rest -> if x = ("a", 2) then i else index2 (i + 1) rest
+     in
+     bi < index2 0 order)
+
+let test_slots_bound_concurrency () =
+  (* With 1 worker x 2 slots, at most 2 tasks may be in flight at once. *)
+  let _, s = make ~n_workers:1 ~slots:2 () in
+  let in_flight = ref 0 and max_in_flight = ref 0 in
+  for _ = 1 to 10 do
+    Scheduler.submit s (fun () ->
+        incr in_flight;
+        if !in_flight > !max_in_flight then max_in_flight := !in_flight;
+        Scheduler.yield Scheduler.Low;
+        Scheduler.charge Component.Effective 100;
+        decr in_flight)
+  done;
+  Scheduler.run_until_quiescent s;
+  check_bool "bounded by slots" true (!max_in_flight <= 2);
+  check_bool "used both slots" true (!max_in_flight >= 2)
+
+let test_affinity_routes_to_worker () =
+  let _, s = make ~n_workers:4 ~slots:2 () in
+  let seen = Array.make 4 (-1) in
+  for w = 0 to 3 do
+    Scheduler.submit ~affinity:w s (fun () -> seen.(w) <- Scheduler.current_worker ())
+  done;
+  Scheduler.run_until_quiescent s;
+  Alcotest.(check (array int)) "each ran on its worker" [| 0; 1; 2; 3 |] seen
+
+let test_io_wait_resumes () =
+  let eng, s = make ~n_workers:1 ~slots:2 () in
+  let resumed_at = ref (-1) in
+  Scheduler.submit s (fun () ->
+      Scheduler.io_wait (fun resume -> Engine.schedule eng ~delay:5000 (fun () -> resume ()));
+      resumed_at := Engine.now eng);
+  Scheduler.run_until_quiescent s;
+  check_bool "resumed after io delay" true (!resumed_at >= 5000)
+
+let test_io_wait_overlaps_other_fiber () =
+  (* While fiber a waits on io, fiber b should run on the same worker. *)
+  let eng, s = make ~n_workers:1 ~slots:2 () in
+  let b_ran_during_io = ref false in
+  let io_done = ref false in
+  Scheduler.submit s (fun () ->
+      Scheduler.io_wait (fun resume ->
+          Engine.schedule eng ~delay:100_000 (fun () -> resume ()));
+      io_done := true);
+  Scheduler.submit s (fun () ->
+      Scheduler.charge Component.Effective 100;
+      if not !io_done then b_ran_during_io := true);
+  Scheduler.run_until_quiescent s;
+  check_bool "b overlapped a's io" true !b_ran_during_io
+
+let test_waitq_blocks_until_signal () =
+  let eng, s = make ~n_workers:2 ~slots:2 () in
+  let q = Scheduler.Waitq.create () in
+  let woke_at = ref (-1) in
+  Scheduler.submit s (fun () ->
+      Scheduler.Waitq.wait q;
+      woke_at := Engine.now eng);
+  Engine.schedule eng ~delay:7777 (fun () -> Scheduler.Waitq.signal_all q);
+  Scheduler.run_until_quiescent s;
+  check_bool "woke after signal" true (!woke_at >= 7777)
+
+let test_waitq_wakes_all () =
+  let eng, s = make ~n_workers:2 ~slots:8 () in
+  let q = Scheduler.Waitq.create () in
+  let woken = ref 0 in
+  for _ = 1 to 6 do
+    Scheduler.submit s (fun () ->
+        Scheduler.Waitq.wait q;
+        incr woken)
+  done;
+  Engine.schedule eng ~delay:100_000 (fun () -> Scheduler.Waitq.signal_all q);
+  Scheduler.run_until_quiescent s;
+  check_int "all woken" 6 !woken
+
+let test_high_urgency_preferred () =
+  (* an io completion (high urgency) must be served before a lock-wakeup
+     (low urgency) queued earlier on the same worker *)
+  let eng, s = make ~n_workers:1 ~slots:4 () in
+  let order = ref [] in
+  let q = Scheduler.Waitq.create () in
+  Scheduler.submit s (fun () ->
+      Scheduler.Waitq.wait q;
+      order := `Low :: !order);
+  Scheduler.submit s (fun () ->
+      Scheduler.io_wait (fun resume -> Engine.schedule eng ~delay:60_000 (fun () -> resume ()));
+      order := `High :: !order);
+  (* wake the low-urgency fiber first, while the io is still in flight;
+     then block the worker with a long charge so both wakeups are queued
+     when it frees up *)
+  Scheduler.submit s (fun () ->
+      Scheduler.Waitq.signal_all q;
+      Scheduler.charge Component.Effective 250_000);
+  Scheduler.run_until_quiescent s;
+  (match List.rev !order with
+  | [ `High; `Low ] -> ()
+  | [ `Low; `High ] -> Alcotest.fail "low-urgency wakeup served before io completion"
+  | _ -> Alcotest.fail "unexpected order");
+  ignore eng
+
+let test_pull_not_before_high_urgency () =
+  (* a worker with a high-urgency wakeup pending must resume it before
+     pulling a brand-new task (the paper's pause-intake rule) *)
+  let eng, s = make ~n_workers:1 ~slots:4 () in
+  let order = ref [] in
+  Scheduler.submit s (fun () ->
+      Scheduler.io_wait (fun resume -> Engine.schedule eng ~delay:10_000 (fun () -> resume ()));
+      order := `Resumed :: !order);
+  Scheduler.submit s (fun () -> Scheduler.charge Component.Effective 100_000);
+  (* by the time the long charge ends, both the io wakeup and this new
+     task are available; the wakeup must win *)
+  Engine.schedule eng ~delay:20_000 (fun () ->
+      Scheduler.submit s (fun () -> order := `Fresh :: !order));
+  Scheduler.run_until_quiescent s;
+  match List.rev !order with
+  | `Resumed :: _ -> ()
+  | _ -> Alcotest.fail "new task pulled before high-urgency resume"
+
+let test_deadlock_detected () =
+  let _, s = make () in
+  let q = Scheduler.Waitq.create () in
+  Scheduler.submit s (fun () -> Scheduler.Waitq.wait q);
+  check_bool "deadlock raises" true
+    (try
+       Scheduler.run_until_quiescent s;
+       false
+     with Failure _ -> true)
+
+let test_locals () =
+  let _, s = make () in
+  let module M = struct
+    type Scheduler.local += Marker of int
+  end in
+  let observed = ref (-1) in
+  Scheduler.submit s (fun () ->
+      Scheduler.set_local (M.Marker 42);
+      Scheduler.charge Component.Effective 10;
+      (match Scheduler.find_local (function M.Marker v -> Some v | _ -> None) with
+      | Some v -> observed := v
+      | None -> observed := -2);
+      Scheduler.remove_local (function M.Marker _ -> true | _ -> false);
+      if Scheduler.find_local (function M.Marker v -> Some v | _ -> None) <> None then
+        observed := -3);
+  Scheduler.run_until_quiescent s;
+  check_int "local survives suspension and is removable" 42 !observed
+
+let test_locals_are_per_fiber () =
+  let _, s = make ~n_workers:1 ~slots:2 () in
+  let module M = struct
+    type Scheduler.local += Who of string
+  end in
+  let leaked = ref false in
+  Scheduler.submit s (fun () ->
+      Scheduler.set_local (M.Who "a");
+      Scheduler.yield Scheduler.Low;
+      match Scheduler.find_local (function M.Who v -> Some v | _ -> None) with
+      | Some "a" -> ()
+      | _ -> leaked := true);
+  Scheduler.submit s (fun () ->
+      if Scheduler.find_local (function M.Who _ -> Some () | _ -> None) <> None then
+        leaked := true);
+  Scheduler.run_until_quiescent s;
+  check_bool "locals are fiber-scoped" false !leaked
+
+let test_exception_propagates () =
+  let _, s = make () in
+  Scheduler.submit s (fun () -> failwith "boom");
+  Alcotest.check_raises "fiber exception re-raised" (Failure "boom") (fun () ->
+      Scheduler.run_until_quiescent s)
+
+let test_outside_fiber_noops () =
+  check_bool "not in fiber" false (Scheduler.in_fiber ());
+  Scheduler.charge Component.Effective 100;
+  Scheduler.yield Scheduler.Low;
+  let called = ref false in
+  Scheduler.io_wait (fun resume ->
+      called := true;
+      resume ());
+  check_bool "io register called synchronously" true !called
+
+let test_thread_model_slower () =
+  (* Same workload; the thread model pays kernel-priced switches, so the
+     co-routine model finishes sooner in virtual time. *)
+  let run model =
+    let eng, s = make ~model ~n_workers:2 ~slots:1 () in
+    for _ = 1 to 50 do
+      Scheduler.submit s (fun () ->
+          for _ = 1 to 5 do
+            Scheduler.charge Component.Effective 1000;
+            Scheduler.yield Scheduler.Low
+          done)
+    done;
+    Scheduler.run_until_quiescent s;
+    Engine.now eng
+  in
+  let coroutine_t = run Scheduler.Coroutine in
+  let thread_t = run Scheduler.Thread in
+  check_bool "thread model slower" true (thread_t > coroutine_t)
+
+let test_smt_speed_knee () =
+  let cpu = Cpu.default in
+  Alcotest.(check (float 1e-9)) "52 workers full speed" 1.0
+    (Cpu.worker_speed cpu ~n_workers:52 ~worker:51);
+  Alcotest.(check (float 1e-9)) "104 workers all smt" cpu.Cpu.smt_efficiency
+    (Cpu.worker_speed cpu ~n_workers:104 ~worker:0);
+  Alcotest.(check (float 1e-9)) "60 workers: unshared core stays fast" 1.0
+    (Cpu.worker_speed cpu ~n_workers:60 ~worker:20);
+  Alcotest.(check (float 1e-9)) "60 workers: shared sibling slows" cpu.Cpu.smt_efficiency
+    (Cpu.worker_speed cpu ~n_workers:60 ~worker:55)
+
+let test_ns_conversion () =
+  let cpu = Cpu.default in
+  check_int "3300 instr = 1000 ns" 1000 (Cpu.ns_of_instructions cpu ~speed:1.0 3300);
+  check_int "zero instr" 0 (Cpu.ns_of_instructions cpu ~speed:1.0 0);
+  check_bool "slower core takes longer" true
+    (Cpu.ns_of_instructions cpu ~speed:0.65 3300 > 1000)
+
+let test_busy_fraction_positive () =
+  let _, s = make ~n_workers:1 ~slots:1 () in
+  Scheduler.submit s (fun () -> Scheduler.charge Component.Effective 100_000);
+  Scheduler.run_until_quiescent s;
+  let f = Scheduler.busy_fraction s in
+  check_bool "busy fraction in (0,1]" true (f > 0.5 && f <= 1.01)
+
+let () =
+  Alcotest.run "phoebe_runtime"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "task runs" `Quick test_task_runs;
+          Alcotest.test_case "many tasks" `Quick test_many_tasks_all_run;
+          Alcotest.test_case "charge advances time" `Quick test_charge_advances_time;
+          Alcotest.test_case "coalesced charges exact" `Quick test_coalesced_charges_exact_total;
+          Alcotest.test_case "charge tagged" `Quick test_charge_is_tagged;
+          Alcotest.test_case "no preemption between charges" `Quick
+            test_no_preemption_between_charges;
+          Alcotest.test_case "yield interleaves" `Quick test_yield_interleaves;
+          Alcotest.test_case "slots bound concurrency" `Quick test_slots_bound_concurrency;
+          Alcotest.test_case "affinity" `Quick test_affinity_routes_to_worker;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "outside-fiber noops" `Quick test_outside_fiber_noops;
+        ] );
+      ( "io+block",
+        [
+          Alcotest.test_case "io_wait resumes" `Quick test_io_wait_resumes;
+          Alcotest.test_case "io overlap" `Quick test_io_wait_overlaps_other_fiber;
+          Alcotest.test_case "waitq blocks until signal" `Quick test_waitq_blocks_until_signal;
+          Alcotest.test_case "waitq wakes all" `Quick test_waitq_wakes_all;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "high urgency preferred" `Quick test_high_urgency_preferred;
+          Alcotest.test_case "no pull before high urgency" `Quick test_pull_not_before_high_urgency;
+        ] );
+      ( "locals",
+        [
+          Alcotest.test_case "set/find/remove" `Quick test_locals;
+          Alcotest.test_case "per-fiber scope" `Quick test_locals_are_per_fiber;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "thread model slower" `Quick test_thread_model_slower;
+          Alcotest.test_case "smt knee" `Quick test_smt_speed_knee;
+          Alcotest.test_case "ns conversion" `Quick test_ns_conversion;
+          Alcotest.test_case "busy fraction" `Quick test_busy_fraction_positive;
+        ] );
+    ]

@@ -1,0 +1,345 @@
+(* Tests for the SQL layer: lexing, parsing, planning (index selection),
+   execution semantics, aggregates, transactions, and error paths. *)
+open Phoebe_core
+module Sql = Phoebe_sql.Sql
+module Ast = Phoebe_sql.Ast
+module Lexer = Phoebe_sql.Lexer
+module Parser = Phoebe_sql.Parser
+module Value = Phoebe_storage.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let fresh () =
+  let db = Db.create { Config.default with Config.n_workers = 2; slots_per_worker = 4 } in
+  (db, Sql.session db)
+
+let setup_employees s =
+  ignore (Sql.exec s "CREATE TABLE emp (id INT, name TEXT, dept TEXT, salary FLOAT)");
+  ignore (Sql.exec s "CREATE UNIQUE INDEX emp_pk ON emp (id)");
+  ignore (Sql.exec s "CREATE INDEX emp_by_dept ON emp (dept)");
+  ignore
+    (Sql.exec s
+       "INSERT INTO emp VALUES (1, 'ada', 'eng', 100.0), (2, 'grace', 'eng', 200.0), (3, \
+        'alan', 'research', 150.0)")
+
+let rows_of = function
+  | Sql.Rows (_, rows) -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let affected = function
+  | Sql.Affected n -> n
+  | _ -> Alcotest.fail "expected an affected-rows result"
+
+let int_at row i = match row.(i) with Value.Int v -> v | v -> Alcotest.failf "expected int, got %s" (Value.to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "SELECT a, 'it''s', 4.5, -3 FROM t WHERE x <= 2 -- comment\n;" in
+  check_int "token count" 17 (List.length toks);
+  check_bool "keyword select" true (List.mem (Lexer.Keyword "SELECT") toks);
+  check_bool "ident lowercased" true (List.mem (Lexer.Ident "a") toks);
+  check_bool "string escape" true (List.mem (Lexer.String_lit "it's") toks);
+  check_bool "float" true (List.mem (Lexer.Float_lit 4.5) toks);
+  check_bool "le symbol" true (List.mem (Lexer.Symbol "<=") toks)
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated string" (Lexer.Lex_error "unterminated string literal")
+    (fun () -> ignore (Lexer.tokenize "SELECT 'oops"));
+  check_bool "bad char" true
+    (try
+       ignore (Lexer.tokenize "SELECT @");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_select_full () =
+  match
+    Parser.parse_one
+      "SELECT name, count(*) FROM emp WHERE dept = 'eng' AND salary >= 10 GROUP BY dept ORDER \
+       BY name DESC LIMIT 5"
+  with
+  | Ast.Select q ->
+    check_int "items" 2 (List.length q.Ast.items);
+    check_str "table" "emp" q.Ast.from_table;
+    check_int "predicates" 2 (List.length q.Ast.where);
+    check_bool "group" true (q.Ast.group_by = Some "dept");
+    (match q.Ast.order with
+    | Some { Ast.ocol = "name"; descending = true } -> ()
+    | _ -> Alcotest.fail "order by");
+    check_bool "limit" true (q.Ast.limit = Some 5)
+  | _ -> Alcotest.fail "expected SELECT"
+
+let test_parse_update_expr () =
+  match Parser.parse_one "UPDATE t SET a = a + 2 * b, c = 'x' WHERE id = 1" with
+  | Ast.Update { assignments; where; _ } ->
+    check_int "assignments" 2 (List.length assignments);
+    check_int "where" 1 (List.length where);
+    (match List.assoc "a" assignments with
+    | Ast.E_add (Ast.E_col "a", Ast.E_mul (Ast.E_lit (Ast.L_int 2), Ast.E_col "b")) -> ()
+    | _ -> Alcotest.fail "precedence: * binds tighter than +")
+  | _ -> Alcotest.fail "expected UPDATE"
+
+let test_parse_multi_statement () =
+  check_int "three statements" 3
+    (List.length (Parser.parse "BEGIN; INSERT INTO t VALUES (1); COMMIT;"))
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      check_bool sql true
+        (try
+           ignore (Parser.parse_one sql);
+           false
+         with Parser.Parse_error _ -> true))
+    [
+      "SELECT FROM t";
+      "INSERT t VALUES (1)";
+      "CREATE TABLE t (x BLOB)";
+      "UPDATE t SET";
+      "SELECT * FROM t WHERE a ="; "DELETE t";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Planning *)
+
+let test_planner_prefers_unique_index () =
+  let db, s = fresh () in
+  setup_employees s;
+  ignore db;
+  check_str "point query uses pk" "Index probe on emp using emp_pk (prefix=1)"
+    (Sql.explain s "SELECT * FROM emp WHERE id = 1");
+  check_str "secondary index" "Index probe on emp using emp_by_dept (prefix=1)"
+    (Sql.explain s "SELECT * FROM emp WHERE dept = 'eng'");
+  check_str "no usable index" "Seq scan on emp"
+    (Sql.explain s "SELECT * FROM emp WHERE salary > 50")
+
+let test_planner_residual_filter () =
+  let _, s = fresh () in
+  setup_employees s;
+  (* dept is indexed, salary is a residual filter on top of the probe *)
+  let rows = rows_of (Sql.exec s "SELECT name FROM emp WHERE dept = 'eng' AND salary > 150") in
+  check_int "one row" 1 (List.length rows);
+  check_str "grace" "grace" (Value.to_string (List.hd rows).(0))
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let test_select_order_limit () =
+  let _, s = fresh () in
+  setup_employees s;
+  let rows = rows_of (Sql.exec s "SELECT name FROM emp ORDER BY salary DESC LIMIT 2") in
+  Alcotest.(check (list string)) "top-2 by salary" [ "grace"; "alan" ]
+    (List.map (fun r -> Value.to_string r.(0)) rows)
+
+let test_aggregates () =
+  let _, s = fresh () in
+  setup_employees s;
+  (match rows_of (Sql.exec s "SELECT count(*), sum(salary), min(salary), max(salary) FROM emp") with
+  | [ row ] ->
+    check_int "count" 3 (int_at row 0);
+    check_bool "sum" true (row.(1) = Value.Float 450.0);
+    check_bool "min" true (row.(2) = Value.Float 100.0);
+    check_bool "max" true (row.(3) = Value.Float 200.0)
+  | _ -> Alcotest.fail "one aggregate row");
+  match rows_of (Sql.exec s "SELECT dept, count(*) FROM emp GROUP BY dept") with
+  | [ eng; research ] ->
+    check_str "eng first" "eng" (Value.to_string eng.(0));
+    check_int "eng count" 2 (int_at eng 1);
+    check_int "research count" 1 (int_at research 1)
+  | _ -> Alcotest.fail "two groups"
+
+let test_update_arithmetic_rmw () =
+  let _, s = fresh () in
+  setup_employees s;
+  check_int "two updated" 2 (affected (Sql.exec s "UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'"));
+  match rows_of (Sql.exec s "SELECT sum(salary) FROM emp") with
+  | [ row ] -> check_bool "sum grew by 20" true (row.(0) = Value.Float 470.0)
+  | _ -> Alcotest.fail "sum"
+
+let test_delete () =
+  let _, s = fresh () in
+  setup_employees s;
+  check_int "one deleted" 1 (affected (Sql.exec s "DELETE FROM emp WHERE id = 2"));
+  check_int "two remain" 2 (List.length (rows_of (Sql.exec s "SELECT * FROM emp")));
+  check_int "delete all" 2 (affected (Sql.exec s "DELETE FROM emp"));
+  check_int "empty" 0 (List.length (rows_of (Sql.exec s "SELECT * FROM emp")))
+
+let test_insert_named_columns_and_nulls () =
+  let _, s = fresh () in
+  ignore (Sql.exec s "CREATE TABLE t (a INT, b TEXT, c FLOAT)");
+  ignore (Sql.exec s "INSERT INTO t (c, a) VALUES (1.5, 7)");
+  match rows_of (Sql.exec s "SELECT a, b, c FROM t") with
+  | [ row ] ->
+    check_int "a" 7 (int_at row 0);
+    check_bool "b defaulted to NULL" true (row.(1) = Value.Null);
+    check_bool "c" true (row.(2) = Value.Float 1.5)
+  | _ -> Alcotest.fail "one row"
+
+let test_int_literal_into_float_column () =
+  let _, s = fresh () in
+  ignore (Sql.exec s "CREATE TABLE t (x FLOAT)");
+  ignore (Sql.exec s "INSERT INTO t VALUES (3)");
+  match rows_of (Sql.exec s "SELECT x FROM t WHERE x = 3") with
+  | [ row ] -> check_bool "coerced" true (row.(0) = Value.Float 3.0)
+  | _ -> Alcotest.fail "coercion failed"
+
+(* ------------------------------------------------------------------ *)
+(* Transactions *)
+
+let test_explicit_transaction_commit () =
+  let _, s = fresh () in
+  setup_employees s;
+  ignore (Sql.exec s "BEGIN");
+  check_bool "in txn" true (Sql.in_transaction s);
+  ignore (Sql.exec s "INSERT INTO emp VALUES (4, 'tony', 'ops', 90.0)");
+  ignore (Sql.exec s "COMMIT");
+  check_bool "out of txn" false (Sql.in_transaction s);
+  check_int "committed" 4 (List.length (rows_of (Sql.exec s "SELECT * FROM emp")))
+
+let test_explicit_transaction_rollback () =
+  let _, s = fresh () in
+  setup_employees s;
+  ignore (Sql.exec s "BEGIN");
+  ignore (Sql.exec s "DELETE FROM emp");
+  check_int "deleted inside txn" 0 (List.length (rows_of (Sql.exec s "SELECT * FROM emp")));
+  ignore (Sql.exec s "ROLLBACK");
+  check_int "restored" 3 (List.length (rows_of (Sql.exec s "SELECT * FROM emp")))
+
+let test_unique_violation_is_error () =
+  let _, s = fresh () in
+  setup_employees s;
+  check_bool "duplicate pk" true
+    (try
+       ignore (Sql.exec s "INSERT INTO emp VALUES (1, 'dup', 'x', 0.0)");
+       false
+     with Sql.Error _ -> true);
+  check_int "table unchanged" 3 (List.length (rows_of (Sql.exec s "SELECT * FROM emp")))
+
+let test_script () =
+  let _, s = fresh () in
+  let results =
+    Sql.exec_script s
+      "CREATE TABLE t (x INT); INSERT INTO t VALUES (1), (2), (3); SELECT count(*) FROM t;"
+  in
+  check_int "three results" 3 (List.length results);
+  match List.nth results 2 with
+  | Sql.Rows (_, [ row ]) -> check_int "count" 3 (int_at row 0)
+  | _ -> Alcotest.fail "script select"
+
+let test_errors () =
+  let _, s = fresh () in
+  List.iter
+    (fun sql ->
+      check_bool sql true
+        (try
+           ignore (Sql.exec s sql);
+           false
+         with Sql.Error _ -> true))
+    [
+      "SELECT * FROM missing";
+      "CREATE TABLE t (x INT); CREATE TABLE t (x INT)";
+      "INSERT INTO t VALUES (1, 2)";
+      "SELECT nope FROM t";
+      "COMMIT";
+      "ROLLBACK";
+      "UPDATE t SET x = 'str' + 1";
+    ]
+
+let test_limit_with_index_probe () =
+  let _, s = fresh () in
+  ignore (Sql.exec s "CREATE TABLE n (x INT)");
+  ignore (Sql.exec s "CREATE UNIQUE INDEX n_pk ON n (x)");
+  ignore
+    (Sql.exec s
+       ("INSERT INTO n VALUES " ^ String.concat "," (List.init 50 (fun i -> Printf.sprintf "(%d)" i))));
+  check_int "limit honoured" 5 (List.length (rows_of (Sql.exec s "SELECT x FROM n LIMIT 5")));
+  check_int "range + limit" 3
+    (List.length (rows_of (Sql.exec s "SELECT x FROM n WHERE x >= 10 AND x <= 40 LIMIT 3")))
+
+let test_group_by_with_where () =
+  let _, s = fresh () in
+  setup_employees s;
+  match rows_of (Sql.exec s "SELECT dept, count(*) FROM emp WHERE salary < 180 GROUP BY dept") with
+  | [ eng; research ] ->
+    check_int "eng under 180" 1 (int_at eng 1);
+    check_int "research under 180" 1 (int_at research 1)
+  | g -> Alcotest.failf "expected 2 groups, got %d" (List.length g)
+
+let test_delete_via_index () =
+  let _, s = fresh () in
+  setup_employees s;
+  check_str "delete plans an index probe" "Index probe on emp using emp_pk (prefix=1)"
+    (Sql.explain s "SELECT * FROM emp WHERE id = 3");
+  check_int "deleted one" 1 (affected (Sql.exec s "DELETE FROM emp WHERE id = 3"));
+  check_int "absent" 0 (List.length (rows_of (Sql.exec s "SELECT * FROM emp WHERE id = 3")))
+
+let test_ne_predicate_is_residual () =
+  let _, s = fresh () in
+  setup_employees s;
+  check_str "<> cannot bind an index" "Seq scan on emp"
+    (Sql.explain s "SELECT * FROM emp WHERE dept <> 'eng'");
+  check_int "one non-eng" 1 (List.length (rows_of (Sql.exec s "SELECT * FROM emp WHERE dept <> 'eng'")))
+
+(* SQL runs on the same MVCC engine: concurrent sessions see snapshot
+   isolation. *)
+let test_sql_sees_snapshots () =
+  let db, s1 = fresh () in
+  let s2 = Sql.session db in
+  ignore (Sql.exec s1 "CREATE TABLE t (x INT)");
+  ignore (Sql.exec s1 "INSERT INTO t VALUES (1)");
+  ignore (Sql.exec s2 "BEGIN");
+  check_int "s2 sees 1 row" 1 (List.length (rows_of (Sql.exec s2 "SELECT * FROM t")));
+  ignore (Sql.exec s1 "INSERT INTO t VALUES (2)");
+  (* read committed: the next statement takes a fresh snapshot *)
+  check_int "s2 sees the new commit" 2 (List.length (rows_of (Sql.exec s2 "SELECT * FROM t")));
+  ignore (Sql.exec s2 "COMMIT")
+
+let () =
+  Alcotest.run "phoebe_sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "select" `Quick test_parse_select_full;
+          Alcotest.test_case "update exprs" `Quick test_parse_update_expr;
+          Alcotest.test_case "multi statement" `Quick test_parse_multi_statement;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "index selection" `Quick test_planner_prefers_unique_index;
+          Alcotest.test_case "residual filters" `Quick test_planner_residual_filter;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "order/limit" `Quick test_select_order_limit;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "update arithmetic" `Quick test_update_arithmetic_rmw;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "named columns + nulls" `Quick test_insert_named_columns_and_nulls;
+          Alcotest.test_case "int->float coercion" `Quick test_int_literal_into_float_column;
+          Alcotest.test_case "limit with index" `Quick test_limit_with_index_probe;
+          Alcotest.test_case "group by + where" `Quick test_group_by_with_where;
+          Alcotest.test_case "delete via index" `Quick test_delete_via_index;
+          Alcotest.test_case "<> residual" `Quick test_ne_predicate_is_residual;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "commit" `Quick test_explicit_transaction_commit;
+          Alcotest.test_case "rollback" `Quick test_explicit_transaction_rollback;
+          Alcotest.test_case "unique violation" `Quick test_unique_violation_is_error;
+          Alcotest.test_case "script" `Quick test_script;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "snapshots" `Quick test_sql_sees_snapshots;
+        ] );
+    ]

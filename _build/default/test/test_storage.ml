@@ -1,0 +1,437 @@
+(* Tests for values, PAX pages, frozen blocks, latches and the buffer
+   manager. Everything here runs outside fibers, where I/O completes
+   synchronously — the fiber interleavings are covered in test_btree and
+   test_txn. *)
+open Phoebe_storage
+module Engine = Phoebe_sim.Engine
+module Device = Phoebe_io.Device
+module Pagestore = Phoebe_io.Pagestore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let value_eq : Value.t Alcotest.testable =
+  Alcotest.testable (fun fmt v -> Value.pp fmt v) Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_compare () =
+  check_bool "null smallest" true (Value.compare Value.Null (Value.Int (-100)) < 0);
+  check_bool "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  check_bool "str order" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  check_bool "equal" true (Value.equal (Value.Float 1.5) (Value.Float 1.5))
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Value.encode buf v;
+      let got, _ = Value.decode (Buffer.to_bytes buf) 0 in
+      Alcotest.check value_eq "roundtrip" v got)
+    [ Value.Null; Value.Int 42; Value.Int (-7); Value.Float 3.25; Value.Str "hello"; Value.Bool true ]
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Value.Str s) string_small;
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"value codec roundtrip" ~count:500 value_arb (fun v ->
+      let buf = Buffer.create 16 in
+      Value.encode buf v;
+      let got, off = Value.decode (Buffer.to_bytes buf) 0 in
+      Value.equal got v && off = Buffer.length buf)
+
+let key_bytes v =
+  let buf = Buffer.create 16 in
+  Value.encode_key buf v;
+  Buffer.contents buf
+
+let prop_key_encoding_order =
+  (* Order of encoded keys must match value order (same-type pairs). *)
+  let pair_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun a b -> (Value.Int a, Value.Int b)) int int;
+          map2 (fun a b -> (Value.Str a, Value.Str b)) string_small string_small;
+          map2
+            (fun a b -> (Value.Float a, Value.Float b))
+            (float_bound_inclusive 1e6) (float_bound_inclusive 1e6);
+        ])
+  in
+  QCheck.Test.make ~name:"memcomparable key order" ~count:1000
+    (QCheck.make
+       ~print:(fun (a, b) -> Value.to_string a ^ " / " ^ Value.to_string b)
+       pair_gen)
+    (fun (a, b) ->
+      let ca = compare (key_bytes a) (key_bytes b) and cv = Value.compare a b in
+      (ca < 0) = (cv < 0) && (ca = 0) = (cv = 0))
+
+let test_schema () =
+  let s = Value.Schema.make [ ("id", Value.T_int); ("name", Value.T_str); ("ok", Value.T_bool) ] in
+  check_int "arity" 3 (Value.Schema.arity s);
+  check_int "index" 1 (Value.Schema.column_index s "name");
+  check_bool "good row" true
+    (Value.Schema.check_row s [| Value.Int 1; Value.Str "x"; Value.Bool true |]);
+  check_bool "null ok" true (Value.Schema.check_row s [| Value.Int 1; Value.Null; Value.Bool true |]);
+  check_bool "type mismatch" false
+    (Value.Schema.check_row s [| Value.Str "no"; Value.Str "x"; Value.Bool true |]);
+  check_bool "arity mismatch" false (Value.Schema.check_row s [| Value.Int 1 |]);
+  Alcotest.check_raises "unknown column" Not_found (fun () ->
+      ignore (Value.Schema.column_index s "missing"))
+
+(* ------------------------------------------------------------------ *)
+(* Pax *)
+
+let schema2 = Value.Schema.make [ ("k", Value.T_int); ("payload", Value.T_str) ]
+let row k s = [| Value.Int k; Value.Str s |]
+
+let test_pax_append_get () =
+  let p = Pax.create schema2 ~capacity:8 in
+  let s0 = Pax.append p ~row_id:10 (row 1 "a") in
+  let s1 = Pax.append p ~row_id:20 (row 2 "b") in
+  check_int "slot0" 0 s0;
+  check_int "slot1" 1 s1;
+  check_int "count" 2 (Pax.count p);
+  Alcotest.check value_eq "col read" (Value.Str "b") (Pax.get_col p ~slot:1 ~col:1);
+  check_int "row id" 20 (Pax.row_id_at p ~slot:1);
+  check_bool "find present" true (Pax.find p ~row_id:10 = Some 0);
+  check_bool "find absent" true (Pax.find p ~row_id:15 = None)
+
+let test_pax_ordering_enforced () =
+  let p = Pax.create schema2 ~capacity:8 in
+  ignore (Pax.append p ~row_id:5 (row 1 "a"));
+  check_bool "decreasing rid rejected" true
+    (try
+       ignore (Pax.append p ~row_id:5 (row 2 "b"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pax_full () =
+  let p = Pax.create schema2 ~capacity:2 in
+  ignore (Pax.append p ~row_id:1 (row 1 "a"));
+  ignore (Pax.append p ~row_id:2 (row 2 "b"));
+  check_bool "full" true (Pax.is_full p);
+  check_bool "append on full rejected" true
+    (try
+       ignore (Pax.append p ~row_id:3 (row 3 "c"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pax_update_delete_compact () =
+  let p = Pax.create schema2 ~capacity:8 in
+  ignore (Pax.append p ~row_id:1 (row 1 "a"));
+  ignore (Pax.append p ~row_id:2 (row 2 "b"));
+  ignore (Pax.append p ~row_id:3 (row 3 "c"));
+  Pax.set_col p ~slot:1 ~col:1 (Value.Str "B!");
+  Alcotest.check value_eq "in-place update" (Value.Str "B!") (Pax.get_col p ~slot:1 ~col:1);
+  Pax.mark_deleted p ~slot:0;
+  check_bool "deleted" true (Pax.is_deleted p ~slot:0);
+  check_int "live" 2 (Pax.live_count p);
+  let seen = ref [] in
+  Pax.iter_live p (fun rid _ -> seen := rid :: !seen);
+  Alcotest.(check (list int)) "iter skips deleted" [ 2; 3 ] (List.rev !seen);
+  let q = Pax.compact p in
+  check_int "compacted count" 2 (Pax.count q);
+  check_bool "compacted find" true (Pax.find q ~row_id:1 = None)
+
+let test_pax_null_handling () =
+  let p = Pax.create schema2 ~capacity:4 in
+  ignore (Pax.append p ~row_id:1 [| Value.Null; Value.Str "x" |]);
+  Alcotest.check value_eq "null read back" Value.Null (Pax.get_col p ~slot:0 ~col:0);
+  Pax.set_col p ~slot:0 ~col:0 (Value.Int 9);
+  Alcotest.check value_eq "overwrite null" (Value.Int 9) (Pax.get_col p ~slot:0 ~col:0)
+
+let test_pax_codec_roundtrip () =
+  let p = Pax.create schema2 ~capacity:16 in
+  for i = 1 to 10 do
+    ignore (Pax.append p ~row_id:(i * 3) (row i (String.make i 'x')))
+  done;
+  Pax.mark_deleted p ~slot:4;
+  let q = Pax.decode (Pax.encode p) in
+  check_int "count" (Pax.count p) (Pax.count q);
+  check_bool "delete mark survives" true (Pax.is_deleted q ~slot:4);
+  for slot = 0 to 9 do
+    Alcotest.check (Alcotest.array value_eq) "tuple" (Pax.get p ~slot) (Pax.get q ~slot)
+  done
+
+let test_pax_codec_detects_corruption () =
+  let p = Pax.create schema2 ~capacity:4 in
+  ignore (Pax.append p ~row_id:1 (row 1 "hello"));
+  let b = Pax.encode p in
+  let off = Bytes.length b - 3 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+  check_bool "corruption detected" true
+    (try
+       ignore (Pax.decode b);
+       false
+     with Failure _ -> true)
+
+let prop_pax_roundtrip =
+  let gen = QCheck.Gen.(list_size (int_range 1 20) (pair small_nat string_small)) in
+  QCheck.Test.make ~name:"pax codec roundtrip" ~count:200 (QCheck.make gen) (fun rows ->
+      let p = Pax.create schema2 ~capacity:(List.length rows) in
+      List.iteri (fun i (k, s) -> ignore (Pax.append p ~row_id:(i + 1) (row k s))) rows;
+      let q = Pax.decode (Pax.encode p) in
+      List.for_all
+        (fun i ->
+          Pax.get q ~slot:i = Pax.get p ~slot:i && Pax.row_id_at q ~slot:i = i + 1)
+        (List.init (List.length rows) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Frozen *)
+
+let build_page rows =
+  let p = Pax.create schema2 ~capacity:(max 1 (List.length rows)) in
+  List.iter (fun (rid, k, s) -> ignore (Pax.append p ~row_id:rid (row k s))) rows;
+  p
+
+let test_frozen_basics () =
+  let p1 = build_page [ (1, 10, "aa"); (2, 20, "bb") ] in
+  let p2 = build_page [ (3, 30, "cc"); (4, 40, "aa") ] in
+  let b = Frozen.freeze [ p1; p2 ] in
+  check_int "first" 1 (Frozen.first_row_id b);
+  check_int "last" 4 (Frozen.last_row_id b);
+  check_int "count" 4 (Frozen.count b);
+  (match Frozen.get b ~row_id:3 with
+  | Some r -> Alcotest.check (Alcotest.array value_eq) "tuple" (row 30 "cc") r
+  | None -> Alcotest.fail "row 3 missing");
+  check_bool "absent rid" true (Frozen.get b ~row_id:99 = None)
+
+let test_frozen_skips_deleted_on_freeze () =
+  let p = build_page [ (1, 1, "a"); (2, 2, "b"); (3, 3, "c") ] in
+  Pax.mark_deleted p ~slot:1;
+  let b = Frozen.freeze [ p ] in
+  check_int "only live rows frozen" 2 (Frozen.count b);
+  check_bool "deleted row absent" true (Frozen.get b ~row_id:2 = None)
+
+let test_frozen_out_of_place_delete () =
+  let b = Frozen.freeze [ build_page [ (1, 1, "a"); (2, 2, "b") ] ] in
+  check_bool "delete live" true (Frozen.mark_deleted b ~row_id:1);
+  check_bool "double delete" false (Frozen.mark_deleted b ~row_id:1);
+  check_bool "get deleted" true (Frozen.get b ~row_id:1 = None);
+  check_int "live count" 1 (Frozen.live_count b);
+  let seen = ref [] in
+  Frozen.iter_live b (fun rid _ -> seen := rid :: !seen);
+  Alcotest.(check (list int)) "iter skips" [ 2 ] !seen
+
+let test_frozen_compresses_repetitive_data () =
+  let rows = List.init 200 (fun i -> (i + 1, i + 1, Printf.sprintf "status-%d" (i mod 3))) in
+  let b = Frozen.freeze [ build_page rows ] in
+  check_bool "compression ratio > 2" true
+    (float_of_int (Frozen.uncompressed_bytes b) /. float_of_int (Frozen.compressed_bytes b) > 2.0)
+
+let test_frozen_codec_roundtrip () =
+  let rows = List.init 50 (fun i -> (i * 2 + 1, i * 7, Printf.sprintf "v%d" (i mod 5))) in
+  let b = Frozen.freeze [ build_page rows ] in
+  ignore (Frozen.mark_deleted b ~row_id:5);
+  let b' = Frozen.decode (Frozen.encode b) in
+  check_int "count" (Frozen.count b) (Frozen.count b');
+  check_bool "delete mark survives" true (Frozen.get b' ~row_id:5 = None);
+  List.iter
+    (fun (rid, k, s) ->
+      if rid <> 5 then
+        match Frozen.get b' ~row_id:rid with
+        | Some r -> Alcotest.check (Alcotest.array value_eq) "tuple" (row k s) r
+        | None -> Alcotest.failf "row %d missing after roundtrip" rid)
+    rows
+
+let prop_frozen_roundtrip =
+  let gen = QCheck.Gen.(list_size (int_range 1 30) (pair small_nat (string_size (int_range 0 8)))) in
+  QCheck.Test.make ~name:"frozen codec roundtrip" ~count:100 (QCheck.make gen) (fun rows ->
+      let page = build_page (List.mapi (fun i (k, s) -> (i + 1, k, s)) rows) in
+      let b = Frozen.freeze [ page ] in
+      let b' = Frozen.decode (Frozen.encode b) in
+      List.for_all
+        (fun i ->
+          let rid = i + 1 in
+          Frozen.get b ~row_id:rid = Frozen.get b' ~row_id:rid)
+        (List.init (List.length rows) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Latch *)
+
+let test_latch_modes () =
+  let l = Latch.create () in
+  let v0 = Latch.version l in
+  Latch.acquire_shared l;
+  Latch.acquire_shared l;
+  Latch.release_shared l;
+  Latch.release_shared l;
+  check_int "shared does not bump version" v0 (Latch.version l);
+  Latch.acquire_exclusive l;
+  check_bool "exclusive" true (Latch.is_exclusive l);
+  Latch.release_exclusive l;
+  check_int "exclusive bumps version" (v0 + 1) (Latch.version l);
+  Alcotest.check_raises "bad release" (Invalid_argument "Latch.release_shared: not share-latched")
+    (fun () -> Latch.release_shared l)
+
+let test_latch_optimistic_read () =
+  let l = Latch.create () in
+  let r = Latch.optimistic_read l (fun () -> 42) in
+  check_int "reads value" 42 r;
+  (* A write between reads must be visible through the version. *)
+  let v0 = Latch.version l in
+  Latch.with_exclusive l (fun () -> ());
+  check_bool "version bumped" true (Latch.version l > v0)
+
+let test_latch_with_exclusive_exception_safe () =
+  let l = Latch.create () in
+  (try Latch.with_exclusive l (fun () -> failwith "inner") with Failure _ -> ());
+  check_bool "released after exception" false (Latch.is_exclusive l)
+
+(* ------------------------------------------------------------------ *)
+(* Bufmgr *)
+
+let pax_codec : Pax.t Bufmgr.codec =
+  { Bufmgr.encode = Pax.encode; decode = Pax.decode; size = Pax.size_bytes }
+
+let make_pool ?(partitions = 1) ?(budget = 1_000_000) () =
+  let eng = Engine.create () in
+  let dev = Device.create eng ~name:"data" Device.pm9a3 in
+  let store = Pagestore.create dev in
+  (eng, store, Bufmgr.create eng ~store ~partitions ~budget_bytes:budget ~codec:pax_codec)
+
+let small_page tag =
+  let p = Pax.create schema2 ~capacity:4 in
+  ignore (Pax.append p ~row_id:tag (row tag (Printf.sprintf "page-%d" tag)));
+  p
+
+let test_buf_alloc_resolve () =
+  let _, _, pool = make_pool () in
+  let f = Bufmgr.alloc pool ~partition:0 (small_page 7) in
+  let swip = Bufmgr.swip_of f in
+  let f' = Bufmgr.resolve pool swip in
+  check_bool "same frame" true (f == f');
+  check_int "page has content" 1 (Pax.count (Bufmgr.payload f'));
+  check_bool "fresh page dirty" true (Bufmgr.is_dirty f)
+
+(* eviction honours a recency guard: hop virtual time forward so freshly
+   touched frames become eligible *)
+let age eng = Engine.run_until eng ~time:(Engine.now eng + 1_000_000)
+
+let test_buf_eviction_and_fault () =
+  let eng, store, pool = make_pool ~budget:4096 () in
+  (* Allocate far more page bytes than the budget. *)
+  let swips =
+    List.init 40 (fun i ->
+        let f = Bufmgr.alloc pool ~partition:0 (small_page (i + 1)) in
+        let s = Bufmgr.swip_of f in
+        Bufmgr.set_parent f s;
+        s)
+  in
+  age eng;
+  Bufmgr.maintain pool ~partition:0;
+  check_bool "within budget after maintain" true (Bufmgr.resident_bytes pool <= 4096 * 2);
+  check_bool "pages were written out" true (Pagestore.page_count store > 0);
+  (* Fault one cold page back in and check contents. *)
+  let missing =
+    List.filter
+      (fun s ->
+        match Bufmgr.resolve ~touch:false pool s with
+        | f -> Pax.count (Bufmgr.payload f) = 1)
+      swips
+  in
+  check_int "all pages readable after eviction" 40 (List.length missing)
+
+let test_buf_second_chance () =
+  let _, _, pool = make_pool ~budget:100_000 () in
+  let f = Bufmgr.alloc pool ~partition:0 (small_page 1) in
+  let s = Bufmgr.swip_of f in
+  Bufmgr.set_parent f s;
+  (* Force it into cooling by shrinking the budget, then touch it. *)
+  Bufmgr.set_budget pool ~budget_bytes:1;
+  (* A resolve during cooling must re-heat rather than lose the page. *)
+  let f' = Bufmgr.resolve pool s in
+  check_bool "still same frame" true (f == f');
+  check_bool "resident" true (Bufmgr.is_resident f)
+
+let test_buf_pin_blocks_eviction () =
+  let eng, _, pool = make_pool ~budget:64 () in
+  let f = Bufmgr.alloc pool ~partition:0 (small_page 1) in
+  let s = Bufmgr.swip_of f in
+  Bufmgr.set_parent f s;
+  Bufmgr.pin f;
+  age eng;
+  Bufmgr.maintain pool ~partition:0;
+  check_bool "pinned page stays resident" true (Bufmgr.is_resident f);
+  Bufmgr.unpin f;
+  age eng;
+  Bufmgr.maintain pool ~partition:0;
+  check_bool "unpinned page evicted" false (Bufmgr.is_resident f)
+
+let test_buf_dirty_writeback_roundtrip () =
+  let eng, _, pool = make_pool ~budget:64 () in
+  let page = small_page 3 in
+  let f = Bufmgr.alloc pool ~partition:0 page in
+  let s = Bufmgr.swip_of f in
+  Bufmgr.set_parent f s;
+  Pax.set_col page ~slot:0 ~col:1 (Value.Str "modified");
+  Bufmgr.mark_dirty f;
+  age eng;
+  Bufmgr.maintain pool ~partition:0;
+  check_bool "evicted" false (Bufmgr.is_resident f);
+  let f' = Bufmgr.resolve pool s in
+  Alcotest.check value_eq "modification survived eviction" (Value.Str "modified")
+    (Pax.get_col (Bufmgr.payload f') ~slot:0 ~col:1)
+
+let test_buf_gsn_metadata () =
+  let _, _, pool = make_pool () in
+  let f = Bufmgr.alloc pool ~partition:0 (small_page 1) in
+  Bufmgr.set_page_gsn f 42;
+  Bufmgr.set_last_writer_slot f 7;
+  check_int "gsn" 42 (Bufmgr.page_gsn f);
+  check_int "writer slot" 7 (Bufmgr.last_writer_slot f)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "phoebe_storage"
+    [
+      ( "value",
+        Alcotest.test_case "compare" `Quick test_value_compare
+        :: Alcotest.test_case "roundtrip examples" `Quick test_value_roundtrip
+        :: Alcotest.test_case "schema" `Quick test_schema
+        :: qsuite [ prop_value_roundtrip; prop_key_encoding_order ] );
+      ( "pax",
+        Alcotest.test_case "append/get" `Quick test_pax_append_get
+        :: Alcotest.test_case "ordering enforced" `Quick test_pax_ordering_enforced
+        :: Alcotest.test_case "full page" `Quick test_pax_full
+        :: Alcotest.test_case "update/delete/compact" `Quick test_pax_update_delete_compact
+        :: Alcotest.test_case "nulls" `Quick test_pax_null_handling
+        :: Alcotest.test_case "codec roundtrip" `Quick test_pax_codec_roundtrip
+        :: Alcotest.test_case "corruption detected" `Quick test_pax_codec_detects_corruption
+        :: qsuite [ prop_pax_roundtrip ] );
+      ( "frozen",
+        Alcotest.test_case "basics" `Quick test_frozen_basics
+        :: Alcotest.test_case "skips deleted" `Quick test_frozen_skips_deleted_on_freeze
+        :: Alcotest.test_case "out-of-place delete" `Quick test_frozen_out_of_place_delete
+        :: Alcotest.test_case "compression" `Quick test_frozen_compresses_repetitive_data
+        :: Alcotest.test_case "codec roundtrip" `Quick test_frozen_codec_roundtrip
+        :: qsuite [ prop_frozen_roundtrip ] );
+      ( "latch",
+        [
+          Alcotest.test_case "modes" `Quick test_latch_modes;
+          Alcotest.test_case "optimistic read" `Quick test_latch_optimistic_read;
+          Alcotest.test_case "exception safety" `Quick test_latch_with_exclusive_exception_safe;
+        ] );
+      ( "bufmgr",
+        [
+          Alcotest.test_case "alloc/resolve" `Quick test_buf_alloc_resolve;
+          Alcotest.test_case "eviction + fault" `Quick test_buf_eviction_and_fault;
+          Alcotest.test_case "second chance" `Quick test_buf_second_chance;
+          Alcotest.test_case "pin blocks eviction" `Quick test_buf_pin_blocks_eviction;
+          Alcotest.test_case "dirty writeback" `Quick test_buf_dirty_writeback_roundtrip;
+          Alcotest.test_case "gsn metadata" `Quick test_buf_gsn_metadata;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Unit and property tests for phoebe_util. *)
+open Phoebe_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  check_bool "different seeds differ" false (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_incl () =
+  let rng = Prng.create ~seed:9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_incl rng 3 7 in
+    check_bool "in range" true (v >= 3 && v <= 7);
+    seen.(v - 3) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:5 in
+  let b = Prng.split a in
+  check_bool "split streams differ" false (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_strings () =
+  let rng = Prng.create ~seed:3 in
+  let s = Prng.alpha_string rng ~min_len:4 ~max_len:12 in
+  check_bool "length" true (String.length s >= 4 && String.length s <= 12);
+  let n = Prng.numeric_string rng ~len:8 in
+  check_int "numeric length" 8 (String.length n);
+  String.iter (fun c -> check_bool "digit" true (c >= '0' && c <= '9')) n
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:11 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Zipf *)
+
+let test_zipf_range () =
+  let rng = Prng.create ~seed:1 in
+  let z = Zipf.create ~n:100 () in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z rng in
+    check_bool "in range" true (v >= 0 && v < 100)
+  done
+
+let test_zipf_skew () =
+  let rng = Prng.create ~seed:1 in
+  let z = Zipf.create ~theta:0.99 ~n:1000 () in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Item 0 must be far more popular than the median item. *)
+  check_bool "head heavier than tail" true (counts.(0) > 20 * (max 1 counts.(500)))
+
+let test_nurand_range () =
+  let rng = Prng.create ~seed:2 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.nurand rng ~a:255 ~c:37 ~x:0 ~y:999 in
+    check_bool "in [0,999]" true (v >= 0 && v <= 999)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Varint *)
+
+let roundtrip_int v =
+  let buf = Buffer.create 16 in
+  Varint.write_int buf v;
+  let got, off = Varint.read_int (Buffer.to_bytes buf) 0 in
+  got = v && off = Buffer.length buf
+
+let roundtrip_int64 v =
+  let buf = Buffer.create 16 in
+  Varint.write_int64 buf v;
+  let got, _ = Varint.read_int64 (Buffer.to_bytes buf) 0 in
+  got = v
+
+let test_varint_examples () =
+  List.iter
+    (fun v -> check_bool (string_of_int v) true (roundtrip_int v))
+    [ 0; 1; -1; 127; 128; -128; 300; -300; max_int / 2; -(max_int / 2); max_int; min_int + 1 ]
+
+let test_varint_string () =
+  let buf = Buffer.create 16 in
+  Varint.write_string buf "hello";
+  Varint.write_string buf "";
+  Varint.write_string buf (String.make 300 'x');
+  let b = Buffer.to_bytes buf in
+  let s1, off = Varint.read_string b 0 in
+  let s2, off = Varint.read_string b off in
+  let s3, _ = Varint.read_string b off in
+  Alcotest.(check string) "s1" "hello" s1;
+  Alcotest.(check string) "s2" "" s2;
+  check_int "s3 length" 300 (String.length s3)
+
+let test_varint_float () =
+  let buf = Buffer.create 16 in
+  List.iter (Varint.write_float buf) [ 0.0; 1.5; -3.25; 1e300; Float.min_float ];
+  let b = Buffer.to_bytes buf in
+  let v1, off = Varint.read_float b 0 in
+  let v2, off = Varint.read_float b off in
+  let v3, off = Varint.read_float b off in
+  let v4, off = Varint.read_float b off in
+  let v5, _ = Varint.read_float b off in
+  Alcotest.(check (float 0.0)) "0" 0.0 v1;
+  Alcotest.(check (float 0.0)) "1.5" 1.5 v2;
+  Alcotest.(check (float 0.0)) "-3.25" (-3.25) v3;
+  Alcotest.(check (float 0.0)) "1e300" 1e300 v4;
+  Alcotest.(check (float 0.0)) "min_float" Float.min_float v5
+
+let test_varint_overrun () =
+  Alcotest.check_raises "overrun raises" (Failure "Varint.read_uint: overrun") (fun () ->
+      ignore (Varint.read_uint (Bytes.of_string "\xff") 0))
+
+let prop_varint_int =
+  QCheck.Test.make ~name:"varint int roundtrip" ~count:1000 QCheck.int roundtrip_int
+
+let prop_varint_int64 =
+  QCheck.Test.make ~name:"varint int64 roundtrip" ~count:1000 QCheck.int64 roundtrip_int64
+
+let prop_varint_string =
+  QCheck.Test.make ~name:"varint string roundtrip" ~count:500 QCheck.string (fun s ->
+      let buf = Buffer.create 16 in
+      Varint.write_string buf s;
+      let got, _ = Varint.read_string (Buffer.to_bytes buf) 0 in
+      got = s)
+
+(* ------------------------------------------------------------------ *)
+(* Crc32 *)
+
+let test_crc32_known () =
+  (* Standard check value for "123456789". *)
+  check_int "check vector" 0xCBF43926 (Crc32.string "123456789")
+
+let test_crc32_distinguishes () =
+  check_bool "different inputs differ" false (Crc32.string "abc" = Crc32.string "abd")
+
+let test_crc32_range () =
+  let buf = Bytes.of_string "hello world, this is a checksum range test" in
+  let whole = Crc32.bytes buf ~pos:0 ~len:(Bytes.length buf) in
+  let sub = Crc32.bytes buf ~pos:5 ~len:10 in
+  check_bool "sub range differs" false (whole = sub)
+
+(* ------------------------------------------------------------------ *)
+(* Binheap *)
+
+let test_heap_sorts () =
+  let h = Binheap.create ~cmp:compare in
+  let rng = Prng.create ~seed:123 in
+  let values = Array.init 500 (fun _ -> Prng.int rng 10_000) in
+  Array.iter (Binheap.push h) values;
+  check_int "length" 500 (Binheap.length h);
+  let out = ref [] in
+  let rec drain () =
+    match Binheap.pop h with
+    | Some v ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let got = Array.of_list (List.rev !out) in
+  let expect = Array.copy values in
+  Array.sort compare expect;
+  Alcotest.(check (array int)) "heap sort" expect got
+
+let test_heap_empty () =
+  let h = Binheap.create ~cmp:compare in
+  check_bool "empty" true (Binheap.is_empty h);
+  check_bool "pop none" true (Binheap.pop h = None);
+  check_bool "peek none" true (Binheap.peek h = None)
+
+let test_heap_peek () =
+  let h = Binheap.create ~cmp:compare in
+  Binheap.push h 5;
+  Binheap.push h 3;
+  Binheap.push h 9;
+  check_bool "peek min" true (Binheap.peek h = Some 3);
+  check_int "peek does not pop" 3 (Binheap.length h)
+
+let prop_heap_order =
+  QCheck.Test.make ~name:"heap pops in order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Binheap.create ~cmp:compare in
+      List.iter (Binheap.push h) xs;
+      let rec drain acc = match Binheap.pop h with Some v -> drain (v :: acc) | None -> List.rev acc in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_scalar () =
+  let s = Stats.Scalar.create () in
+  List.iter (Stats.Scalar.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.Scalar.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Scalar.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Scalar.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Scalar.max s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.29099444874 (Stats.Scalar.stddev s)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h i
+  done;
+  check_int "count" 1000 (Stats.Histogram.count h);
+  let p50 = Stats.Histogram.percentile h 0.5 in
+  let p99 = Stats.Histogram.percentile h 0.99 in
+  check_bool "p50 approx" true (p50 > 300.0 && p50 < 800.0);
+  check_bool "p99 approx" true (p99 > 700.0 && p99 <= 1300.0);
+  check_bool "ordering" true (p50 <= p99)
+
+let test_series_buckets () =
+  let s = Stats.Series.create ~bucket_width:1_000_000_000 in
+  Stats.Series.add s ~time:100 1.0;
+  Stats.Series.add s ~time:500 2.0;
+  Stats.Series.add s ~time:1_500_000_000 5.0;
+  Stats.Series.add s ~time:3_200_000_000 7.0;
+  match Stats.Series.buckets s with
+  | [ (t0, v0); (t1, v1); (t2, v2); (t3, v3) ] ->
+    check_int "t0" 0 t0;
+    Alcotest.(check (float 0.0)) "v0" 3.0 v0;
+    check_int "t1" 1_000_000_000 t1;
+    Alcotest.(check (float 0.0)) "v1" 5.0 v1;
+    check_int "t2 gap" 2_000_000_000 t2;
+    Alcotest.(check (float 0.0)) "v2 gap" 0.0 v2;
+    check_int "t3" 3_000_000_000 t3;
+    Alcotest.(check (float 0.0)) "v3" 7.0 v3
+  | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "phoebe_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_incl hits all" `Quick test_prng_int_incl;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "strings" `Quick test_prng_strings;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "nurand range" `Quick test_nurand_range;
+        ] );
+      ( "varint",
+        Alcotest.test_case "examples" `Quick test_varint_examples
+        :: Alcotest.test_case "strings" `Quick test_varint_string
+        :: Alcotest.test_case "floats" `Quick test_varint_float
+        :: Alcotest.test_case "overrun" `Quick test_varint_overrun
+        :: qsuite [ prop_varint_int; prop_varint_int64; prop_varint_string ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc32_known;
+          Alcotest.test_case "distinguishes" `Quick test_crc32_distinguishes;
+          Alcotest.test_case "range" `Quick test_crc32_range;
+        ] );
+      ( "binheap",
+        Alcotest.test_case "sorts" `Quick test_heap_sorts
+        :: Alcotest.test_case "empty" `Quick test_heap_empty
+        :: Alcotest.test_case "peek" `Quick test_heap_peek
+        :: qsuite [ prop_heap_order ] );
+      ( "stats",
+        [
+          Alcotest.test_case "scalar" `Quick test_scalar;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "series buckets" `Quick test_series_buckets;
+        ] );
+    ]
