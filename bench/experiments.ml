@@ -18,8 +18,18 @@ module Wal = Phoebe_wal.Wal
 module Value = Phoebe_storage.Value
 module Txnmgr = Phoebe_txn.Txnmgr
 
+module Bufmgr = Phoebe_storage.Bufmgr
+
 let seed = 42
 let mb = 1024 * 1024
+
+(* Experiments append machine-readable results here; main.ml writes the
+   collection out when invoked with [--json <path>]. Only simulated
+   (deterministic) quantities go in — never wall-clock time — so two
+   runs with the same seed emit byte-identical files. *)
+let json_results : (string * Json.t) list ref = ref []
+let add_json name v = json_results := !json_results @ [ (name, v) ]
+let json_output () = Json.Obj !json_results
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -118,20 +128,27 @@ let exp3 () =
 (* ------------------------------------------------------------------ *)
 (* Exp 4 / Figure 7(c,d): data-device throughput once data outgrows the buffer *)
 
-let exp4 () =
-  section "Exp 4 (Fig 7c,d): data exchange between Main Storage and disk";
-  note "paper: exchange starts ~2 min in, tpmC dips then stabilises; writes plateau,";
-  note "reads grow as the working set exceeds the buffer. (Timescale compressed here.)";
+let exp4_run ~cleaner_enabled =
   let workers = 10 in
   (* deliberately small buffer: the order/orderline/history growth spills *)
   let cfg = phoebe_config ~warehouses:workers ~workers ~slots:32 ~buffer_mb:6 in
+  let cfg =
+    { cfg with Config.cleaner = { Bufmgr.default_cleaner with Bufmgr.cl_enabled = cleaner_enabled } }
+  in
   let db, t = load_tpcc cfg ~warehouses:workers in
   let r = run_tpcc t ~workers ~slots:32 ~seconds:2.0 in
-  note "run: %.2f virtual s, %.0f tpmC avg" r.T.duration_s r.T.tpmc;
-  let reads = Device.throughput_series (Db.data_device db) Device.Read in
-  let writes = Device.throughput_series (Db.data_device db) Device.Write in
+  let dev = Db.data_device db in
+  let write_ops = Device.total_ops dev Device.Write in
+  let write_batches = Device.total_batches dev Device.Write in
+  let pages_per_submission = float_of_int write_ops /. float_of_int (max 1 write_batches) in
+  let cs = Db.cleaner_stats db in
+  let reads = Device.throughput_series dev Device.Read in
+  let writes = Device.throughput_series dev Device.Write in
   let tpms = T.throughput_series t in
   let lookup s x = match List.assoc_opt x s with Some v -> v | None -> 0.0 in
+  note "\ncleaner %s: %.2f virtual s, %.0f tpmC avg"
+    (if cleaner_enabled then "ON " else "OFF")
+    r.T.duration_s r.T.tpmc;
   note "%-8s %14s %14s %14s" "virt-s" "read MB/s" "write MB/s" "txn/s";
   List.iter
     (fun (sec, txns) ->
@@ -140,9 +157,82 @@ let exp4 () =
   note "buffer resident: %.1f MB of %.1f MB budget; data page file: %.1f MB"
     (float_of_int (Db.stats db).Db.buffer_resident_bytes /. 1e6)
     (float_of_int (Db.config db).Config.buffer_bytes /. 1e6)
-    (float_of_int
-       (Phoebe_io.Pagestore.stored_bytes (Phoebe_storage.Bufmgr.store (Db.buffer db)))
-    /. 1e6)
+    (float_of_int (Phoebe_io.Pagestore.stored_bytes (Bufmgr.store (Db.buffer db))) /. 1e6);
+  note "data device: %d page writes in %d submissions (%.1f pages/submission)" write_ops
+    write_batches pages_per_submission;
+  note
+    "cleaner: %d batches, %d pages cleaned, %d requeued; evictions %d clean / %d inline-write"
+    cs.Bufmgr.batches_submitted cs.Bufmgr.pages_cleaned cs.Bufmgr.pages_requeued
+    cs.Bufmgr.clean_evicts cs.Bufmgr.dirty_evict_fallbacks;
+  let series_json =
+    Json.List
+      (List.map
+         (fun (sec, txns) ->
+           Json.Obj
+             [
+               ("virt_s", Json.Float sec);
+               ("read_mb_s", Json.Float (lookup reads sec));
+               ("write_mb_s", Json.Float (lookup writes sec));
+               ("txn_s", Json.Float txns);
+             ])
+         tpms)
+  in
+  let run_json =
+    Json.Obj
+      [
+        ("cleaner_enabled", Json.Bool cleaner_enabled);
+        ("duration_virtual_s", Json.Float r.T.duration_s);
+        ("tpmc", Json.Float r.T.tpmc);
+        ("tpm_total", Json.Float r.T.tpm_total);
+        ("committed", Json.Int r.T.total_committed);
+        ("aborted", Json.Int r.T.aborted);
+        ("series", series_json);
+        ( "data_device",
+          Json.Obj
+            [
+              ("write_ops", Json.Int write_ops);
+              ("write_batches", Json.Int write_batches);
+              ("pages_per_submission", Json.Float pages_per_submission);
+              ("read_ops", Json.Int (Device.total_ops dev Device.Read));
+              ("read_batches", Json.Int (Device.total_batches dev Device.Read));
+            ] );
+        ( "cleaner",
+          Json.Obj
+            [
+              ("batches_submitted", Json.Int cs.Bufmgr.batches_submitted);
+              ("pages_cleaned", Json.Int cs.Bufmgr.pages_cleaned);
+              ("pages_requeued", Json.Int cs.Bufmgr.pages_requeued);
+              ("clean_evicts", Json.Int cs.Bufmgr.clean_evicts);
+              ("dirty_evict_fallbacks", Json.Int cs.Bufmgr.dirty_evict_fallbacks);
+            ] );
+        ("buffer_resident_bytes", Json.Int (Db.stats db).Db.buffer_resident_bytes);
+      ]
+  in
+  (r, run_json)
+
+let exp4 () =
+  section "Exp 4 (Fig 7c,d): data exchange between Main Storage and disk";
+  note "paper: exchange starts ~2 min in, tpmC dips then stabilises; writes plateau,";
+  note "reads grow as the working set exceeds the buffer. (Timescale compressed here.)";
+  note "(before/after: inline write-back on eviction vs batched background cleaner)";
+  let r_off, json_off = exp4_run ~cleaner_enabled:false in
+  let r_on, json_on = exp4_run ~cleaner_enabled:true in
+  note "\ncleaner speedup: %.2fx tpmC (%.0f -> %.0f)"
+    (r_on.T.tpmc /. Float.max 1.0 r_off.T.tpmc)
+    r_off.T.tpmc r_on.T.tpmc;
+  add_json "exp4"
+    (Json.Obj
+       [
+         ( "config",
+           Json.Obj
+             [
+               ("workers", Json.Int 10);
+               ("buffer_mb", Json.Int 6);
+               ("virtual_seconds", Json.Float 2.0);
+               ("seed", Json.Int seed);
+             ] );
+         ("runs", Json.List [ json_off; json_on ]);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Exp 5 / Figure 10: throughput vs buffer size *)

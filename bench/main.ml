@@ -137,11 +137,26 @@ let run_micro () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations micro all]"
+    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations micro all]\n\
+    \       [--json <path>]   write machine-readable results (simulated quantities only)"
+
+(* Pull "--json <path>" out of the argument list. *)
+let rec extract_json_path = function
+  | [] -> (None, [])
+  | "--json" :: path :: rest ->
+    let _, remaining = extract_json_path rest in
+    (Some path, remaining)
+  | [ "--json" ] ->
+    prerr_endline "--json requires a path argument";
+    exit 2
+  | arg :: rest ->
+    let path, remaining = extract_json_path rest in
+    (path, arg :: remaining)
 
 let () =
   let t0 = Unix.gettimeofday () in
   let args = List.tl (Array.to_list Sys.argv) in
+  let json_path, args = extract_json_path args in
   let args = if args = [] then [ "all"; "micro" ] else args in
   print_endline "PhoebeDB reproduction benchmarks";
   print_endline "(simulated 2x26-core 2.2GHz CPU, PM9A3-class NVMe devices; scaled TPC-C --";
@@ -166,4 +181,9 @@ let () =
         usage ();
         exit 2)
     args;
+  (match json_path with
+  | Some path ->
+    Json.to_file path (Experiments.json_output ());
+    Printf.printf "\n(json results written to %s)\n" path
+  | None -> ());
   Printf.printf "\n(total bench wall time: %.1fs)\n" (Unix.gettimeofday () -. t0)

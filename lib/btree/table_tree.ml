@@ -506,11 +506,12 @@ let leaf_manifest t =
      its separator key in the parent inner node, so cold leaves need no
      faulting. *)
   let acc = ref [] in
+  let resident = ref [] in
   let rec go node key =
     match node with
     | Leaf swip ->
       (match Bufmgr.resident_frame_of_swip swip with
-      | Some frame -> Bufmgr.write_back t.buf frame
+      | Some frame -> resident := frame :: !resident
       | None -> ());
       acc := (Bufmgr.page_id_of_swip swip, key) :: !acc
     | Inner inner ->
@@ -521,6 +522,9 @@ let leaf_manifest t =
   (match t.root with
   | Inner inner when inner.n > 0 -> go t.root inner.keys.(0)
   | _ -> ());
+  (* one vectored submission per K dirty leaves instead of a device op
+     per page *)
+  Bufmgr.write_back_batch t.buf (List.rev !resident);
   List.rev !acc
 
 let block_manifest t = Array.to_list t.block_ids

@@ -9,6 +9,7 @@ type t = {
   cpu : Phoebe_runtime.Cpu.t;
   cost : Phoebe_sim.Cost.t;
   buffer_bytes : int;
+  cleaner : Phoebe_storage.Bufmgr.cleaner_config;
   leaf_capacity : int;
   wal : Phoebe_wal.Wal.config;
   snapshot_mode : Phoebe_txn.Txnmgr.snapshot_mode;
@@ -30,6 +31,7 @@ let default =
     cpu = Phoebe_runtime.Cpu.default;
     cost = Phoebe_sim.Cost.default;
     buffer_bytes = 256 * 1024 * 1024;
+    cleaner = Phoebe_storage.Bufmgr.default_cleaner;
     leaf_capacity = 256;
     wal = Phoebe_wal.Wal.default_config;
     snapshot_mode = Phoebe_txn.Txnmgr.O1_timestamp;

@@ -14,6 +14,7 @@ type t = {
   cpu : Phoebe_runtime.Cpu.t;
   cost : Phoebe_sim.Cost.t;
   buffer_bytes : int;  (** Main Storage budget (Exp 5 sweeps this) *)
+  cleaner : Phoebe_storage.Bufmgr.cleaner_config;  (** background page-cleaner knobs *)
   leaf_capacity : int;  (** tuples per PAX leaf page *)
   wal : Phoebe_wal.Wal.config;
   snapshot_mode : Phoebe_txn.Txnmgr.snapshot_mode;

@@ -52,6 +52,7 @@ let create_on eng (cfg : Config.t) =
     Bufmgr.create eng ~store:(Pagestore.create data_dev) ~partitions:cfg.Config.n_workers
       ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
   in
+  Bufmgr.attach_cleaner buf ~scheduler:sched cfg.Config.cleaner;
   let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
   let walmgr = Wal.create eng ~store:(Walstore.create wal_dev) ~n_slots cfg.Config.wal in
   let clock = Clock.create () in
@@ -109,6 +110,7 @@ let create_attached old (cfg : Config.t) =
     Bufmgr.create eng ~store:(Bufmgr.store old.buf) ~partitions:cfg.Config.n_workers
       ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
   in
+  Bufmgr.attach_cleaner buf ~scheduler:sched cfg.Config.cleaner;
   let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
   let walmgr = Wal.create ~resume:true eng ~store:(Wal.store old.walmgr) ~n_slots cfg.Config.wal in
   let clock = Clock.create () in
@@ -279,6 +281,12 @@ let checkpoint t =
   Engine.run t.eng;
   assert !completed
 
+let flush_pages t =
+  let completed = ref false in
+  Bufmgr.flush_all_dirty t.buf ~on_done:(fun () -> completed := true);
+  Engine.run t.eng;
+  assert !completed
+
 let gc t =
   let reclaim (undo : Phoebe_txn.Undo.t) =
     match Hashtbl.find_opt t.by_id undo.Phoebe_txn.Undo.table_id with
@@ -343,3 +351,4 @@ let stats t =
 
 let committed t = Txnmgr.stats_committed t.txns
 let aborted t = Txnmgr.stats_aborted t.txns
+let cleaner_stats t = Bufmgr.cleaner_stats t.buf

@@ -100,7 +100,14 @@ val run_for : t -> ns:int -> unit
 (** {1 Maintenance} *)
 
 val checkpoint : t -> unit
-(** Flush all WAL writers and wait (quiesce path). *)
+(** Flush all WAL writers and wait (quiesce path). Data pages are
+    written back separately — by the cleaner, by eviction, and by the
+    checkpoint manifest walk — so the on-disk image never runs ahead of
+    a snapshot taken earlier. *)
+
+val flush_pages : t -> unit
+(** Write back every dirty buffer page through the cleaner's vectored
+    batch path and drive the engine until the batches complete. *)
 
 val gc : t -> int
 (** Run a full UNDO + twin-table GC pass over every slot (the per-worker
@@ -136,3 +143,7 @@ type stats = {
 val stats : t -> stats
 val committed : t -> int
 val aborted : t -> int
+
+val cleaner_stats : t -> Phoebe_storage.Bufmgr.cleaner_stats
+(** Page-cleaner counters: batches submitted, pages cleaned, re-queued
+    pages, clean-evict hits vs dirty-evict fallbacks. *)

@@ -32,6 +32,14 @@ val name : t -> string
 val submit : t -> kind -> bytes:int -> on_complete:(unit -> unit) -> unit
 (** Queue a request; [on_complete] fires at its virtual completion time. *)
 
+val submit_batch : t -> kind -> sizes:int list -> on_complete:(int -> unit) -> unit
+(** Queue a vectored request — one multi-SQE doorbell. The batch occupies
+    a single channel for [max (sum sizes / bandwidth) (1 / iops)]: one
+    IOPS charge amortised across the batch plus the summed bandwidth
+    cost. [on_complete i] fires once per op, in submission order, when
+    the batch completes. Each op still counts toward {!total_ops} and the
+    throughput series; the batch counts once toward {!total_batches}. *)
+
 val blocking : t -> kind -> bytes:int -> unit
 (** Issue a request from a fiber and suspend until it completes; outside
     a fiber the request is accounted but completes immediately. *)
@@ -39,8 +47,15 @@ val blocking : t -> kind -> bytes:int -> unit
 val total_bytes : t -> kind -> int
 val total_ops : t -> kind -> int
 
+val total_batches : t -> kind -> int
+(** Doorbell count: single submits ring once each, batched submits ring
+    once per batch. [total_ops / total_batches] is the mean submission
+    width the device saw. *)
+
 val throughput_series : t -> kind -> (float * float) list
 (** [(second, MB/s)] samples over the run, bucketed per simulated 100ms. *)
 
 val busy_fraction : t -> float
-(** Mean channel utilisation since creation. *)
+(** Mean channel utilisation since creation. Each channel saturates at
+    100% even when deep queues or overlapping batches book it past the
+    current virtual time. *)

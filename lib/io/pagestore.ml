@@ -23,6 +23,19 @@ let write_async t ~page_id content ~on_complete =
   put t page_id content;
   Device.submit t.dev Device.Write ~bytes:(Bytes.length content) ~on_complete
 
+let write_batch t pages ~on_complete =
+  match pages with
+  | [] -> on_complete ()
+  | _ ->
+    let pages = List.map (fun (page_id, content) -> (page_id, Bytes.copy content)) pages in
+    List.iter (fun (page_id, content) -> put t page_id content) pages;
+    let remaining = ref (List.length pages) in
+    Device.submit_batch t.dev Device.Write
+      ~sizes:(List.map (fun (_, content) -> Bytes.length content) pages)
+      ~on_complete:(fun _ ->
+        decr remaining;
+        if !remaining = 0 then on_complete ())
+
 let read t ~page_id =
   match Hashtbl.find_opt t.pages page_id with
   | None -> raise Not_found

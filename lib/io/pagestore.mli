@@ -18,6 +18,12 @@ val write_async : t -> page_id:int -> Bytes.t -> on_complete:(unit -> unit) -> u
 (** Background variant used by the eviction path. The content is
     captured immediately; [on_complete] fires at device completion. *)
 
+val write_batch : t -> (int * Bytes.t) list -> on_complete:(unit -> unit) -> unit
+(** Vectored write: every page image is captured immediately and the
+    whole list goes to the device as one {!Device.submit_batch} doorbell
+    (one amortised IOPS charge). [on_complete] fires once, after the last
+    page of the batch completes; called synchronously on an empty list. *)
+
 val read : t -> page_id:int -> Bytes.t
 (** Fetch a page image, suspending for the device round trip.
     @raise Not_found if the page was never written. *)

@@ -1,6 +1,6 @@
-type t = Effective | Latch | Lock | Wal | Mvcc | Buffer | Gc | Switch
+type t = Effective | Latch | Lock | Wal | Mvcc | Buffer | Cleaner | Gc | Switch
 
-let all = [ Effective; Latch; Lock; Wal; Mvcc; Buffer; Gc; Switch ]
+let all = [ Effective; Latch; Lock; Wal; Mvcc; Buffer; Cleaner; Gc; Switch ]
 
 let to_string = function
   | Effective -> "effective"
@@ -9,6 +9,7 @@ let to_string = function
   | Wal -> "wal"
   | Mvcc -> "mvcc"
   | Buffer -> "buffer"
+  | Cleaner -> "cleaner"
   | Gc -> "gc"
   | Switch -> "switch"
 
@@ -19,7 +20,8 @@ let index = function
   | Wal -> 3
   | Mvcc -> 4
   | Buffer -> 5
-  | Gc -> 6
-  | Switch -> 7
+  | Cleaner -> 6
+  | Gc -> 7
+  | Switch -> 8
 
-let count = 8
+let count = 9

@@ -9,6 +9,7 @@ type t =
   | Wal  (** log record construction and flush bookkeeping *)
   | Mvcc  (** UNDO construction, version-chain walks, visibility checks *)
   | Buffer  (** buffer-manager lookups, swizzling, eviction *)
+  | Cleaner  (** background page-cleaner batching and write-back *)
   | Gc  (** UNDO / twin-table / deleted-tuple garbage collection *)
   | Switch  (** context switching (co-routine or thread) *)
 

@@ -20,6 +20,7 @@ type t = {
   buffer_hit : int;  (** swizzled-pointer dereference *)
   buffer_miss : int;  (** fault path: frame allocation, unswizzle fix-up *)
   buffer_evict : int;  (** per page evicted *)
+  cleaner_page : int;  (** per page encoded + queued by the background cleaner *)
   frozen_decode_per_tuple : int;  (** decompress one tuple from a data block *)
   (* MVCC *)
   undo_create : int;  (** build one before-image delta *)

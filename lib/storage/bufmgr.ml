@@ -3,6 +3,7 @@ module Component = Phoebe_sim.Component
 module Cost = Phoebe_sim.Cost
 module Engine = Phoebe_sim.Engine
 module Pagestore = Phoebe_io.Pagestore
+module Stats = Phoebe_util.Stats
 
 type state = Hot | Cooling
 
@@ -15,6 +16,8 @@ type 'p frame = {
   mutable fpayload : 'p option;
   mutable fstate : state;
   mutable fdirty : bool;
+  mutable fin_flight : bool;  (** part of a cleaner batch the device has not completed *)
+  mutable fqueued : bool;  (** enqueued on the partition's dirty-cooling queue *)
   mutable fpinned : int;
   mutable fsize : int;
   mutable faccess_count : int;
@@ -31,9 +34,28 @@ and 'p swip = { mutable ptr : 'p ref_state }
 type 'p partition = {
   frames : (int, 'p frame) Hashtbl.t;  (** resident frames by page id *)
   cooling : 'p frame Queue.t;
+  dirty_cooling : 'p frame Queue.t;  (** dirty cooling frames awaiting the cleaner *)
+  mutable cleaner_active : bool;  (** a cleaner fiber is scheduled or draining *)
   mutable used_bytes : int;
   mutable budget : int;
   mutable clock : 'p frame list;  (** snapshot used by the cooling sweep *)
+}
+
+type cleaner_config = {
+  cl_enabled : bool;
+  cl_batch_pages : int;  (** max pages per vectored device submission (K) *)
+  cl_wm_low : float;  (** used/budget fraction at which the cleaner starts draining *)
+  cl_wm_high : float;  (** fraction at which the cleaner also demotes hot frames itself *)
+}
+
+let default_cleaner = { cl_enabled = true; cl_batch_pages = 16; cl_wm_low = 0.7; cl_wm_high = 0.9 }
+
+type cleaner_stats = {
+  batches_submitted : int;
+  pages_cleaned : int;
+  pages_requeued : int;  (** re-dirtied while their batch was in flight *)
+  clean_evicts : int;
+  dirty_evict_fallbacks : int;
 }
 
 type 'p t = {
@@ -42,6 +64,14 @@ type 'p t = {
   parts : 'p partition array;
   codec : 'p codec;
   mutable next_page_id : int;
+  mutable cleaner_cfg : cleaner_config;
+  mutable cleaner_sched : Scheduler.t option;
+  mutable cl_batches : int;
+  mutable cl_pages : int;
+  mutable cl_requeued : int;
+  mutable cl_clean_evicts : int;
+  mutable cl_dirty_fallbacks : int;
+  cl_batch_sizes : Stats.Scalar.t;
   (* A real system keeps the GSN and last-writer in the page header; the
      payload codec here is page-content only, so evicted pages park that
      metadata in a sidecar and recover it at fault-in. *)
@@ -55,10 +85,43 @@ let create engine ~store ~partitions ~budget_bytes ~codec =
     pstore = store;
     parts =
       Array.init partitions (fun _ ->
-          { frames = Hashtbl.create 256; cooling = Queue.create (); used_bytes = 0; budget = per; clock = [] });
+          {
+            frames = Hashtbl.create 256;
+            cooling = Queue.create ();
+            dirty_cooling = Queue.create ();
+            cleaner_active = false;
+            used_bytes = 0;
+            budget = per;
+            clock = [];
+          });
     codec;
     next_page_id = 0;
+    cleaner_cfg = { default_cleaner with cl_enabled = false };
+    cleaner_sched = None;
+    cl_batches = 0;
+    cl_pages = 0;
+    cl_requeued = 0;
+    cl_clean_evicts = 0;
+    cl_dirty_fallbacks = 0;
+    cl_batch_sizes = Stats.Scalar.create ();
     gsn_sidecar = Hashtbl.create 256;
+  }
+
+let attach_cleaner t ~scheduler cfg =
+  t.cleaner_cfg <- cfg;
+  t.cleaner_sched <- (if cfg.cl_enabled then Some scheduler else None)
+
+let cleaner_config t = t.cleaner_cfg
+
+let cleaner_on t = t.cleaner_cfg.cl_enabled && t.cleaner_sched <> None
+
+let cleaner_stats t =
+  {
+    batches_submitted = t.cl_batches;
+    pages_cleaned = t.cl_pages;
+    pages_requeued = t.cl_requeued;
+    clean_evicts = t.cl_clean_evicts;
+    dirty_evict_fallbacks = t.cl_dirty_fallbacks;
   }
 
 let set_budget t ~budget_bytes =
@@ -82,6 +145,8 @@ let alloc t ~partition payload =
       fpayload = Some payload;
       fstate = Hot;
       fdirty = true;
+      fin_flight = false;
+      fqueued = false;
       fpinned = 0;
       fsize = size;
       faccess_count = 0;
@@ -169,6 +234,8 @@ let resolve ?(touch = true) t swip =
           fpayload = Some payload;
           fstate = Hot;
           fdirty = false;
+          fin_flight = false;
+          fqueued = false;
           fpinned = 0;
           fsize = t.codec.size payload;
           faccess_count = (if touch then 1 else 0);
@@ -227,9 +294,22 @@ let needs_maintenance t ~partition =
    that can *wait* (locks, I/O) re-resolve instead of relying on this. *)
 let recency_guard_ns = 100_000
 
+(* ------------------------------------------------------------------ *)
+(* Background page cleaner *)
+
+let queue_dirty_cooling part f =
+  if not f.fqueued then begin
+    f.fqueued <- true;
+    Queue.push f part.dirty_cooling
+  end
+
+let over_watermark part fraction =
+  float_of_int part.used_bytes >= fraction *. float_of_int part.budget
+
 (* Demote hot frames to cooling in (arbitrary but stable) clock order.
    Pinned, latched or recently-touched frames are skipped; so are frames
-   already cooling. *)
+   already cooling. Dirty frames additionally join the partition's
+   dirty-cooling queue so the cleaner can write them back in batches. *)
 let refill_cooling t part =
   let now = Engine.now t.engine in
   if part.clock = [] then part.clock <- Hashtbl.fold (fun _ f acc -> f :: acc) part.frames [];
@@ -247,14 +327,173 @@ let refill_cooling t part =
         then begin
           f.fstate <- Cooling;
           Queue.push f part.cooling;
+          if f.fdirty then queue_dirty_cooling part f;
           demote (budget_frames - 1) rest
         end
         else demote budget_frames rest
   in
   part.clock <- demote 16 part.clock
 
-let evict_one t part =
+(* One pass of the cleaner fiber: pull up to K dirty cooling frames off
+   the queue, snapshot their images, and push the whole batch through one
+   vectored device submission. The frame flips clean *before* the batch
+   is registered and the page image is captured in the same synchronous
+   stretch (no suspension in between), so a clean frame always has a
+   current store image and eviction can unswizzle it without writing. A
+   page re-dirtied while its batch is in flight is re-queued afterwards,
+   never lost. *)
+let rec cleaner_service t partition =
+  let part = t.parts.(partition) in
+  let cfg = t.cleaner_cfg in
   let c = costs () in
+  let rec collect k acc =
+    if k = 0 then List.rev acc
+    else
+      match Queue.take_opt part.dirty_cooling with
+      | None -> List.rev acc
+      | Some f ->
+        f.fqueued <- false;
+        if
+          f.fstate = Cooling && f.fdirty && (not f.fin_flight)
+          && f.fpayload <> None
+          && Hashtbl.mem part.frames f.fpage_id
+        then collect (k - 1) (f :: acc)
+        else collect k acc
+  in
+  let clean_batch batch =
+    let n = List.length batch in
+    Scheduler.charge Component.Cleaner (n * c.Cost.cleaner_page);
+    (* no suspension between flipping frames clean and capturing their
+       images below: Pagestore.write_batch copies the pages synchronously
+       inside io_wait's register, before any other fiber can run *)
+    let pages =
+      List.map
+        (fun f ->
+          f.fin_flight <- true;
+          f.fdirty <- false;
+          (f.fpage_id, t.codec.encode (payload f)))
+        batch
+    in
+    Scheduler.io_wait (fun resume -> Pagestore.write_batch t.pstore pages ~on_complete:resume);
+    (* batch durable; write coalescing for pages re-dirtied in flight *)
+    List.iter
+      (fun f ->
+        f.fin_flight <- false;
+        if f.fdirty && f.fstate = Cooling && Hashtbl.mem part.frames f.fpage_id then begin
+          t.cl_requeued <- t.cl_requeued + 1;
+          queue_dirty_cooling part f
+        end)
+      batch;
+    t.cl_batches <- t.cl_batches + 1;
+    t.cl_pages <- t.cl_pages + n;
+    Stats.Scalar.add t.cl_batch_sizes (float_of_int n)
+  in
+  (* Demote hot frames until a full batch is queued or the sweep stops
+     making progress (every frame pinned, latched or recently touched):
+     submitting K-page batches — not whatever trickle has cooled so far —
+     is what amortises the device's IOPS charge. *)
+  let rec top_up attempts =
+    if
+      attempts > 0
+      && Queue.length part.dirty_cooling < cfg.cl_batch_pages
+      && over_watermark part cfg.cl_wm_low
+    then begin
+      let before = Queue.length part.dirty_cooling + Queue.length part.cooling in
+      refill_cooling t part;
+      if Queue.length part.dirty_cooling + Queue.length part.cooling > before then
+        top_up (attempts - 1)
+    end
+  in
+  let rec pass rounds =
+    if rounds > 0 then begin
+      top_up 8;
+      match collect cfg.cl_batch_pages [] with
+      | [] -> ()
+      | batch ->
+        clean_batch batch;
+        pass (rounds - 1)
+    end
+  in
+  pass 64;
+  (* the partition may now hold a run of clean cooling frames: unswizzle
+     down to budget while we are on the owning worker instead of waiting
+     for the next housekeeping cadence *)
+  while part.used_bytes > part.budget && evict_one t part do
+    ()
+  done;
+  part.cleaner_active <- false;
+  (* dirty frames may have been demoted while the last batch was in
+     flight; re-arm rather than leave them stranded *)
+  kick_cleaner t ~partition
+
+and kick_cleaner ?(force = false) t ~partition =
+  match t.cleaner_sched with
+  | Some sched when t.cleaner_cfg.cl_enabled ->
+    let part = t.parts.(partition) in
+    (* wait for half a batch to accumulate before waking the fiber —
+       draining every one-page trickle would defeat the vectored
+       amortisation and re-write hot pages. [force] (maintain found no
+       clean victim while over budget) cleans whatever is queued. *)
+    let quorum = if force then 1 else max 1 (t.cleaner_cfg.cl_batch_pages / 2) in
+    if
+      (not part.cleaner_active)
+      && Queue.length part.dirty_cooling >= quorum
+      && over_watermark part t.cleaner_cfg.cl_wm_low
+    then begin
+      part.cleaner_active <- true;
+      Scheduler.submit ~affinity:partition sched (fun () -> cleaner_service t partition)
+    end
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Eviction *)
+
+and evict_one t part =
+  let c = costs () in
+  let cleaner = cleaner_on t in
+  (* dirty frames deferred to the cleaner during this scan; returned to
+     the cooling queue afterwards so they keep their second chance *)
+  let deferred = ref [] in
+  let evict_frame f =
+    Scheduler.charge Component.Buffer c.Cost.buffer_evict;
+    match f.fpayload with
+    | Some p ->
+      if f.fdirty then begin
+        (* inline fallback: the cleaner is off, unattached, or behind *)
+        t.cl_dirty_fallbacks <- t.cl_dirty_fallbacks + 1;
+        let raw = t.codec.encode p in
+        Pagestore.write t.pstore ~page_id:f.fpage_id raw;
+        f.fdirty <- false
+      end
+      else t.cl_clean_evicts <- t.cl_clean_evicts + 1;
+      (* Re-check: the write may have suspended us; the frame may have
+         been re-heated or re-touched while we were writing back. *)
+      if
+        f.fstate = Cooling && f.fpinned = 0
+        && Engine.now t.engine - f.flast_access >= recency_guard_ns
+      then begin
+        (match f.fparent with
+        | Some swip -> swip.ptr <- Unswizzled f.fpage_id
+        | None -> ());
+        Hashtbl.replace t.gsn_sidecar f.fpage_id (f.fgsn, f.fwriter_slot);
+        f.fpayload <- None;
+        Hashtbl.remove part.frames f.fpage_id;
+        part.used_bytes <- part.used_bytes - f.fsize;
+        true
+      end
+      else true
+    | None ->
+      (* non-resident frame left in the table: release its accounting
+         and unswizzle the parent if the page image is recoverable *)
+      (match f.fparent with
+      | Some swip when Pagestore.mem t.pstore ~page_id:f.fpage_id ->
+        swip.ptr <- Unswizzled f.fpage_id
+      | _ -> ());
+      Hashtbl.remove part.frames f.fpage_id;
+      part.used_bytes <- part.used_bytes - f.fsize;
+      f.fsize <- 0;
+      true
+  in
   let rec try_pop () =
     match Queue.take_opt part.cooling with
     | None -> false
@@ -266,37 +505,21 @@ let evict_one t part =
       then
         (* touched (second chance), recently used, pinned, or dropped *)
         try_pop ()
-      else begin
-        Scheduler.charge Component.Buffer c.Cost.buffer_evict;
-        (match f.fpayload with
-        | Some p ->
-          if f.fdirty then begin
-            let raw = t.codec.encode p in
-            Pagestore.write t.pstore ~page_id:f.fpage_id raw;
-            f.fdirty <- false
-          end;
-          (* Re-check: the write suspended us; the frame may have been
-             re-heated or re-touched while we were writing back. *)
-          if
-            f.fstate = Cooling && f.fpinned = 0
-            && Engine.now t.engine - f.flast_access >= recency_guard_ns
-          then begin
-            (match f.fparent with
-            | Some swip -> swip.ptr <- Unswizzled f.fpage_id
-            | None -> ());
-            Hashtbl.replace t.gsn_sidecar f.fpage_id (f.fgsn, f.fwriter_slot);
-            f.fpayload <- None;
-            Hashtbl.remove part.frames f.fpage_id;
-            part.used_bytes <- part.used_bytes - f.fsize;
-            true
-          end
-          else true
-        | None ->
-          Hashtbl.remove part.frames f.fpage_id;
-          true)
+      else if f.fdirty && cleaner then begin
+        (* never write inline while the cleaner runs: hand the frame to
+           the batch path and look for an already-clean victim instead *)
+        deferred := f :: !deferred;
+        queue_dirty_cooling part f;
+        try_pop ()
       end
+      else evict_frame f
   in
-  try_pop ()
+  let evicted = try_pop () in
+  List.iter (fun f -> Queue.push f part.cooling) (List.rev !deferred);
+  (match !deferred with
+  | f :: _ -> kick_cleaner t ~partition:f.fpartition
+  | [] -> ());
+  evicted
 
 let maintain t ~partition =
   let part = t.parts.(partition) in
@@ -304,14 +527,86 @@ let maintain t ~partition =
     if fuel > 0 && part.used_bytes > part.budget then begin
       if Queue.is_empty part.cooling then refill_cooling t part;
       if evict_one t part then go (fuel - 1)
-      else if not (Queue.is_empty part.cooling) then go (fuel - 1)
+      else if part.cleaner_active then
+        (* every cooling victim is dirty and queued behind the cleaner;
+           stop burning CPU — the next housekeeping pass after the batch
+           completes will find clean frames to unswizzle *)
+        ()
       else begin
+        (* no clean victim in the cooling queue: demote more hot frames —
+           clean demotions become eviction victims, dirty ones build the
+           cleaner's batch toward its quorum (forcing a drain of the
+           sub-quorum queue here would re-split the batches the quorum is
+           trying to build) *)
+        let before = Queue.length part.cooling + Queue.length part.dirty_cooling in
         refill_cooling t part;
-        if not (Queue.is_empty part.cooling) then go (fuel - 1)
+        kick_cleaner t ~partition;
+        if Queue.length part.cooling + Queue.length part.dirty_cooling > before then
+          go (fuel - 1)
       end
     end
   in
-  go (Hashtbl.length part.frames + 16)
+  go (Hashtbl.length part.frames + 16);
+  kick_cleaner t ~partition
+
+(* ------------------------------------------------------------------ *)
+(* Batched write-back (checkpoint path) *)
+
+let chunked n list =
+  let rec go acc chunk k = function
+    | [] -> List.rev (if chunk = [] then acc else List.rev chunk :: acc)
+    | x :: rest ->
+      if k = 0 then go (List.rev chunk :: acc) [ x ] (n - 1) rest
+      else go acc (x :: chunk) (k - 1) rest
+  in
+  go [] [] n list
+
+let snapshot_chunk t chunk =
+  List.map
+    (fun f ->
+      f.fdirty <- false;
+      (f.fpage_id, t.codec.encode (payload f)))
+    chunk
+
+let write_back_batch t frames =
+  let dirty = List.filter (fun f -> f.fdirty && f.fpayload <> None) frames in
+  if dirty <> [] then begin
+    let batch_pages = max 1 t.cleaner_cfg.cl_batch_pages in
+    List.iter
+      (fun chunk ->
+        let pages = snapshot_chunk t chunk in
+        t.cl_batches <- t.cl_batches + 1;
+        t.cl_pages <- t.cl_pages + List.length pages;
+        Stats.Scalar.add t.cl_batch_sizes (float_of_int (List.length pages));
+        Scheduler.io_wait (fun resume -> Pagestore.write_batch t.pstore pages ~on_complete:resume))
+      (chunked batch_pages dirty)
+  end
+
+let flush_all_dirty t ~on_done =
+  let batch_pages = max 1 t.cleaner_cfg.cl_batch_pages in
+  let chunks =
+    Array.to_list t.parts
+    |> List.concat_map (fun part ->
+           Hashtbl.fold
+             (fun _ f acc -> if f.fdirty && f.fpayload <> None then f :: acc else acc)
+             part.frames []
+           |> List.sort (fun a b -> compare a.fpage_id b.fpage_id)
+           |> chunked batch_pages)
+  in
+  match chunks with
+  | [] -> on_done ()
+  | _ ->
+    let remaining = ref (List.length chunks) in
+    List.iter
+      (fun chunk ->
+        let pages = snapshot_chunk t chunk in
+        t.cl_batches <- t.cl_batches + 1;
+        t.cl_pages <- t.cl_pages + List.length pages;
+        Stats.Scalar.add t.cl_batch_sizes (float_of_int (List.length pages));
+        Pagestore.write_batch t.pstore pages ~on_complete:(fun () ->
+            decr remaining;
+            if !remaining = 0 then on_done ()))
+      chunks
 
 let resident_bytes t = Array.fold_left (fun acc p -> acc + p.used_bytes) 0 t.parts
 let resident_pages t = Array.fold_left (fun acc p -> acc + Hashtbl.length p.frames) 0 t.parts

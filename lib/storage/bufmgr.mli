@@ -107,12 +107,69 @@ val cold_swip : 'p t -> int -> 'p swip
 (** An unswizzled swip for a page known to be in the store (restore
     path); resolving it faults the page in. *)
 
+(** {1 Background page cleaner}
+
+    With the cleaner attached, dirty cooling frames are tracked on a
+    per-partition dirty queue and written back by a demand-kicked
+    scheduler fiber in batches of up to [cl_batch_pages] pages through
+    one vectored device submission ({!Phoebe_io.Pagestore.write_batch}).
+    Eviction then finds clean frames and reduces to a pointer unswizzle;
+    a page re-dirtied while its batch is in flight is re-queued, never
+    lost (write coalescing). *)
+
+type cleaner_config = {
+  cl_enabled : bool;
+  cl_batch_pages : int;  (** max pages per vectored device submission (K) *)
+  cl_wm_low : float;  (** used/budget fraction at which the cleaner starts draining *)
+  cl_wm_high : float;  (** fraction at which the cleaner also demotes hot frames itself *)
+}
+
+val default_cleaner : cleaner_config
+(** Enabled, K = 16, watermarks 0.7 / 0.9. Pools start with the cleaner
+    disabled until {!attach_cleaner} is called. *)
+
+type cleaner_stats = {
+  batches_submitted : int;
+  pages_cleaned : int;
+  pages_requeued : int;  (** re-dirtied while their batch was in flight *)
+  clean_evicts : int;  (** evictions that were a pure pointer unswizzle *)
+  dirty_evict_fallbacks : int;  (** evictions that had to write inline *)
+}
+
+val attach_cleaner : 'p t -> scheduler:Phoebe_runtime.Scheduler.t -> cleaner_config -> unit
+(** Enable (or reconfigure) the background cleaner. Cleaner fibers run
+    on [scheduler] with the partition index as affinity. *)
+
+val cleaner_config : 'p t -> cleaner_config
+val cleaner_stats : 'p t -> cleaner_stats
+
+val kick_cleaner : ?force:bool -> 'p t -> partition:int -> unit
+(** Schedule a cleaner pass for [partition] if it is above the low
+    watermark with at least half a batch of queued dirty frames and no
+    pass is already pending ([force] drops the quorum to one frame).
+    Idempotent; called internally from [maintain] and eviction. *)
+
+val write_back_batch : 'p t -> 'p frame list -> unit
+(** Persist the dirty resident frames among [frames] through the
+    vectored batch path, chunked at [cl_batch_pages]; the calling fiber
+    suspends until every chunk completes. Clean or non-resident frames
+    are skipped. Must run inside a scheduler fiber. *)
+
+val flush_all_dirty : 'p t -> on_done:(unit -> unit) -> unit
+(** Write back every dirty resident frame in every partition (sorted by
+    page id, chunked at [cl_batch_pages]) and call [on_done] once all
+    batches complete. Callback-style so the checkpoint path can drive it
+    from outside a fiber; frames stay resident. *)
+
 (** {1 Replacement} *)
 
 val maintain : 'p t -> partition:int -> unit
 (** Run the cooling/eviction pass for one partition until it is within
-    budget: demote hot pages to cooling in clock order, write back dirty
-    cooling pages and unswizzle them. Runs in the calling fiber (page
+    budget: demote hot pages to cooling in clock order and unswizzle
+    clean cooling pages. With the cleaner attached, dirty cooling pages
+    are handed to the batch write-back path instead of being written
+    inline, and the pass yields early when everything evictable is
+    waiting on an in-flight batch. Runs in the calling fiber (page
     provider task slot). *)
 
 val needs_maintenance : 'p t -> partition:int -> bool

@@ -68,6 +68,13 @@ let test_checkpoint_bounds_replay () =
         ignore (Table.insert t1 txn [| Value.Int k; Value.Int k |])
       done);
   let snapshot = Checkpoint.take db1 in
+  (* the leaf manifest goes out through the vectored batch path: fewer
+     device submissions than pages written *)
+  let dev = Db.data_device db1 in
+  let module Device = Phoebe_io.Device in
+  check_bool "manifest used batched submissions" true (Device.total_batches dev Device.Write >= 1);
+  check_bool "batches carry multiple pages" true
+    (Device.total_ops dev Device.Write > Device.total_batches dev Device.Write);
   let db2, report = Checkpoint.restore ~from:db1 ~snapshot cfg in
   check_int "nothing to replay after a clean checkpoint" 0 report.Phoebe_wal.Recovery.ops_replayed;
   check_int "all rows present from the image alone" 500 (List.length (dump db2 (Db.table db2 "kv")))

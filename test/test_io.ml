@@ -115,6 +115,87 @@ let test_busy_fraction () =
   (* 1ms busy of 2ms elapsed on one channel *)
   Alcotest.(check (float 0.05)) "half busy" 0.5 (Device.busy_fraction dev)
 
+let test_busy_fraction_saturates () =
+  let eng = Engine.create () in
+  let dev = small_dev ~channels:1 eng in
+  (* book the single channel far past the observation window: 8 x 1ms *)
+  for _ = 1 to 8 do
+    Device.submit dev Device.Write ~bytes:500_000 ~on_complete:(fun () -> ())
+  done;
+  Engine.run_until eng ~time:2_000_000;
+  let b = Device.busy_fraction dev in
+  Alcotest.(check bool) "never exceeds 1.0" true (b <= 1.0);
+  Alcotest.(check (float 0.05)) "fully busy" 1.0 b
+
+let test_batch_amortizes_iops () =
+  (* 8 small pages, one channel, 10k IOPS (100us floor per op): issued
+     one by one the floor serialises them, 8 x 100us; one vectored batch
+     pays the floor once plus summed bandwidth. *)
+  let sequential =
+    let eng = Engine.create () in
+    let dev = small_dev ~channels:1 ~iops:10_000.0 eng in
+    let last = ref 0 in
+    for _ = 1 to 8 do
+      Device.submit dev Device.Write ~bytes:512 ~on_complete:(fun () -> last := Engine.now eng)
+    done;
+    Engine.run eng;
+    !last
+  in
+  let batched =
+    let eng = Engine.create () in
+    let dev = small_dev ~channels:1 ~iops:10_000.0 eng in
+    let last = ref 0 in
+    Device.submit_batch dev Device.Write
+      ~sizes:(List.init 8 (fun _ -> 512))
+      ~on_complete:(fun _ -> last := Engine.now eng);
+    Engine.run eng;
+    !last
+  in
+  check_int "sequential: 8 iops floors + latency" 900_000 sequential;
+  check_int "batched: one iops floor + latency" 200_000 batched;
+  check_bool "batch strictly faster" true (batched < sequential)
+
+let test_batch_completion_order () =
+  let eng = Engine.create () in
+  let dev = small_dev eng in
+  let order = ref [] in
+  let times = ref [] in
+  Device.submit_batch dev Device.Write
+    ~sizes:[ 1000; 2000; 3000; 4000 ]
+    ~on_complete:(fun i ->
+      order := i :: !order;
+      times := Engine.now eng :: !times);
+  Engine.run eng;
+  Alcotest.(check (list int)) "completions fan out in submission order" [ 0; 1; 2; 3 ]
+    (List.rev !order);
+  check_bool "all at the same instant" true
+    (match !times with t :: rest -> List.for_all (( = ) t) rest | [] -> false);
+  check_int "one submission" 1 (Device.total_batches dev Device.Write);
+  check_int "four ops" 4 (Device.total_ops dev Device.Write);
+  check_int "bytes summed" 10_000 (Device.total_bytes dev Device.Write)
+
+let test_batch_empty_is_noop () =
+  let eng = Engine.create () in
+  let dev = small_dev eng in
+  Device.submit_batch dev Device.Write ~sizes:[] ~on_complete:(fun _ -> Alcotest.fail "no ops");
+  Engine.run eng;
+  check_int "no batch recorded" 0 (Device.total_batches dev Device.Write)
+
+let test_pagestore_write_batch () =
+  let eng = Engine.create () in
+  let store = Pagestore.create (small_dev eng) in
+  let done_ = ref false in
+  let pages = List.init 5 (fun i -> (i + 1, Bytes.of_string (Printf.sprintf "page-%d" (i + 1)))) in
+  Pagestore.write_batch store pages ~on_complete:(fun () -> done_ := true);
+  (* contents are visible immediately (the store image is the source of
+     truth for faults); completion waits for the device *)
+  Alcotest.(check string) "content durable" "page-3" (Bytes.to_string (Pagestore.read store ~page_id:3));
+  Engine.run eng;
+  check_bool "completion fired" true !done_;
+  check_int "all pages stored" 5 (Pagestore.page_count store);
+  check_int "one device submission" 1
+    (Device.total_batches (Pagestore.device store) Device.Write)
+
 let () =
   Alcotest.run "phoebe_io"
     [
@@ -125,11 +206,16 @@ let () =
           Alcotest.test_case "channel parallelism" `Quick test_channel_parallelism;
           Alcotest.test_case "throughput series" `Quick test_throughput_series;
           Alcotest.test_case "busy fraction" `Quick test_busy_fraction;
+          Alcotest.test_case "busy fraction saturates" `Quick test_busy_fraction_saturates;
+          Alcotest.test_case "batch amortizes iops" `Quick test_batch_amortizes_iops;
+          Alcotest.test_case "batch completion order" `Quick test_batch_completion_order;
+          Alcotest.test_case "empty batch" `Quick test_batch_empty_is_noop;
         ] );
       ( "pagestore",
         [
           Alcotest.test_case "roundtrip" `Quick test_pagestore_roundtrip;
           Alcotest.test_case "copy isolation" `Quick test_pagestore_write_isolated_from_caller;
+          Alcotest.test_case "write batch" `Quick test_pagestore_write_batch;
         ] );
       ("walstore", [ Alcotest.test_case "append order" `Quick test_walstore_append_order ]);
     ]

@@ -334,6 +334,70 @@ let test_warm_hot_frozen () =
       Table.scan t txn (fun _ _ -> incr n);
       check_int "no rows lost or duplicated" 400 !n)
 
+(* ------------------------------------------------------------------ *)
+(* Cleaner transparency: the background page cleaner is a performance
+   mechanism only — with a buffer small enough to force constant
+   eviction, the same seeded workload must leave identical table
+   contents with the cleaner on and off, both live and after a crash
+   plus WAL replay. *)
+
+let cleaner_trial ~cleaner_enabled =
+  let cfg =
+    {
+      cfg with
+      Config.buffer_bytes = 12_288;
+      (* tiny leaves: 200 keys spread over ~25 pages so the pool is
+         genuinely over budget and eviction/cleaning runs constantly *)
+      Config.leaf_capacity = 8;
+      Config.cleaner =
+        {
+          Phoebe_storage.Bufmgr.default_cleaner with
+          Phoebe_storage.Bufmgr.cl_enabled = cleaner_enabled;
+          Phoebe_storage.Bufmgr.cl_batch_pages = 8;
+        };
+    }
+  in
+  let db = Db.create cfg in
+  let t = Db.create_table db ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+  Db.create_index db t ~name:"kv_pk" ~cols:[ "k" ] ~unique:true;
+  let rng = Prng.create ~seed:91 in
+  let rids = Hashtbl.create 64 in
+  for k = 1 to 200 do
+    let rid = Db.with_txn db (fun txn -> Table.insert t txn [| Value.Int k; Value.Int 0 |]) in
+    Hashtbl.replace rids k rid
+  done;
+  for i = 1 to 400 do
+    let k = 1 + Prng.int rng 200 in
+    let rid = Hashtbl.find rids k in
+    Db.submit db (fun txn -> ignore (Table.update t txn ~rid [ ("v", Value.Int i) ]))
+  done;
+  Db.run db;
+  let contents db t =
+    let rows = ref [] in
+    Db.with_txn db (fun txn ->
+        Table.scan t txn (fun _ row -> rows := (int_of row.(0), int_of row.(1)) :: !rows));
+    List.sort compare !rows
+  in
+  let live = contents db t in
+  (* crash: whatever reached the WAL store survives; replay into a fresh db *)
+  let db2 = Db.create cfg in
+  let t2 = Db.create_table db2 ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+  Db.create_index db2 t2 ~name:"kv_pk" ~cols:[ "k" ] ~unique:true;
+  ignore (Db.replay_wal db2 ~from:(Wal.store (Db.wal db)));
+  let recovered = contents db2 t2 in
+  (live, recovered, Db.cleaner_stats db)
+
+let test_cleaner_transparency () =
+  let live_off, rec_off, stats_off = cleaner_trial ~cleaner_enabled:false in
+  let live_on, rec_on, stats_on = cleaner_trial ~cleaner_enabled:true in
+  check_bool "cleaner actually ran in the on-trial" true
+    (stats_on.Phoebe_storage.Bufmgr.batches_submitted > 0);
+  check_int "cleaner off-trial never batched" 0 stats_off.Phoebe_storage.Bufmgr.batches_submitted;
+  check_bool "live contents identical with cleaner on/off" true (live_off = live_on);
+  check_bool "post-recovery contents identical with cleaner on/off" true (rec_off = rec_on);
+  check_bool "recovery lost nothing (on)" true (rec_on = live_on);
+  check_bool "recovery lost nothing (off)" true (rec_off = live_off)
+
 let () =
   Alcotest.run "phoebe_properties"
     [
@@ -348,6 +412,7 @@ let () =
           Alcotest.test_case "aborted never recovered" `Quick test_aborted_never_recovered;
         ] );
       ("gc", [ Alcotest.test_case "transparency vs model" `Quick test_gc_transparency ]);
+      ("cleaner", [ Alcotest.test_case "transparency on/off" `Quick test_cleaner_transparency ]);
       ( "index-splits",
         [ Alcotest.test_case "concurrent split storm" `Quick test_concurrent_index_split_storm ] );
       ( "freeze",

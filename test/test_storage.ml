@@ -393,6 +393,130 @@ let test_buf_gsn_metadata () =
   check_int "gsn" 42 (Bufmgr.page_gsn f);
   check_int "writer slot" 7 (Bufmgr.last_writer_slot f)
 
+(* Regression: every drop/evict interleaving must return [used_bytes] to
+   zero — a frame removed from the table without subtracting its size
+   leaks budget and starves the partition permanently. *)
+let test_buf_accounting_returns_to_zero () =
+  let eng, _, pool = make_pool ~budget:1_000_000 () in
+  let frames =
+    List.init 12 (fun i ->
+        let f = Bufmgr.alloc pool ~partition:0 (small_page (i + 1)) in
+        let s = Bufmgr.swip_of f in
+        Bufmgr.set_parent f s;
+        (f, s))
+  in
+  check_bool "resident after alloc" true (Bufmgr.resident_bytes pool > 0);
+  (* drop every even page, then evict the rest *)
+  List.iteri (fun i (f, _) -> if i mod 2 = 0 then Bufmgr.drop pool f) frames;
+  age eng;
+  Bufmgr.set_budget pool ~budget_bytes:1;
+  Bufmgr.maintain pool ~partition:0;
+  check_int "all evicted or dropped" 0 (Bufmgr.resident_pages pool);
+  check_int "accounting back to zero" 0 (Bufmgr.resident_bytes pool);
+  (* fault the evicted half back in, then drop those too *)
+  let evicted = List.filteri (fun i _ -> i mod 2 = 1) frames in
+  List.iter (fun (_, s) -> ignore (Bufmgr.resolve ~touch:false pool s)) evicted;
+  check_bool "resident after refault" true (Bufmgr.resident_bytes pool > 0);
+  List.iter
+    (fun (_, s) ->
+      match Bufmgr.resident_frame_of_swip s with
+      | Some f -> Bufmgr.drop pool f
+      | None -> Alcotest.fail "refaulted page should be resident")
+    evicted;
+  check_int "zero again after drops" 0 (Bufmgr.resident_bytes pool);
+  check_int "no pages leaked" 0 (Bufmgr.resident_pages pool)
+
+(* ------------------------------------------------------------------ *)
+(* Background cleaner *)
+
+module Scheduler = Phoebe_runtime.Scheduler
+
+let make_cleaner_pool ?(budget = 4096) ?(latency_us = 90.0) ?(batch_pages = 8) () =
+  let eng = Engine.create () in
+  let dev =
+    Device.create eng ~name:"data"
+      { Device.channels = 2; read_mb_s = 1000.0; write_mb_s = 500.0; iops = 100_000.0; latency_us }
+  in
+  let store = Pagestore.create dev in
+  let pool = Bufmgr.create eng ~store ~partitions:1 ~budget_bytes:budget ~codec:pax_codec in
+  let sched =
+    Scheduler.create eng
+      { Scheduler.default_config with Scheduler.n_workers = 1; slots_per_worker = 4 }
+  in
+  Bufmgr.attach_cleaner pool ~scheduler:sched
+    { Bufmgr.default_cleaner with Bufmgr.cl_batch_pages = batch_pages };
+  (eng, dev, store, pool, sched)
+
+let test_buf_cleaner_batches_writes () =
+  let eng, dev, _, pool, sched = make_cleaner_pool () in
+  let swips =
+    List.init 40 (fun i ->
+        let f = Bufmgr.alloc pool ~partition:0 (small_page (i + 1)) in
+        let s = Bufmgr.swip_of f in
+        Bufmgr.set_parent f s;
+        s)
+  in
+  age eng;
+  Bufmgr.maintain pool ~partition:0;
+  Scheduler.run_until_quiescent sched;
+  Bufmgr.maintain pool ~partition:0;
+  let cs = Bufmgr.cleaner_stats pool in
+  check_bool "cleaner ran" true (cs.Bufmgr.batches_submitted >= 1);
+  check_bool "pages went out in batches" true
+    (cs.Bufmgr.pages_cleaned >= 2 * cs.Bufmgr.batches_submitted);
+  check_int "eviction never wrote inline" 0 cs.Bufmgr.dirty_evict_fallbacks;
+  check_bool "cleaned frames evicted by pointer unswizzle" true (cs.Bufmgr.clean_evicts > 0);
+  check_bool "device saw multi-page submissions" true
+    (Device.total_ops dev Device.Write > Device.total_batches dev Device.Write);
+  check_bool "partition back under budget" true (Bufmgr.resident_bytes pool <= 4096);
+  (* every page survives the clean+evict cycle *)
+  List.iter
+    (fun s -> check_int "content intact" 1 (Pax.count (Bufmgr.payload (Bufmgr.resolve ~touch:false pool s))))
+    swips
+
+let test_buf_cleaner_coalesces_inflight_redirty () =
+  (* long device latency so the first batch is in flight for 50ms *)
+  let eng, _, _, pool, sched = make_cleaner_pool ~latency_us:50_000.0 () in
+  let frames =
+    List.init 40 (fun i ->
+        let p = small_page (i + 1) in
+        let f = Bufmgr.alloc pool ~partition:0 p in
+        let s = Bufmgr.swip_of f in
+        Bufmgr.set_parent f s;
+        (p, f, s))
+  in
+  let marked_page, marked_frame, marked_swip =
+    match frames with (p, f, s) :: _ -> (p, f, s) | [] -> assert false
+  in
+  age eng;
+  Bufmgr.maintain pool ~partition:0;
+  (* while the first batch is on the wire, re-dirty every frame; the
+     cleaner must re-queue them, not lose the second write *)
+  Engine.schedule_at eng
+    ~time:(Engine.now eng + 2_000_000)
+    (fun () ->
+      Pax.set_col marked_page ~slot:0 ~col:1 (Value.Str "modified-in-flight");
+      List.iter
+        (fun (_, f, _) -> if Bufmgr.is_resident f then Bufmgr.mark_dirty f)
+        frames);
+  Scheduler.run_until_quiescent sched;
+  let cs = Bufmgr.cleaner_stats pool in
+  check_bool "in-flight re-dirty was re-queued" true (cs.Bufmgr.pages_requeued >= 1);
+  (* the marked page's final store image must carry the second write:
+     evict it and fault it back from the store *)
+  ignore marked_frame;
+  age eng;
+  Bufmgr.set_budget pool ~budget_bytes:1;
+  Bufmgr.maintain pool ~partition:0;
+  Scheduler.run_until_quiescent sched;
+  Bufmgr.maintain pool ~partition:0;
+  (match Bufmgr.resident_frame_of_swip marked_swip with
+  | Some _ -> Alcotest.fail "marked page should have been evicted"
+  | None -> ());
+  let f' = Bufmgr.resolve ~touch:false pool marked_swip in
+  Alcotest.check value_eq "second write survived coalescing" (Value.Str "modified-in-flight")
+    (Pax.get_col (Bufmgr.payload f') ~slot:0 ~col:1)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -433,5 +557,9 @@ let () =
           Alcotest.test_case "pin blocks eviction" `Quick test_buf_pin_blocks_eviction;
           Alcotest.test_case "dirty writeback" `Quick test_buf_dirty_writeback_roundtrip;
           Alcotest.test_case "gsn metadata" `Quick test_buf_gsn_metadata;
+          Alcotest.test_case "accounting returns to zero" `Quick test_buf_accounting_returns_to_zero;
+          Alcotest.test_case "cleaner batches writes" `Quick test_buf_cleaner_batches_writes;
+          Alcotest.test_case "cleaner coalesces in-flight re-dirty" `Quick
+            test_buf_cleaner_coalesces_inflight_redirty;
         ] );
     ]
