@@ -17,6 +17,8 @@ module Device = Phoebe_io.Device
 module Wal = Phoebe_wal.Wal
 module Value = Phoebe_storage.Value
 module Txnmgr = Phoebe_txn.Txnmgr
+module Json = Phoebe_util.Json
+module Obs = Phoebe_obs.Obs
 
 module Bufmgr = Phoebe_storage.Bufmgr
 
@@ -63,6 +65,7 @@ let exp1 () =
   note "paper: 349k / 3362k / 6903k / 11578k / 13690k tpmC at W=T of 1/10/25/50/100";
   note "%-6s %-8s %12s %12s %8s" "W=T" "virt-s" "tpmC" "tpm-total" "cpu%%";
   let paper = [ (1, 349); (10, 3362); (25, 6903); (50, 11578); (100, 13690) ] in
+  let points = ref [] in
   List.iter
     (fun (w, paper_ktpmc) ->
       let slots = 32 in
@@ -75,11 +78,26 @@ let exp1 () =
         r.T.tpm_total
         (100.0 *. s.Db.cpu_busy_fraction)
         paper_ktpmc;
+      points :=
+        !points
+        @ [
+            Json.Obj
+              [
+                ("warehouses", Json.Int w);
+                ("virtual_s", Json.Float r.T.duration_s);
+                ("tpmc", Json.Float r.T.tpmc);
+                ("tpm_total", Json.Float r.T.tpm_total);
+                (* the whole observability plane, including the
+                   trace.txn.<kind>.* span percentiles *)
+                ("registry", Obs.to_json (Db.obs db));
+              ];
+          ];
       let checks = T.consistency_checks t in
       if List.exists (fun (_, ok) -> not ok) checks then
         note "  !! consistency violated: %s"
           (String.concat ", " (List.filter_map (fun (n, ok) -> if ok then None else Some n) checks)))
-    paper
+    paper;
+  add_json "exp1" (Json.List !points)
 
 (* ------------------------------------------------------------------ *)
 (* Exp 2 / Figure 8: scalability in worker count (knee at 52 cores) *)
@@ -529,6 +547,38 @@ let ablation_htap () =
         (ct *. 1e3) (rt *. 1e3)
         (rt /. Float.max 1e-9 ct);
       if abs_float (colsum -. rowsum) > 1e-6 then note "  !! sums disagree")
+
+(* ------------------------------------------------------------------ *)
+(* Tier-1 smoke: a 5-virtual-second single-point Exp 1 run at W=2.
+   Exercises the same path as [exp1] — mix driver, consistency checks,
+   full registry export — at a scale CI can afford, so `tier1.sh` can
+   validate the emitted JSON on every change. *)
+
+let smoke () =
+  section "Smoke (tier-1): 5 virtual seconds of Exp 1 shape at W=2";
+  let w = 2 and slots = 8 in
+  let cfg = phoebe_config ~warehouses:w ~workers:w ~slots ~buffer_mb:16 in
+  let db, t = load_tpcc cfg ~warehouses:w in
+  let r = run_tpcc t ~workers:w ~slots ~seconds:5.0 in
+  let s = Db.stats db in
+  note "%-6d %-8.2f %12.0f %12.0f %7.1f%%" w r.T.duration_s r.T.tpmc r.T.tpm_total
+    (100.0 *. s.Db.cpu_busy_fraction);
+  let checks = T.consistency_checks t in
+  if List.exists (fun (_, ok) -> not ok) checks then
+    note "  !! consistency violated: %s"
+      (String.concat ", " (List.filter_map (fun (n, ok) -> if ok then None else Some n) checks));
+  add_json "exp1"
+    (Json.List
+       [
+         Json.Obj
+           [
+             ("warehouses", Json.Int w);
+             ("virtual_s", Json.Float r.T.duration_s);
+             ("tpmc", Json.Float r.T.tpmc);
+             ("tpm_total", Json.Float r.T.tpm_total);
+             ("registry", Obs.to_json (Db.obs db));
+           ];
+       ])
 
 let ablations () =
   ablation_rfa ();

@@ -18,6 +18,7 @@ module Undo = Phoebe_txn.Undo
 module Mvcc = Phoebe_txn.Mvcc
 module Index_tree = Phoebe_btree.Index_tree
 module Prng = Phoebe_util.Prng
+module Json = Phoebe_util.Json
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark fixtures *)
@@ -137,26 +138,38 @@ let run_micro () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations micro all]\n\
-    \       [--json <path>]   write machine-readable results (simulated quantities only)"
+    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations micro all smoke]\n\
+    \       [--json <path>]         write machine-readable results (simulated quantities only)\n\
+    \       [--check-json <path>]   validate that <path> parses as JSON, then exit"
 
-(* Pull "--json <path>" out of the argument list. *)
-let rec extract_json_path = function
+(* Pull "<key> <value>" out of the argument list. *)
+let rec extract_opt key = function
   | [] -> (None, [])
-  | "--json" :: path :: rest ->
-    let _, remaining = extract_json_path rest in
+  | k :: path :: rest when k = key ->
+    let _, remaining = extract_opt key rest in
     (Some path, remaining)
-  | [ "--json" ] ->
-    prerr_endline "--json requires a path argument";
+  | [ k ] when k = key ->
+    prerr_endline (key ^ " requires a path argument");
     exit 2
   | arg :: rest ->
-    let path, remaining = extract_json_path rest in
+    let path, remaining = extract_opt key rest in
     (path, arg :: remaining)
 
 let () =
   let t0 = Unix.gettimeofday () in
   let args = List.tl (Array.to_list Sys.argv) in
-  let json_path, args = extract_json_path args in
+  let json_path, args = extract_opt "--json" args in
+  let check_path, args = extract_opt "--check-json" args in
+  (match check_path with
+  | Some path -> (
+    match Json.of_file path with
+    | Ok _ ->
+      Printf.printf "%s: valid JSON\n" path;
+      exit 0
+    | Error msg ->
+      Printf.printf "%s: INVALID JSON (%s)\n" path msg;
+      exit 1)
+  | None -> ());
   let args = if args = [] then [ "all"; "micro" ] else args in
   print_endline "PhoebeDB reproduction benchmarks";
   print_endline "(simulated 2x26-core 2.2GHz CPU, PM9A3-class NVMe devices; scaled TPC-C --";
@@ -174,6 +187,7 @@ let () =
       | "exp8" -> Experiments.exp8 ()
       | "exp9" -> Experiments.exp9 ()
       | "ablations" -> Experiments.ablations ()
+      | "smoke" -> Experiments.smoke ()
       | "micro" -> run_micro ()
       | "all" -> Experiments.all ()
       | other ->

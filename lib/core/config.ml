@@ -17,6 +17,7 @@ type t = {
   isolation : Phoebe_txn.Txnmgr.isolation;
   gc_every_n_commits : int;
   max_txn_retries : int;
+  spans : bool;
   freeze_max_access : int;
   data_device : Phoebe_io.Device.config;
   wal_device : Phoebe_io.Device.config;
@@ -39,6 +40,7 @@ let default =
     isolation = Phoebe_txn.Txnmgr.Read_committed;
     gc_every_n_commits = 64;
     max_txn_retries = 8;
+    spans = true;
     freeze_max_access = 2;
     data_device = Phoebe_io.Device.pm9a3;
     wal_device = Phoebe_io.Device.pm9a3;

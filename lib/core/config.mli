@@ -22,6 +22,7 @@ type t = {
   isolation : Phoebe_txn.Txnmgr.isolation;  (** default isolation (paper runs read committed) *)
   gc_every_n_commits : int;  (** per-worker GC cadence (§7.1) *)
   max_txn_retries : int;  (** automatic retries after an MVCC abort *)
+  spans : bool;  (** collect per-transaction trace spans (default on) *)
   freeze_max_access : int;  (** access-count threshold for freezing (§5.2) *)
   data_device : Phoebe_io.Device.config;
   wal_device : Phoebe_io.Device.config;  (** Exp 3 puts WAL on its own disk *)

@@ -10,10 +10,14 @@ module Wal = Phoebe_wal.Wal
 module Recovery = Phoebe_wal.Recovery
 module Txnmgr = Phoebe_txn.Txnmgr
 module Clock = Phoebe_txn.Clock
+module Obs = Phoebe_obs.Obs
+module Trace = Phoebe_obs.Trace
+module Phoebe_error = Phoebe_util.Phoebe_error
 
 type t = {
   cfg : Config.t;
   eng : Engine.t;
+  obs : Obs.t;
   sched : Scheduler.t;
   data_dev : Device.t;
   wal_dev : Device.t;
@@ -35,6 +39,7 @@ let pax_codec : Pax.t Bufmgr.codec =
   { Bufmgr.encode = Pax.encode; decode = Pax.decode; size = Pax.size_bytes }
 
 let create_on eng (cfg : Config.t) =
+  let obs = Obs.create () in
   let sched_cfg =
     {
       Scheduler.model = cfg.Config.model;
@@ -44,17 +49,18 @@ let create_on eng (cfg : Config.t) =
       cost = cfg.Config.cost;
     }
   in
-  let sched = Scheduler.create eng sched_cfg in
-  let data_dev = Device.create eng ~name:"data" cfg.Config.data_device in
-  let wal_dev = Device.create eng ~name:"wal" cfg.Config.wal_device in
-  let block_dev = Device.create eng ~name:"blocks" cfg.Config.block_device in
+  let sched = Scheduler.create ~obs eng sched_cfg in
+  let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
+  if cfg.Config.spans then Scheduler.set_trace sched (Trace.create ~obs ~n_slots ());
+  let data_dev = Device.create ~obs eng ~name:"data" cfg.Config.data_device in
+  let wal_dev = Device.create ~obs eng ~name:"wal" cfg.Config.wal_device in
+  let block_dev = Device.create ~obs eng ~name:"blocks" cfg.Config.block_device in
   let buf =
-    Bufmgr.create eng ~store:(Pagestore.create data_dev) ~partitions:cfg.Config.n_workers
+    Bufmgr.create ~obs eng ~store:(Pagestore.create data_dev) ~partitions:cfg.Config.n_workers
       ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
   in
   Bufmgr.attach_cleaner buf ~scheduler:sched cfg.Config.cleaner;
-  let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
-  let walmgr = Wal.create eng ~store:(Walstore.create wal_dev) ~n_slots cfg.Config.wal in
+  let walmgr = Wal.create ~obs eng ~store:(Walstore.create wal_dev) ~n_slots cfg.Config.wal in
   let clock = Clock.create () in
   let contention =
     match cfg.Config.lock_style with
@@ -68,11 +74,13 @@ let create_on eng (cfg : Config.t) =
         }
   in
   let txns =
-    Txnmgr.create ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode ?contention ()
+    Txnmgr.create ~obs ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode
+      ?contention ()
   in
   {
     cfg;
     eng;
+    obs;
     sched;
     data_dev;
     wal_dev;
@@ -96,6 +104,9 @@ let create cfg = create_on (Engine.create ()) cfg
    restart-after-crash topology used by checkpoint restore. *)
 let create_attached old (cfg : Config.t) =
   let eng = old.eng in
+  (* Fresh registry for the restarted instance's own components; the
+     shared devices keep reporting into the old instance's registry. *)
+  let obs = Obs.create () in
   let sched_cfg =
     {
       Scheduler.model = cfg.Config.model;
@@ -105,19 +116,25 @@ let create_attached old (cfg : Config.t) =
       cost = cfg.Config.cost;
     }
   in
-  let sched = Scheduler.create eng sched_cfg in
+  let sched = Scheduler.create ~obs eng sched_cfg in
+  let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
+  if cfg.Config.spans then Scheduler.set_trace sched (Trace.create ~obs ~n_slots ());
   let buf =
-    Bufmgr.create eng ~store:(Bufmgr.store old.buf) ~partitions:cfg.Config.n_workers
+    Bufmgr.create ~obs eng ~store:(Bufmgr.store old.buf) ~partitions:cfg.Config.n_workers
       ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
   in
   Bufmgr.attach_cleaner buf ~scheduler:sched cfg.Config.cleaner;
-  let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
-  let walmgr = Wal.create ~resume:true eng ~store:(Wal.store old.walmgr) ~n_slots cfg.Config.wal in
+  let walmgr =
+    Wal.create ~obs ~resume:true eng ~store:(Wal.store old.walmgr) ~n_slots cfg.Config.wal
+  in
   let clock = Clock.create () in
-  let txns = Txnmgr.create ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode () in
+  let txns =
+    Txnmgr.create ~obs ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode ()
+  in
   {
     cfg;
     eng;
+    obs;
     sched;
     data_dev = old.data_dev;
     wal_dev = old.wal_dev;
@@ -137,6 +154,8 @@ let create_attached old (cfg : Config.t) =
 
 let config t = t.cfg
 let engine t = t.eng
+let obs t = t.obs
+let trace t = Scheduler.trace t.sched
 let scheduler t = t.sched
 let txnmgr t = t.txns
 let wal t = t.walmgr
@@ -279,13 +298,15 @@ let checkpoint t =
   let completed = ref false in
   Wal.flush_all t.walmgr ~on_done:(fun () -> completed := true);
   Engine.run t.eng;
-  assert !completed
+  if not !completed then
+    Phoebe_error.bug ~subsystem:"core.db" "checkpoint: WAL flush did not complete after engine drain"
 
 let flush_pages t =
   let completed = ref false in
   Bufmgr.flush_all_dirty t.buf ~on_done:(fun () -> completed := true);
   Engine.run t.eng;
-  assert !completed
+  if not !completed then
+    Phoebe_error.bug ~subsystem:"core.db" "flush_pages: dirty-page flush did not complete after engine drain"
 
 let gc t =
   let reclaim (undo : Phoebe_txn.Undo.t) =
@@ -310,7 +331,7 @@ let replay_wal ?after t ~from =
   let table_for id =
     match Hashtbl.find_opt t.by_id id with
     | Some tbl -> tbl
-    | None -> invalid_arg (Printf.sprintf "Db.replay_wal: unknown table id %d" id)
+    | None -> Phoebe_error.bug ~subsystem:"core.db" "replay_wal: unknown table id %d" id
   in
   Recovery.replay ?after from
     {

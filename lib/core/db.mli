@@ -38,6 +38,16 @@ val restore_table :
 
 val config : t -> Config.t
 val engine : t -> Phoebe_sim.Engine.t
+
+val obs : t -> Phoebe_obs.Obs.t
+(** The instance's observability registry: every subsystem metric
+    ([sim.instr.*], [txn.*], [wal.*], [io.*], [buf.*], [sched.*]) plus
+    the [trace.txn.*] span summaries when {!Config.t.spans} is on. *)
+
+val trace : t -> Phoebe_obs.Trace.t option
+(** The span tracer installed at creation when {!Config.t.spans} is
+    set; [None] when span collection is disabled. *)
+
 val scheduler : t -> Phoebe_runtime.Scheduler.t
 val txnmgr : t -> Phoebe_txn.Txnmgr.t
 val wal : t -> Phoebe_wal.Wal.t

@@ -1,6 +1,7 @@
 module Engine = Phoebe_sim.Engine
 module Stats = Phoebe_util.Stats
 module Binheap = Phoebe_util.Binheap
+module Obs = Phoebe_obs.Obs
 
 type kind = Read | Write
 
@@ -21,38 +22,71 @@ type t = {
   cfg : config;
   channel_heap : (int * int) Binheap.t;  (** (next-free virtual time, channel id) min-heap *)
   channel_busy : int array;  (** cumulative service time booked per channel *)
-  mutable read_bytes : int;
-  mutable write_bytes : int;
-  mutable read_ops : int;
-  mutable write_ops : int;
-  mutable read_batches : int;
-  mutable write_batches : int;
+  read_bytes : Obs.Counter.t;
+  write_bytes : Obs.Counter.t;
+  read_ops : Obs.Counter.t;
+  write_ops : Obs.Counter.t;
+  read_batches : Obs.Counter.t;
+  write_batches : Obs.Counter.t;
   read_series : Stats.Series.t;
   write_series : Stats.Series.t;
   created_at : int;
 }
 
-let create engine ~name cfg =
+(* A channel booked past [now] (deep queues, large batches) contributes at
+   most the elapsed wall time: utilisation saturates per channel instead
+   of letting future-booked service inflate the fraction. *)
+let busy_fraction t =
+  let elapsed = Engine.now t.engine - t.created_at in
+  if elapsed <= 0 then 0.0
+  else
+    let busy =
+      Array.fold_left (fun acc b -> acc + min b elapsed) 0 t.channel_busy
+    in
+    float_of_int busy /. (float_of_int elapsed *. float_of_int t.cfg.channels)
+
+(* 100ms buckets feed the Exp 3 / Exp 4 throughput-over-time figures. *)
+let series_bucket_width = 100_000_000
+
+let create ?obs engine ~name cfg =
   let heap = Binheap.create ~cmp:(fun (a : int * int) b -> compare a b) in
   for ch = 0 to cfg.channels - 1 do
     Binheap.push heap (0, ch)
   done;
-  {
-    engine;
-    dname = name;
-    cfg;
-    channel_heap = heap;
-    channel_busy = Array.make cfg.channels 0;
-    read_bytes = 0;
-    write_bytes = 0;
-    read_ops = 0;
-    write_ops = 0;
-    read_batches = 0;
-    write_batches = 0;
-    read_series = Stats.Series.create ~bucket_width:100_000_000;
-    write_series = Stats.Series.create ~bucket_width:100_000_000;
-    created_at = Engine.now engine;
-  }
+  let counter metric =
+    match obs with
+    | Some reg -> Obs.counter reg (Printf.sprintf "io.%s.%s" name metric)
+    | None -> Obs.Counter.create ()
+  in
+  let series metric =
+    match obs with
+    | Some reg ->
+      Obs.series reg (Printf.sprintf "io.%s.%s" name metric) ~bucket_width:series_bucket_width
+    | None -> Stats.Series.create ~bucket_width:series_bucket_width
+  in
+  let t =
+    {
+      engine;
+      dname = name;
+      cfg;
+      channel_heap = heap;
+      channel_busy = Array.make cfg.channels 0;
+      read_bytes = counter "read.bytes";
+      write_bytes = counter "write.bytes";
+      read_ops = counter "read.ops";
+      write_ops = counter "write.ops";
+      read_batches = counter "read.batches";
+      write_batches = counter "write.batches";
+      read_series = series "read.series";
+      write_series = series "write.series";
+      created_at = Engine.now engine;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+    Obs.float_fn reg (Printf.sprintf "io.%s.busy_fraction" name) (fun () -> busy_fraction t));
+  t
 
 let name t = t.dname
 
@@ -73,18 +107,18 @@ let take_channel t =
 let account_op t kind bytes finish =
   match kind with
   | Read ->
-    t.read_bytes <- t.read_bytes + bytes;
-    t.read_ops <- t.read_ops + 1;
+    Obs.Counter.add t.read_bytes bytes;
+    Obs.Counter.incr t.read_ops;
     Stats.Series.add t.read_series ~time:finish (float_of_int bytes)
   | Write ->
-    t.write_bytes <- t.write_bytes + bytes;
-    t.write_ops <- t.write_ops + 1;
+    Obs.Counter.add t.write_bytes bytes;
+    Obs.Counter.incr t.write_ops;
     Stats.Series.add t.write_series ~time:finish (float_of_int bytes)
 
 let account_batch t kind =
   match kind with
-  | Read -> t.read_batches <- t.read_batches + 1
-  | Write -> t.write_batches <- t.write_batches + 1
+  | Read -> Obs.Counter.incr t.read_batches
+  | Write -> Obs.Counter.incr t.write_batches
 
 (* One multi-SQE doorbell: the whole batch occupies a single channel for
    [max (sum bytes / bandwidth) (1 / iops)] — the per-op IOPS floor is
@@ -117,22 +151,16 @@ let submit t kind ~bytes ~on_complete =
 let blocking t kind ~bytes =
   Phoebe_runtime.Scheduler.io_wait (fun resume -> submit t kind ~bytes ~on_complete:resume)
 
-let total_bytes t = function Read -> t.read_bytes | Write -> t.write_bytes
-let total_ops t = function Read -> t.read_ops | Write -> t.write_ops
-let total_batches t = function Read -> t.read_batches | Write -> t.write_batches
+let total_bytes t = function
+  | Read -> Obs.Counter.get t.read_bytes
+  | Write -> Obs.Counter.get t.write_bytes
+
+let total_ops t = function Read -> Obs.Counter.get t.read_ops | Write -> Obs.Counter.get t.write_ops
+
+let total_batches t = function
+  | Read -> Obs.Counter.get t.read_batches
+  | Write -> Obs.Counter.get t.write_batches
 
 let throughput_series t kind =
   let series = match kind with Read -> t.read_series | Write -> t.write_series in
   List.map (fun (s, bytes_per_s) -> (s, bytes_per_s /. 1e6)) (Stats.Series.rate_per_second series)
-
-(* A channel booked past [now] (deep queues, large batches) contributes at
-   most the elapsed wall time: utilisation saturates per channel instead
-   of letting future-booked service inflate the fraction. *)
-let busy_fraction t =
-  let elapsed = Engine.now t.engine - t.created_at in
-  if elapsed <= 0 then 0.0
-  else
-    let busy =
-      Array.fold_left (fun acc b -> acc + min b elapsed) 0 t.channel_busy
-    in
-    float_of_int busy /. (float_of_int elapsed *. float_of_int t.cfg.channels)

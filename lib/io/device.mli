@@ -25,7 +25,11 @@ val pm9a3 : config
     ~1.9 GB/s sustained write, ~130k random-write IOPS consumed by the
     WAL, ~90 µs access latency. *)
 
-val create : Phoebe_sim.Engine.t -> name:string -> config -> t
+val create : ?obs:Phoebe_obs.Obs.t -> Phoebe_sim.Engine.t -> name:string -> config -> t
+(** With [obs], the device registers its accounting under
+    [io.<name>.{read,write}.{bytes,ops,batches}], its 100ms throughput
+    series under [io.<name>.{read,write}.series], and a
+    [io.<name>.busy_fraction] pull metric. *)
 
 val name : t -> string
 

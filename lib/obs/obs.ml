@@ -1,0 +1,182 @@
+module Stats = Phoebe_util.Stats
+module Json = Phoebe_util.Json
+module Phoebe_error = Phoebe_util.Phoebe_error
+
+type value =
+  | Int of int
+  | Float of float
+  | Stat of { count : int; sum : float; mean : float; min : float; max : float }
+  | Hist of { count : int; sum : float; mean : float; p50 : float; p90 : float; p99 : float }
+  | Series of (int * float) list
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let get t = t.v
+  let set t n = t.v <- n
+end
+
+module Gauge = struct
+  (* A 1-slot float array: [t.(0) <- x] is an unboxed store, whereas a
+     mutable float field in a mixed record boxes on every assignment. *)
+  type t = float array
+
+  let create () : t = Array.make 1 0.0
+  let set (t : t) x = t.(0) <- x
+  let get (t : t) = t.(0)
+end
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_scalar of Stats.Scalar.t
+  | M_hist of Stats.Histogram.t
+  | M_series of Stats.Series.t
+  | M_int_fn of (unit -> int)
+  | M_float_fn of (unit -> float)
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable collectors : (unit -> (string * value) list) list;
+}
+
+let create () = { tbl = Hashtbl.create 64; collectors = [] }
+
+let kind_mismatch name =
+  Phoebe_error.bug ~subsystem:"obs" "metric %S re-registered with a different kind" name
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_counter c) -> c
+  | Some _ -> kind_mismatch name
+  | None ->
+    let c = { Counter.v = 0 } in
+    Hashtbl.replace t.tbl name (M_counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_gauge g) -> g
+  | Some _ -> kind_mismatch name
+  | None ->
+    let g = Array.make 1 0.0 in
+    Hashtbl.replace t.tbl name (M_gauge g);
+    g
+
+let scalar t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_scalar s) -> s
+  | Some _ -> kind_mismatch name
+  | None ->
+    let s = Stats.Scalar.create () in
+    Hashtbl.replace t.tbl name (M_scalar s);
+    s
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_hist h) -> h
+  | Some _ -> kind_mismatch name
+  | None ->
+    let h = Stats.Histogram.create () in
+    Hashtbl.replace t.tbl name (M_hist h);
+    h
+
+let series t name ~bucket_width =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_series s) -> s
+  | Some _ -> kind_mismatch name
+  | None ->
+    let s = Stats.Series.create ~bucket_width in
+    Hashtbl.replace t.tbl name (M_series s);
+    s
+
+(* Pull functions are last-write-wins: a rebuilt component re-points
+   the closure at its fresh state. *)
+let int_fn t name f =
+  (match Hashtbl.find_opt t.tbl name with
+  | None | Some (M_int_fn _) -> ()
+  | Some _ -> kind_mismatch name);
+  Hashtbl.replace t.tbl name (M_int_fn f)
+
+let float_fn t name f =
+  (match Hashtbl.find_opt t.tbl name with
+  | None | Some (M_float_fn _) -> ()
+  | Some _ -> kind_mismatch name);
+  Hashtbl.replace t.tbl name (M_float_fn f)
+
+let add_collector t f = t.collectors <- f :: t.collectors
+
+let of_scalar s =
+  Stat
+    {
+      count = Stats.Scalar.count s;
+      sum = Stats.Scalar.sum s;
+      mean = Stats.Scalar.mean s;
+      min = Stats.Scalar.min s;
+      max = Stats.Scalar.max s;
+    }
+
+let of_hist h =
+  Hist
+    {
+      count = Stats.Histogram.count h;
+      sum = Stats.Histogram.sum h;
+      mean = Stats.Histogram.mean h;
+      p50 = Stats.Histogram.percentile h 0.50;
+      p90 = Stats.Histogram.percentile h 0.90;
+      p99 = Stats.Histogram.percentile h 0.99;
+    }
+
+let read = function
+  | M_counter c -> Int (Counter.get c)
+  | M_gauge g -> Float (Gauge.get g)
+  | M_scalar s -> of_scalar s
+  | M_hist h -> of_hist h
+  | M_series s -> Series (Stats.Series.buckets s)
+  | M_int_fn f -> Int (f ())
+  | M_float_fn f -> Float (f ())
+
+let snapshot t =
+  let base = Hashtbl.fold (fun name m acc -> (name, read m) :: acc) t.tbl [] in
+  let extra = List.concat_map (fun f -> f ()) t.collectors in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (base @ extra)
+
+let diff ~older ~newer =
+  let old_tbl = Hashtbl.create (List.length older) in
+  List.iter (fun (k, v) -> Hashtbl.replace old_tbl k v) older;
+  List.map
+    (fun (k, v) ->
+      match (Hashtbl.find_opt old_tbl k, v) with
+      | Some (Int a), Int b -> (k, Int (b - a))
+      | Some (Float a), Float b -> (k, Float (b -. a))
+      | _ -> (k, v))
+    newer
+
+let value_to_json = function
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Stat s ->
+    Json.Obj
+      [
+        ("count", Json.Int s.count);
+        ("sum", Json.Float s.sum);
+        ("mean", Json.Float s.mean);
+        ("min", Json.Float s.min);
+        ("max", Json.Float s.max);
+      ]
+  | Hist h ->
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ("mean", Json.Float h.mean);
+        ("p50", Json.Float h.p50);
+        ("p90", Json.Float h.p90);
+        ("p99", Json.Float h.p99);
+      ]
+  | Series pts -> Json.List (List.map (fun (time, v) -> Json.List [ Json.Int time; Json.Float v ]) pts)
+
+let to_json t = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot t))

@@ -1,0 +1,135 @@
+module Stats = Phoebe_util.Stats
+
+type phase = Execute | Lock_wait | Io_wait | Wal_wait
+
+let n_phases = 4
+let phase_index = function Execute -> 0 | Lock_wait -> 1 | Io_wait -> 2 | Wal_wait -> 3
+
+(* Export suffixes; index-aligned with [phase_index]. *)
+let phase_suffix = [| "execute_ns"; "lock_wait_ns"; "io_wait_ns"; "wal_flush_wait_ns" |]
+let max_kinds = 8
+
+(* Per-slot span state: all-int record, so every probe is pure
+   mutation. [phase] is the current phase index; [seg_start] is when it
+   began; [acc] accumulates closed segments per phase. *)
+type slot = {
+  mutable active : bool;
+  mutable kind : int;
+  mutable t0 : int;
+  mutable seg_start : int;
+  mutable phase : int;
+  acc : int array;
+}
+
+type t = {
+  slots : slot array;
+  mutable kind_names : string array;
+  phase_hist : Stats.Histogram.t array array; (* kind x phase *)
+  total : Stats.Histogram.t array; (* per kind *)
+  n_committed : int array;
+  n_aborted : int array;
+}
+
+let kind_name t k =
+  if k = 0 then "other"
+  else if k - 1 < Array.length t.kind_names then t.kind_names.(k - 1)
+  else Printf.sprintf "kind%d" k
+
+let collect t () =
+  let out = ref [] in
+  for k = max_kinds - 1 downto 0 do
+    if t.n_committed.(k) + t.n_aborted.(k) > 0 then begin
+      let pre = "trace.txn." ^ kind_name t k in
+      let phases =
+        List.init n_phases (fun p -> (pre ^ "." ^ phase_suffix.(p), Obs.of_hist t.phase_hist.(k).(p)))
+      in
+      out :=
+        ((pre ^ ".committed", Obs.Int t.n_committed.(k))
+         :: (pre ^ ".aborted", Obs.Int t.n_aborted.(k))
+         :: (pre ^ ".total_ns", Obs.of_hist t.total.(k))
+         :: phases)
+        @ !out
+    end
+  done;
+  !out
+
+let create ?obs ~n_slots () =
+  let t =
+    {
+      slots =
+        Array.init (max n_slots 1) (fun _ ->
+            { active = false; kind = 0; t0 = 0; seg_start = 0; phase = 0; acc = Array.make n_phases 0 });
+      kind_names = [||];
+      phase_hist = Array.init max_kinds (fun _ -> Array.init n_phases (fun _ -> Stats.Histogram.create ()));
+      total = Array.init max_kinds (fun _ -> Stats.Histogram.create ());
+      n_committed = Array.make max_kinds 0;
+      n_aborted = Array.make max_kinds 0;
+    }
+  in
+  (match obs with None -> () | Some reg -> Obs.add_collector reg (collect t));
+  t
+
+let set_kind_names t names = t.kind_names <- names
+
+let begin_span t ~slot ~now =
+  if slot >= 0 && slot < Array.length t.slots then begin
+    let s = t.slots.(slot) in
+    s.active <- true;
+    s.kind <- 0;
+    s.t0 <- now;
+    s.seg_start <- now;
+    s.phase <- 0;
+    Array.fill s.acc 0 n_phases 0
+  end
+
+let set_kind t ~slot k =
+  if slot >= 0 && slot < Array.length t.slots then begin
+    let s = t.slots.(slot) in
+    if s.active then s.kind <- (if k < 0 || k >= max_kinds then 0 else k)
+  end
+
+let suspend t ~slot phase ~now =
+  if slot >= 0 && slot < Array.length t.slots then begin
+    let s = t.slots.(slot) in
+    (* Only leave Execute: a specific wait hint (Wal_wait) placed just
+       before the scheduler's generic Io_wait probe must not be
+       overwritten by it. *)
+    if s.active && s.phase = 0 then begin
+      s.acc.(0) <- s.acc.(0) + (now - s.seg_start);
+      s.seg_start <- now;
+      s.phase <- phase_index phase
+    end
+  end
+
+let resume t ~slot ~now =
+  if slot >= 0 && slot < Array.length t.slots then begin
+    let s = t.slots.(slot) in
+    if s.active && s.phase <> 0 then begin
+      s.acc.(s.phase) <- s.acc.(s.phase) + (now - s.seg_start);
+      s.seg_start <- now;
+      s.phase <- 0
+    end
+  end
+
+let end_span t ~slot ~now ~committed =
+  if slot >= 0 && slot < Array.length t.slots then begin
+    let s = t.slots.(slot) in
+    if s.active then begin
+      s.acc.(s.phase) <- s.acc.(s.phase) + (now - s.seg_start);
+      s.active <- false;
+      let k = s.kind in
+      for p = 0 to n_phases - 1 do
+        Stats.Histogram.add t.phase_hist.(k).(p) s.acc.(p)
+      done;
+      Stats.Histogram.add t.total.(k) (now - s.t0);
+      if committed then t.n_committed.(k) <- t.n_committed.(k) + 1
+      else t.n_aborted.(k) <- t.n_aborted.(k) + 1
+    end
+  end
+
+let finished t ~kind = t.n_committed.(kind) + t.n_aborted.(kind)
+let committed t ~kind = t.n_committed.(kind)
+let aborted t ~kind = t.n_aborted.(kind)
+let phase_ns t ~kind phase = Stats.Histogram.sum t.phase_hist.(kind).(phase_index phase)
+let total_ns t ~kind = Stats.Histogram.sum t.total.(kind)
+let total_hist t ~kind = t.total.(kind)

@@ -1,0 +1,68 @@
+(** Lightweight per-fiber transaction trace spans.
+
+    A span covers one transaction attempt from begin to commit/abort
+    and is segmented into phases: useful execution vs. the three ways a
+    transaction fiber can stall (lock wait, generic I/O wait, WAL flush
+    wait). Segments telescope — each phase change closes the previous
+    segment at the same timestamp — so the phase times of a span sum
+    to its wall-clock (virtual) duration exactly.
+
+    Span state lives in one pre-allocated record per scheduler slot;
+    every probe ([begin_span], [suspend], [resume], [set_kind],
+    [end_span]) is a handful of int mutations and never allocates.
+    Aggregation into per-kind histograms happens once per finished span,
+    and export (["trace.txn.<kind>.*"] names) is deferred to registry
+    snapshot time via a collector. *)
+
+type t
+
+type phase =
+  | Execute  (** running on the CPU (or charged instruction time) *)
+  | Lock_wait  (** blocked on a lock / wait queue *)
+  | Io_wait  (** suspended on device I/O *)
+  | Wal_wait  (** waiting for a WAL flush (local or RFA remote floor) *)
+
+val max_kinds : int
+(** Kind indices are [0 .. max_kinds - 1]; kind 0 is ["other"]. *)
+
+val create : ?obs:Obs.t -> n_slots:int -> unit -> t
+(** [n_slots] is the total number of fiber slots across all workers.
+    When [obs] is given, registers a collector exporting per-kind span
+    summaries into every registry snapshot. *)
+
+val set_kind_names : t -> string array -> unit
+(** Names for kinds [1..]; kind 0 stays ["other"]. Extra names beyond
+    [max_kinds - 1] are ignored. *)
+
+val kind_name : t -> int -> string
+
+(** {2 Probes} — all no-ops on an inactive slot, all allocation-free. *)
+
+val begin_span : t -> slot:int -> now:int -> unit
+val set_kind : t -> slot:int -> int -> unit
+
+val suspend : t -> slot:int -> phase -> now:int -> unit
+(** Enter a wait phase. Only takes effect from [Execute], so a specific
+    hint (e.g. {!Wal_wait} placed just before the scheduler's generic
+    {!Io_wait} probe fires) is not overwritten by the generic one. *)
+
+val resume : t -> slot:int -> now:int -> unit
+(** Back to [Execute]; no-op if already executing. *)
+
+val end_span : t -> slot:int -> now:int -> committed:bool -> unit
+
+(** {2 Aggregates} — for tests and harnesses. *)
+
+val finished : t -> kind:int -> int
+val committed : t -> kind:int -> int
+val aborted : t -> kind:int -> int
+
+val phase_ns : t -> kind:int -> phase -> float
+(** Total nanoseconds spent in [phase] across finished spans of [kind]. *)
+
+val total_ns : t -> kind:int -> float
+(** Total wall (virtual) nanoseconds of finished spans of [kind];
+    equals the sum of {!phase_ns} over all phases. *)
+
+val total_hist : t -> kind:int -> Phoebe_util.Stats.Histogram.t
+(** Per-kind histogram of span wall time, for latency percentiles. *)

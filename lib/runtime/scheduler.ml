@@ -2,6 +2,9 @@ module Engine = Phoebe_sim.Engine
 module Component = Phoebe_sim.Component
 module Counters = Phoebe_sim.Counters
 module Cost = Phoebe_sim.Cost
+module Obs = Phoebe_obs.Obs
+module Trace = Phoebe_obs.Trace
+module Phoebe_error = Phoebe_util.Phoebe_error
 
 type model = Coroutine | Thread
 type urgency = High | Low
@@ -63,6 +66,7 @@ and t = {
   mutable live : int;
   mutable failure : exn option;
   created_at : int;
+  mutable trace : Trace.t option;  (** per-slot txn spans, when enabled *)
 }
 
 type _ Effect.t +=
@@ -76,20 +80,31 @@ type _ Effect.t +=
    every kernel call site. *)
 let cur : fiber option ref = ref None
 
-let create eng cfg =
+let busy_fraction t =
+  let elapsed = Engine.now t.eng - t.created_at in
+  if elapsed <= 0 then 0.0
+  else
+    let total_busy = Array.fold_left (fun acc w -> acc + w.busy_ns) 0 t.workers in
+    float_of_int total_busy /. (float_of_int elapsed *. float_of_int t.cfg.n_workers)
+
+let create ?obs eng cfg =
   let sched =
     {
       cfg;
       eng;
-      ctrs = Counters.create ();
+      ctrs = Counters.create ?obs ();
       workers = [||];
       global_tasks = Queue.create ();
       next_fid = 0;
       live = 0;
       failure = None;
       created_at = Engine.now eng;
+      trace = None;
     }
   in
+  (match obs with
+  | None -> ()
+  | Some reg -> Obs.float_fn reg "sched.busy_fraction" (fun () -> busy_fraction sched));
   sched.workers <-
     Array.init cfg.n_workers (fun wid ->
         let speed =
@@ -115,6 +130,8 @@ let create eng cfg =
 
 let engine t = t.eng
 let counters t = t.ctrs
+let set_trace t tr = t.trace <- Some tr
+let trace t = t.trace
 let cost t = t.cfg.cost
 let config t = t.cfg
 let now t = Engine.now t.eng
@@ -154,6 +171,21 @@ let alloc_slot w =
 let release_slot w f =
   w.slot_free.(f.fslot) <- true;
   w.free_slots <- w.free_slots + 1
+
+(* Registry-wide slot id for span state (same scheme as [current_slot]). *)
+let global_slot f = (f.fworker.wid * f.fworker.wsched.cfg.slots_per_worker) + f.fslot
+
+(* Trace probes: each is a couple of int stores when tracing is on and a
+   single option match when off — never an allocation. *)
+let probe_suspend t f phase =
+  match t.trace with
+  | Some tr -> Trace.suspend tr ~slot:(global_slot f) phase ~now:(Engine.now t.eng)
+  | None -> ()
+
+let probe_resume t f =
+  match t.trace with
+  | Some tr -> Trace.resume tr ~slot:(global_slot f) ~now:(Engine.now t.eng)
+  | None -> ()
 
 let rec worker_loop w =
   let t = w.wsched in
@@ -202,6 +234,7 @@ and start_task w task =
 and resume w f =
   let t = w.wsched in
   w.disposition <- Ran_to_completion;
+  probe_resume t f;
   cur := Some f;
   (match f.cont with
   | Some k ->
@@ -209,7 +242,8 @@ and resume w f =
     Effect.Deep.continue k ()
   | None -> (
     match f.main with
-    | None -> invalid_arg "resume: fiber has neither continuation nor main"
+    | None ->
+      Phoebe_error.bug ~subsystem:"runtime.scheduler" "resume: fiber %d has neither continuation nor main" f.fid
     | Some main ->
       f.main <- None;
       run_fiber w f main));
@@ -283,12 +317,14 @@ and run_fiber w f main =
               (fun (k : (a, _) continuation) ->
                 w.disposition <- Suspended;
                 f.cont <- Some k;
+                probe_suspend t f Trace.Io_wait;
                 register (fun () -> wake f High))
           | E_block q ->
             Some
               (fun (k : (a, _) continuation) ->
                 w.disposition <- Suspended;
                 f.cont <- Some k;
+                probe_suspend t f Trace.Lock_wait;
                 Queue.push f q)
           | _ -> None);
     }
@@ -327,14 +363,8 @@ let run_until_quiescent t =
     raise e
   | None -> ());
   if t.live > 0 then
-    Fmt.failwith "Scheduler: deadlock, %d fiber(s) still live with no pending events" t.live
-
-let busy_fraction t =
-  let elapsed = Engine.now t.eng - t.created_at in
-  if elapsed <= 0 then 0.0
-  else
-    let total_busy = Array.fold_left (fun acc w -> acc + w.busy_ns) 0 t.workers in
-    float_of_int total_busy /. (float_of_int elapsed *. float_of_int t.cfg.n_workers)
+    Phoebe_error.bug ~subsystem:"runtime.scheduler"
+      "deadlock: %d fiber(s) still live with no pending events" t.live
 
 (* ------------------------------------------------------------------ *)
 (* Fiber-side operations                                               *)
@@ -376,7 +406,9 @@ let io_wait register =
   match !cur with Some _ -> Effect.perform (E_io register) | None -> register (fun () -> ())
 
 let current_fiber () =
-  match !cur with Some f -> f | None -> failwith "Scheduler: not inside a fiber"
+  match !cur with
+  | Some f -> f
+  | None -> Phoebe_error.bug ~subsystem:"runtime.scheduler" "current_fiber: not inside a fiber"
 
 let current_worker () = (current_fiber ()).fworker.wid
 
@@ -385,6 +417,42 @@ let current_slot () =
   (f.fworker.wid * f.fworker.wsched.cfg.slots_per_worker) + f.fslot
 
 let current_scheduler () = match !cur with Some f -> Some f.fworker.wsched | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Span probes callable from kernel code (Txnmgr, Wal, benchmarks).
+   All are no-ops outside a fiber or with tracing disabled, and pure
+   mutation otherwise — safe on commit/abort/flush hot paths. *)
+
+let span_begin () =
+  match !cur with
+  | None -> ()
+  | Some f -> (
+    let t = f.fworker.wsched in
+    match t.trace with
+    | Some tr -> Trace.begin_span tr ~slot:(global_slot f) ~now:(Engine.now t.eng)
+    | None -> ())
+
+let span_end ~committed =
+  match !cur with
+  | None -> ()
+  | Some f -> (
+    let t = f.fworker.wsched in
+    match t.trace with
+    | Some tr -> Trace.end_span tr ~slot:(global_slot f) ~now:(Engine.now t.eng) ~committed
+    | None -> ())
+
+let span_kind k =
+  match !cur with
+  | None -> ()
+  | Some f -> (
+    match f.fworker.wsched.trace with
+    | Some tr -> Trace.set_kind tr ~slot:(global_slot f) k
+    | None -> ())
+
+let span_wait phase =
+  match !cur with
+  | None -> ()
+  | Some f -> probe_suspend f.fworker.wsched f phase
 
 let set_local l =
   let f = current_fiber () in
@@ -404,7 +472,7 @@ module Waitq = struct
 
   let wait q =
     match !cur with
-    | None -> failwith "Waitq.wait: not inside a fiber"
+    | None -> Phoebe_error.bug ~subsystem:"runtime.scheduler" "Waitq.wait: not inside a fiber"
     | Some _ -> Effect.perform (E_block q)
 
   let signal_all q =

@@ -29,10 +29,19 @@ type config = {
 val default_config : config
 (** Coroutine model, 4 workers, 32 slots per worker, default CPU/costs. *)
 
-val create : Phoebe_sim.Engine.t -> config -> t
+val create : ?obs:Phoebe_obs.Obs.t -> Phoebe_sim.Engine.t -> config -> t
+(** When [obs] is given, the per-component instruction counters register
+    themselves under [sim.instr.<component>] and the scheduler exports
+    [sched.busy_fraction] as a pull metric. *)
 
 val engine : t -> Phoebe_sim.Engine.t
 val counters : t -> Phoebe_sim.Counters.t
+
+val set_trace : t -> Phoebe_obs.Trace.t -> unit
+(** Install a span tracer; the scheduler then fires {!Phoebe_obs.Trace}
+    suspend/resume probes on fiber block/IO/dispatch transitions. *)
+
+val trace : t -> Phoebe_obs.Trace.t option
 val cost : t -> Phoebe_sim.Cost.t
 val config : t -> config
 val now : t -> int
@@ -79,14 +88,35 @@ val io_wait : ((unit -> unit) -> unit) -> unit
     no-op continuation (synchronous completion). *)
 
 val current_worker : unit -> int
-(** Worker id of the running fiber. @raise Failure outside a fiber. *)
+(** Worker id of the running fiber.
+    @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)
 
 val current_slot : unit -> int
 (** Global task-slot id ([worker * slots_per_worker + slot]). Slot-scoped
     engine state (WAL writers, UNDO arenas, tuple-lock registers) indexes
-    off this. @raise Failure outside a fiber. *)
+    off this. @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)
 
 val current_scheduler : unit -> t option
+
+(** {1 Span probes}
+
+    Transaction-span hooks for kernel code; all no-ops outside a fiber
+    or when no tracer is installed, and allocation-free otherwise. *)
+
+val span_begin : unit -> unit
+(** Open a span on the current fiber's slot (transaction begin). *)
+
+val span_end : committed:bool -> unit
+(** Close the current slot's span (commit or abort). *)
+
+val span_kind : int -> unit
+(** Label the open span with a transaction-kind index (see
+    {!Phoebe_obs.Trace.set_kind}). *)
+
+val span_wait : Phoebe_obs.Trace.phase -> unit
+(** Hint that the imminent suspension belongs to a specific wait phase
+    (e.g. {!Phoebe_obs.Trace.Wal_wait} just before a flush wait);
+    overrides the generic probe the scheduler would fire. *)
 
 (** {1 Fiber-local storage} *)
 
@@ -105,7 +135,7 @@ module Waitq : sig
 
   val wait : q -> unit
   (** Block the current fiber until signalled (low-urgency wake).
-      @raise Failure outside a fiber. *)
+      @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)
 
   val signal_all : q -> unit
   (** Wake every waiter. Callable from anywhere. *)

@@ -1,13 +1,27 @@
-type t = int array
+module Obs = Phoebe_obs.Obs
 
-let create () = Array.make Component.count 0
-let add t c n = t.(Component.index c) <- t.(Component.index c) + n
-let get t c = t.(Component.index c)
-let total t = Array.fold_left ( + ) 0 t
+(* Handles into the observability registry, indexed by Component.index.
+   [add] on a handle is a plain int mutation, so per-charge accounting
+   stays allocation-free; registry-level aggregation happens only at
+   snapshot time. *)
+type t = Obs.Counter.t array
+
+let metric_name c = "sim.instr." ^ Component.to_string c
+
+let create ?obs () =
+  let components = Array.of_list Component.all in
+  Array.init Component.count (fun i ->
+      match obs with
+      | Some reg -> Obs.counter reg (metric_name components.(i))
+      | None -> Obs.Counter.create ())
+
+let add t c n = Obs.Counter.add t.(Component.index c) n
+let get t c = Obs.Counter.get t.(Component.index c)
+let total t = Array.fold_left (fun acc c -> acc + Obs.Counter.get c) 0 t
 
 type snapshot = int array
 
-let snapshot t = Array.copy t
+let snapshot t = Array.map Obs.Counter.get t
 let diff older newer = Array.init Component.count (fun i -> newer.(i) - older.(i))
 
 let breakdown snap =
@@ -19,4 +33,4 @@ let breakdown snap =
       (c, v, float_of_int v /. denom))
     Component.all
 
-let reset t = Array.fill t 0 (Array.length t) 0
+let reset t = Array.iter (fun c -> Obs.Counter.set c 0) t

@@ -6,7 +6,10 @@
 
 type t
 
-val create : unit -> t
+(** [create ?obs ()]: with [obs], each component's counter registers
+    itself under [sim.instr.<component>]; without, the handles are
+    standalone. *)
+val create : ?obs:Phoebe_obs.Obs.t -> unit -> t
 val add : t -> Component.t -> int -> unit
 val get : t -> Component.t -> int
 val total : t -> int

@@ -4,6 +4,7 @@ module Cost = Phoebe_sim.Cost
 module Engine = Phoebe_sim.Engine
 module Pagestore = Phoebe_io.Pagestore
 module Stats = Phoebe_util.Stats
+module Obs = Phoebe_obs.Obs
 
 type state = Hot | Cooling
 
@@ -66,11 +67,11 @@ type 'p t = {
   mutable next_page_id : int;
   mutable cleaner_cfg : cleaner_config;
   mutable cleaner_sched : Scheduler.t option;
-  mutable cl_batches : int;
-  mutable cl_pages : int;
-  mutable cl_requeued : int;
-  mutable cl_clean_evicts : int;
-  mutable cl_dirty_fallbacks : int;
+  cl_batches : Obs.Counter.t;
+  cl_pages : Obs.Counter.t;
+  cl_requeued : Obs.Counter.t;
+  cl_clean_evicts : Obs.Counter.t;
+  cl_dirty_fallbacks : Obs.Counter.t;
   cl_batch_sizes : Stats.Scalar.t;
   (* A real system keeps the GSN and last-writer in the page header; the
      payload codec here is page-content only, so evicted pages park that
@@ -78,8 +79,12 @@ type 'p t = {
   gsn_sidecar : (int, int * int) Hashtbl.t;
 }
 
-let create engine ~store ~partitions ~budget_bytes ~codec =
+let create ?obs engine ~store ~partitions ~budget_bytes ~codec =
   let per = budget_bytes / max 1 partitions in
+  let counter metric =
+    match obs with Some reg -> Obs.counter reg metric | None -> Obs.Counter.create ()
+  in
+  let t =
   {
     engine;
     pstore = store;
@@ -98,14 +103,26 @@ let create engine ~store ~partitions ~budget_bytes ~codec =
     next_page_id = 0;
     cleaner_cfg = { default_cleaner with cl_enabled = false };
     cleaner_sched = None;
-    cl_batches = 0;
-    cl_pages = 0;
-    cl_requeued = 0;
-    cl_clean_evicts = 0;
-    cl_dirty_fallbacks = 0;
-    cl_batch_sizes = Stats.Scalar.create ();
+    cl_batches = counter "buf.cleaner.batches";
+    cl_pages = counter "buf.cleaner.pages";
+    cl_requeued = counter "buf.cleaner.requeued";
+    cl_clean_evicts = counter "buf.cleaner.clean_evicts";
+    cl_dirty_fallbacks = counter "buf.cleaner.dirty_evict_fallbacks";
+    cl_batch_sizes =
+      (match obs with
+      | Some reg -> Obs.scalar reg "buf.cleaner.batch_pages"
+      | None -> Stats.Scalar.create ());
     gsn_sidecar = Hashtbl.create 256;
   }
+  in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+    Obs.int_fn reg "buf.resident_bytes" (fun () ->
+        Array.fold_left (fun acc p -> acc + p.used_bytes) 0 t.parts);
+    Obs.int_fn reg "buf.resident_pages" (fun () ->
+        Array.fold_left (fun acc p -> acc + Hashtbl.length p.frames) 0 t.parts));
+  t
 
 let attach_cleaner t ~scheduler cfg =
   t.cleaner_cfg <- cfg;
@@ -117,11 +134,11 @@ let cleaner_on t = t.cleaner_cfg.cl_enabled && t.cleaner_sched <> None
 
 let cleaner_stats t =
   {
-    batches_submitted = t.cl_batches;
-    pages_cleaned = t.cl_pages;
-    pages_requeued = t.cl_requeued;
-    clean_evicts = t.cl_clean_evicts;
-    dirty_evict_fallbacks = t.cl_dirty_fallbacks;
+    batches_submitted = Obs.Counter.get t.cl_batches;
+    pages_cleaned = Obs.Counter.get t.cl_pages;
+    pages_requeued = Obs.Counter.get t.cl_requeued;
+    clean_evicts = Obs.Counter.get t.cl_clean_evicts;
+    dirty_evict_fallbacks = Obs.Counter.get t.cl_dirty_fallbacks;
   }
 
 let set_budget t ~budget_bytes =
@@ -380,12 +397,12 @@ let rec cleaner_service t partition =
       (fun f ->
         f.fin_flight <- false;
         if f.fdirty && f.fstate = Cooling && Hashtbl.mem part.frames f.fpage_id then begin
-          t.cl_requeued <- t.cl_requeued + 1;
+          Obs.Counter.incr t.cl_requeued;
           queue_dirty_cooling part f
         end)
       batch;
-    t.cl_batches <- t.cl_batches + 1;
-    t.cl_pages <- t.cl_pages + n;
+    Obs.Counter.incr t.cl_batches;
+    Obs.Counter.add t.cl_pages n;
     Stats.Scalar.add t.cl_batch_sizes (float_of_int n)
   in
   (* Demote hot frames until a full batch is queued or the sweep stops
@@ -460,12 +477,12 @@ and evict_one t part =
     | Some p ->
       if f.fdirty then begin
         (* inline fallback: the cleaner is off, unattached, or behind *)
-        t.cl_dirty_fallbacks <- t.cl_dirty_fallbacks + 1;
+        Obs.Counter.incr t.cl_dirty_fallbacks;
         let raw = t.codec.encode p in
         Pagestore.write t.pstore ~page_id:f.fpage_id raw;
         f.fdirty <- false
       end
-      else t.cl_clean_evicts <- t.cl_clean_evicts + 1;
+      else Obs.Counter.incr t.cl_clean_evicts;
       (* Re-check: the write may have suspended us; the frame may have
          been re-heated or re-touched while we were writing back. *)
       if
@@ -575,8 +592,8 @@ let write_back_batch t frames =
     List.iter
       (fun chunk ->
         let pages = snapshot_chunk t chunk in
-        t.cl_batches <- t.cl_batches + 1;
-        t.cl_pages <- t.cl_pages + List.length pages;
+        Obs.Counter.incr t.cl_batches;
+        Obs.Counter.add t.cl_pages (List.length pages);
         Stats.Scalar.add t.cl_batch_sizes (float_of_int (List.length pages));
         Scheduler.io_wait (fun resume -> Pagestore.write_batch t.pstore pages ~on_complete:resume))
       (chunked batch_pages dirty)
@@ -600,8 +617,8 @@ let flush_all_dirty t ~on_done =
     List.iter
       (fun chunk ->
         let pages = snapshot_chunk t chunk in
-        t.cl_batches <- t.cl_batches + 1;
-        t.cl_pages <- t.cl_pages + List.length pages;
+        Obs.Counter.incr t.cl_batches;
+        Obs.Counter.add t.cl_pages (List.length pages);
         Stats.Scalar.add t.cl_batch_sizes (float_of_int (List.length pages));
         Pagestore.write_batch t.pstore pages ~on_complete:(fun () ->
             decr remaining;

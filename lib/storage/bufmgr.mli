@@ -33,6 +33,7 @@ type 'p codec = {
 }
 
 val create :
+  ?obs:Phoebe_obs.Obs.t ->
   Phoebe_sim.Engine.t ->
   store:Phoebe_io.Pagestore.t ->
   partitions:int ->
@@ -40,7 +41,9 @@ val create :
   codec:'p codec ->
   'p t
 (** [budget_bytes] is the total pool budget, split evenly across
-    partitions. *)
+    partitions. With [obs], cleaner accounting registers under
+    [buf.cleaner.*] and residency under [buf.resident_{bytes,pages}]
+    (pull metrics). *)
 
 val set_budget : 'p t -> budget_bytes:int -> unit
 

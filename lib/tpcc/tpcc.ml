@@ -7,6 +7,7 @@ module Engine = Phoebe_sim.Engine
 module Prng = Phoebe_util.Prng
 module Zipf = Phoebe_util.Zipf
 module Stats = Phoebe_util.Stats
+module Trace = Phoebe_obs.Trace
 
 type scale = {
   districts_per_warehouse : int;
@@ -581,6 +582,12 @@ let run_mix t ?(affinity = true) ?(mix = standard_mix) ~concurrency ~duration_ns
   let kind_index = function
     | New_order -> 0 | Payment -> 1 | Order_status -> 2 | Delivery -> 3 | Stock_level -> 4
   in
+  (* Trace kind indices are [kind_index + 1]: slot 0 is the generic
+     "other" kind for non-TPC-C transactions. *)
+  (match Db.trace database with
+  | Some tr ->
+    Trace.set_kind_names tr [| "new_order"; "payment"; "order_status"; "delivery"; "stock_level" |]
+  | None -> ());
   let rollbacks = ref 0 in
   let latency = Stats.Histogram.create () in
   let n_workers = (Db.config database).Phoebe_core.Config.n_workers in
@@ -596,7 +603,9 @@ let run_mix t ?(affinity = true) ?(mix = standard_mix) ~concurrency ~duration_ns
       let submit_affinity = if affinity then Some ((w_id - 1) mod n_workers) else None in
       Scheduler.submit ?affinity:submit_affinity sched (fun () ->
           (try
-             Db.with_txn database (fun txn -> run_txn t kind txn rng ~w_id);
+             Db.with_txn database (fun txn ->
+                 Scheduler.span_kind (kind_index kind + 1);
+                 run_txn t kind txn rng ~w_id);
              committed.(kind_index kind) <- committed.(kind_index kind) + 1;
              Stats.Series.add t.commit_series ~time:(Engine.now eng) 1.0
            with

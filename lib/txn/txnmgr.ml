@@ -7,6 +7,7 @@ module Record = Phoebe_wal.Record
 
 module Resource = Phoebe_sim.Resource
 module Engine = Phoebe_sim.Engine
+module Obs = Phoebe_obs.Obs
 
 type isolation = Read_committed | Repeatable_read
 type state = Active | Committed | Aborted
@@ -49,12 +50,15 @@ type t = {
   slot_bundles : bundle Queue.t array;
   slot_last_reclaimed_xid : int array;
   twins : (int, Twin.t) Hashtbl.t;
-  mutable live_undo_bytes : int;
-  mutable n_committed : int;
-  mutable n_aborted : int;
+  live_undo_bytes : Obs.Counter.t;
+  n_committed : Obs.Counter.t;
+  n_aborted : Obs.Counter.t;
 }
 
-let create ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention () =
+let create ?obs ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention () =
+  let counter metric =
+    match obs with Some reg -> Obs.counter reg metric | None -> Obs.Counter.create ()
+  in
   {
     tclock = clock;
     twal = wal;
@@ -64,9 +68,9 @@ let create ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention () =
     slot_bundles = Array.init n_slots (fun _ -> Queue.create ());
     slot_last_reclaimed_xid = Array.make n_slots 0;
     twins = Hashtbl.create 1024;
-    live_undo_bytes = 0;
-    n_committed = 0;
-    n_aborted = 0;
+    live_undo_bytes = counter "txn.undo_bytes";
+    n_committed = counter "txn.committed";
+    n_aborted = counter "txn.aborted";
   }
 
 let clock t = t.tclock
@@ -108,6 +112,7 @@ let take_snapshot t =
 
 let begin_txn t ~isolation ~slot =
   let c = costs () in
+  Scheduler.span_begin ();
   Scheduler.charge Component.Effective c.Cost.txn_begin;
   let start_ts = Clock.next t.tclock in
   let xid = Clock.xid_of_start_ts start_ts in
@@ -145,7 +150,7 @@ let add_undo t txn undo =
   txn.undo_newest <- Some undo;
   txn.undo_count <- txn.undo_count + 1;
   txn.wrote <- true;
-  t.live_undo_bytes <- t.live_undo_bytes + Undo.size_bytes undo
+  Obs.Counter.add t.live_undo_bytes (Undo.size_bytes undo)
 
 let finish t txn final_state =
   txn.state <- final_state;
@@ -178,7 +183,8 @@ let commit t txn =
   (* bundle joins the slot's GC queue in commit order *)
   if txn.undo_newest <> None then
     Queue.push { bcts = cts; bxid = txn.xid; undos = txn.undo_newest } t.slot_bundles.(txn.slot);
-  t.n_committed <- t.n_committed + 1;
+  Obs.Counter.incr t.n_committed;
+  Scheduler.span_end ~committed:true;
   finish t txn Committed
 
 let abort t txn ~rollback =
@@ -188,12 +194,13 @@ let abort t txn ~rollback =
   Undo.iter_txn txn.undo_newest (fun u ->
       rollback u;
       u.Undo.reclaimed <- true;
-      t.live_undo_bytes <- t.live_undo_bytes - Undo.size_bytes u);
+      Obs.Counter.add t.live_undo_bytes (-Undo.size_bytes u));
   if txn.wrote then begin
     let gsn = Wal.next_gsn t.twal ~slot:txn.slot ~page_gsn:0 in
     ignore (Wal.append t.twal ~slot:txn.slot (Record.Abort { xid = txn.xid }) ~gsn)
   end;
-  t.n_aborted <- t.n_aborted + 1;
+  Obs.Counter.incr t.n_aborted;
+  Scheduler.span_end ~committed:false;
   finish t txn Aborted
 
 let find_active t ~xid = Hashtbl.find_opt t.active xid
@@ -337,7 +344,7 @@ let gc_slot t ~slot ~watermark ~on_reclaim =
           Scheduler.charge Component.Gc c.Cost.gc_per_undo;
           on_reclaim u;
           u.Undo.reclaimed <- true;
-          t.live_undo_bytes <- t.live_undo_bytes - Undo.size_bytes u;
+          Obs.Counter.add t.live_undo_bytes (-Undo.size_bytes u);
           incr reclaimed);
       if b.bxid > t.slot_last_reclaimed_xid.(slot) then t.slot_last_reclaimed_xid.(slot) <- b.bxid;
       go ()
@@ -364,6 +371,6 @@ let gc_twins t =
 let dump_active t =
   Hashtbl.fold (fun _ txn acc -> (txn.xid, txn.slot, txn.waiting_on) :: acc) t.active []
 
-let undo_bytes t = t.live_undo_bytes
-let stats_aborted t = t.n_aborted
-let stats_committed t = t.n_committed
+let undo_bytes t = Obs.Counter.get t.live_undo_bytes
+let stats_aborted t = Obs.Counter.get t.n_aborted
+let stats_committed t = Obs.Counter.get t.n_committed

@@ -54,7 +54,12 @@ type txn = {
 
 type t
 
+(** [create ?obs ...]: with [obs], commit/abort/undo accounting
+    registers under [txn.{committed,aborted,undo_bytes}]. Transactions
+    also open/close an observability span on the running fiber's slot
+    when a tracer is installed on the scheduler. *)
 val create :
+  ?obs:Phoebe_obs.Obs.t ->
   clock:Clock.t ->
   wal:Phoebe_wal.Wal.t ->
   n_slots:int ->

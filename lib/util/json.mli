@@ -1,0 +1,24 @@
+(** Minimal dependency-free JSON: a deterministic emitter (insertion
+    order, fixed float rendering — byte-identical output for identical
+    inputs) plus a strict parser used to validate emitted files and
+    round-trip tests. Non-finite floats are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with 2-space indentation and a trailing newline. *)
+
+val to_file : string -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document; [Error] carries a
+    byte-offset message. Numbers without [./e/E] parse as {!Int}. *)
+
+val of_file : string -> (t, string) result

@@ -1,0 +1,10 @@
+exception Bug of { subsystem : string; context : string }
+
+let bug ~subsystem fmt =
+  Printf.ksprintf (fun context -> raise (Bug { subsystem; context })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Bug { subsystem; context } ->
+      Some (Printf.sprintf "Phoebe_error.Bug(%s): %s" subsystem context)
+    | _ -> None)

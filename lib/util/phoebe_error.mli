@@ -1,0 +1,13 @@
+(** Structured internal-invariant failures.
+
+    [Bug] marks simulator/kernel state corruption — conditions that can
+    only arise from a defect in PhoebeDB itself, never from caller
+    misuse. Keeping these distinct from [Invalid_argument] (caller
+    errors) and {!Stdlib.Failure} lets harnesses and tests tell "the
+    engine is broken" apart from "the request was wrong". *)
+
+exception Bug of { subsystem : string; context : string }
+
+val bug : subsystem:string -> ('a, unit, string, 'b) format4 -> 'a
+(** [bug ~subsystem fmt ...] raises {!Bug} with the formatted context.
+    [subsystem] is a short dotted identifier, e.g. ["runtime.scheduler"]. *)

@@ -1,34 +1,43 @@
 module Scalar = struct
-  type t = {
-    mutable count : int;
-    mutable sum : float;
-    mutable sumsq : float;
-    mutable min : float;
-    mutable max : float;
-  }
+  (* Float state lives in a flat float array so [add] is pure mutation:
+     assigning a float field of a mixed int/float record boxes the float,
+     and these accumulators sit on observability hot paths. *)
+  let i_sum = 0
+  let i_sumsq = 1
+  let i_min = 2
+  let i_max = 3
 
-  let create () = { count = 0; sum = 0.0; sumsq = 0.0; min = infinity; max = neg_infinity }
+  type t = { mutable count : int; f : float array }
+
+  let create () =
+    let f = Array.make 4 0.0 in
+    f.(i_min) <- infinity;
+    f.(i_max) <- neg_infinity;
+    { count = 0; f }
 
   let add t v =
     t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    t.sumsq <- t.sumsq +. (v *. v);
-    if v < t.min then t.min <- v;
-    if v > t.max then t.max <- v
+    t.f.(i_sum) <- t.f.(i_sum) +. v;
+    t.f.(i_sumsq) <- t.f.(i_sumsq) +. (v *. v);
+    if v < t.f.(i_min) then t.f.(i_min) <- v;
+    if v > t.f.(i_max) then t.f.(i_max) <- v
 
   let count t = t.count
-  let sum t = t.sum
-  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let is_empty t = t.count = 0
+  let sum t = t.f.(i_sum)
+  let mean t = if t.count = 0 then 0.0 else t.f.(i_sum) /. float_of_int t.count
 
   let stddev t =
     if t.count < 2 then 0.0
     else
       let n = float_of_int t.count in
-      let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+      let var = (t.f.(i_sumsq) -. (t.f.(i_sum) *. t.f.(i_sum) /. n)) /. (n -. 1.0) in
       if var < 0.0 then 0.0 else sqrt var
 
-  let min t = t.min
-  let max t = t.max
+  (* An empty accumulator reports 0.0 (like [mean]) rather than leaking
+     the infinities used as fold seeds. *)
+  let min t = if t.count = 0 then 0.0 else t.f.(i_min)
+  let max t = if t.count = 0 then 0.0 else t.f.(i_max)
 end
 
 module Histogram = struct
@@ -36,9 +45,11 @@ module Histogram = struct
      two keeps percentile error under ~19%. *)
   let n_buckets = 256
 
-  type t = { buckets : int array; mutable count : int; mutable sum : float }
+  (* [fsum] is a 1-element float array for the same unboxing reason as
+     {!Scalar.t}: [add] must not allocate. *)
+  type t = { buckets : int array; mutable count : int; fsum : float array }
 
-  let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0.0 }
+  let create () = { buckets = Array.make n_buckets 0; count = 0; fsum = Array.make 1 0.0 }
 
   let bucket_of v =
     if v <= 0 then 0
@@ -52,9 +63,10 @@ module Histogram = struct
     let b = bucket_of v in
     t.buckets.(b) <- t.buckets.(b) + 1;
     t.count <- t.count + 1;
-    t.sum <- t.sum +. float_of_int v
+    t.fsum.(0) <- t.fsum.(0) +. float_of_int v
 
   let count t = t.count
+  let sum t = t.fsum.(0)
 
   let percentile t p =
     if t.count = 0 then 0.0
@@ -74,7 +86,7 @@ module Histogram = struct
       !result
     end
 
-  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let mean t = if t.count = 0 then 0.0 else t.fsum.(0) /. float_of_int t.count
 end
 
 module Series = struct

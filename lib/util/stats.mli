@@ -7,11 +7,16 @@ module Scalar : sig
   val create : unit -> t
   val add : t -> float -> unit
   val count : t -> int
+  val is_empty : t -> bool
   val sum : t -> float
   val mean : t -> float
   val stddev : t -> float
+
   val min : t -> float
+  (** 0.0 when empty (like [mean]); never the [infinity] fold seed. *)
+
   val max : t -> float
+  (** 0.0 when empty (like [mean]); never the [neg_infinity] fold seed. *)
 end
 
 module Histogram : sig
@@ -22,6 +27,14 @@ module Histogram : sig
   val create : unit -> t
   val add : t -> int -> unit
   val count : t -> int
+  val sum : t -> float
+
+  val bucket_of : int -> int
+  (** Bucket index for a sample value (clamped to the bucket range). *)
+
+  val value_of : int -> float
+  (** Representative sample value for a bucket index; with [bucket_of]
+      forms an approximate round-trip within one pseudo-log step. *)
 
   val percentile : t -> float -> float
   (** [percentile t 0.99] approximates the p99 sample value. *)

@@ -3,6 +3,8 @@ module Component = Phoebe_sim.Component
 module Cost = Phoebe_sim.Cost
 module Scheduler = Phoebe_runtime.Scheduler
 module Walstore = Phoebe_io.Walstore
+module Obs = Phoebe_obs.Obs
+module Trace = Phoebe_obs.Trace
 
 type config = {
   group_flush_bytes : int;
@@ -43,13 +45,16 @@ type t = {
   writers : writer array;
   mutable remote_waiters : (int * (unit -> unit)) list;  (** (gsn, resume) *)
   mutable running : bool;
-  mutable records : int;
-  mutable bytes : int;
-  mutable n_remote_waits : int;
-  mutable n_local_commits : int;
+  records : Obs.Counter.t;
+  bytes : Obs.Counter.t;
+  n_remote_waits : Obs.Counter.t;
+  n_local_commits : Obs.Counter.t;
 }
 
-let create ?(resume = false) engine ~store ~n_slots cfg =
+let create ?obs ?(resume = false) engine ~store ~n_slots cfg =
+  let counter metric =
+    match obs with Some reg -> Obs.counter reg metric | None -> Obs.Counter.create ()
+  in
   let t =
   {
     engine;
@@ -73,10 +78,10 @@ let create ?(resume = false) engine ~store ~n_slots cfg =
           });
     remote_waiters = [];
     running = false;
-    records = 0;
-    bytes = 0;
-    n_remote_waits = 0;
-    n_local_commits = 0;
+    records = counter "wal.records";
+    bytes = counter "wal.bytes";
+    n_remote_waits = counter "wal.rfa.remote_waits";
+    n_local_commits = counter "wal.rfa.local_commits";
   }
   in
   if resume then
@@ -178,8 +183,8 @@ let append t ~slot op ~gsn =
   Queue.push (lsn, gsn) w.pending;
   w.max_buffered_gsn <- max w.max_buffered_gsn gsn;
   w.cur_gsn <- max w.cur_gsn gsn;
-  t.records <- t.records + 1;
-  t.bytes <- t.bytes + size;
+  Obs.Counter.incr t.records;
+  Obs.Counter.add t.bytes size;
   let c = costs () in
   Scheduler.charge Component.Wal (c.Cost.wal_record_base + (size / 16 * c.Cost.wal_record_per_byte_x16));
   (* RFA waiters block on the global durable floor: any freshly buffered
@@ -199,12 +204,13 @@ let commit_durable t ~slot ~lsn ~needs_remote ~remote_gsn =
     let w = t.writers.(slot) in
     if lsn > w.flushed_lsn then begin
       flush t w;
+      Scheduler.span_wait Trace.Wal_wait;
       Scheduler.io_wait (fun resume ->
           if lsn <= w.flushed_lsn then resume ()
           else w.lsn_waiters <- (lsn, resume) :: w.lsn_waiters)
     end;
     if needs_remote then begin
-      t.n_remote_waits <- t.n_remote_waits + 1;
+      Obs.Counter.incr t.n_remote_waits;
       if durable_floor t < remote_gsn then begin
         (* nudge the writers still holding back the floor *)
         Array.iter
@@ -213,12 +219,13 @@ let commit_durable t ~slot ~lsn ~needs_remote ~remote_gsn =
             | Some (_, gsn) when gsn <= remote_gsn -> flush t w'
             | _ -> ())
           t.writers;
+        Scheduler.span_wait Trace.Wal_wait;
         Scheduler.io_wait (fun resume ->
             if durable_floor t >= remote_gsn then resume ()
             else t.remote_waiters <- (remote_gsn, resume) :: t.remote_waiters)
       end
     end
-    else t.n_local_commits <- t.n_local_commits + 1
+    else Obs.Counter.incr t.n_local_commits
   end
 
 let rec schedule_tick t =
@@ -259,8 +266,8 @@ let dump_writers t =
 
 let remote_waiter_count t = List.length t.remote_waiters
 
-let total_records t = t.records
-let total_bytes t = t.bytes
-let remote_waits t = t.n_remote_waits
-let local_commits t = t.n_local_commits
+let total_records t = Obs.Counter.get t.records
+let total_bytes t = Obs.Counter.get t.bytes
+let remote_waits t = Obs.Counter.get t.n_remote_waits
+let local_commits t = Obs.Counter.get t.n_local_commits
 let store t = t.wstore

@@ -27,6 +27,7 @@ type config = {
 val default_config : config
 
 val create :
+  ?obs:Phoebe_obs.Obs.t ->
   ?resume:bool ->
   Phoebe_sim.Engine.t ->
   store:Phoebe_io.Walstore.t ->
@@ -35,7 +36,9 @@ val create :
   t
 (** [resume:true] (restore path) initialises each writer's LSN/GSN
     counters from the store's existing file contents so new records
-    extend the old sequence. *)
+    extend the old sequence. With [obs], record/byte/RFA accounting
+    registers under [wal.records], [wal.bytes] and
+    [wal.rfa.{local_commits,remote_waits}]. *)
 
 val config : t -> config
 

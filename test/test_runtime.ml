@@ -236,7 +236,7 @@ let test_deadlock_detected () =
     (try
        Scheduler.run_until_quiescent s;
        false
-     with Failure _ -> true)
+     with Phoebe_util.Phoebe_error.Bug { subsystem = "runtime.scheduler"; _ } -> true)
 
 let test_locals () =
   let _, s = make () in

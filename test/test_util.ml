@@ -253,6 +253,137 @@ let test_series_buckets () =
     Alcotest.(check (float 0.0)) "v3" 7.0 v3
   | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l)
 
+let test_scalar_empty () =
+  let s = Stats.Scalar.create () in
+  check_bool "is_empty" true (Stats.Scalar.is_empty s);
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Stats.Scalar.min s);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Stats.Scalar.max s);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.Scalar.mean s);
+  Stats.Scalar.add s (-2.5);
+  check_bool "not empty" false (Stats.Scalar.is_empty s);
+  Alcotest.(check (float 0.0)) "min tracks negative" (-2.5) (Stats.Scalar.min s);
+  Alcotest.(check (float 0.0)) "max tracks negative" (-2.5) (Stats.Scalar.max s)
+
+let test_histogram_empty_and_single () =
+  let h = Stats.Histogram.create () in
+  check_int "empty count" 0 (Stats.Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Stats.Histogram.percentile h 0.5);
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Stats.Histogram.percentile h 0.99);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.Histogram.mean h);
+  Stats.Histogram.add h 1000;
+  check_int "single count" 1 (Stats.Histogram.count h);
+  Alcotest.(check (float 0.0)) "single sum" 1000.0 (Stats.Histogram.sum h);
+  (* every percentile of a single-sample histogram is that sample's
+     bucket value, within one pseudo-log step (2^0.25) *)
+  List.iter
+    (fun p ->
+      let v = Stats.Histogram.percentile h p in
+      check_bool "single-sample percentile near sample" true (v > 700.0 && v < 1500.0))
+    [ 0.0; 0.5; 0.9; 0.99 ]
+
+let test_histogram_monotone_in_p () =
+  let h = Stats.Histogram.create () in
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 5000 do
+    Stats.Histogram.add h (1 + Prng.int rng 1_000_000)
+  done;
+  let ps = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 0.999; 1.0 ] in
+  let vs = List.map (Stats.Histogram.percentile h) ps in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check_bool "percentile monotone in p" true (a <= b);
+      pairs rest
+    | _ -> ()
+  in
+  pairs vs
+
+let test_histogram_bucket_roundtrip () =
+  (* value_of (bucket_of v) must land within one pseudo-log step
+     (factor 2^(1/4)) of v, and bucket_of must be monotone. *)
+  let step = Float.pow 2.0 0.25 in
+  List.iter
+    (fun v ->
+      let b = Stats.Histogram.bucket_of v in
+      let back = Stats.Histogram.value_of b in
+      check_bool
+        (Printf.sprintf "roundtrip %d -> bucket %d -> %.1f" v b back)
+        true
+        (back <= float_of_int v *. step +. 1e-9 && back >= float_of_int v /. step -. 1e-9))
+    [ 1; 2; 3; 4; 7; 8; 15; 16; 17; 1000; 65536; 1_000_000; 1_000_000_000 ];
+  check_int "non-positive clamps to 0" 0 (Stats.Histogram.bucket_of 0);
+  check_int "negative clamps to 0" 0 (Stats.Histogram.bucket_of (-5));
+  let rec mono prev = function
+    | [] -> ()
+    | v :: rest ->
+      let b = Stats.Histogram.bucket_of v in
+      check_bool "bucket_of monotone" true (b >= prev);
+      mono b rest
+  in
+  mono 0 [ 1; 2; 5; 10; 100; 1_000; 10_000; 1_000_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+module Json = Phoebe_util.Json
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("x", Json.Float 1.5);
+        ("big", Json.Float 1.25e18);
+        ("s", Json.Str "a \"quoted\" line\nwith\ttabs and \x01 ctrl");
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+        ("nested", Json.List [ Json.Int 1; Json.List [ Json.Str "deep" ]; Json.Obj [ ("k", Json.Int 2) ] ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Error msg -> Alcotest.failf "emitted JSON failed to parse: %s" msg
+  | Ok parsed -> check_bool "round-trip equal" true (parsed = doc)
+
+let test_json_nonfinite () =
+  (* inf/-inf/nan have no JSON representation: they must emit as null,
+     and the result must still parse. *)
+  let doc =
+    Json.Obj
+      [ ("pos", Json.Float infinity); ("neg", Json.Float neg_infinity); ("nn", Json.Float Float.nan) ]
+  in
+  let text = Json.to_string doc in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "no inf token" false (contains text "inf");
+  check_bool "no nan token" false (contains text "nan");
+  match Json.of_string text with
+  | Error msg -> Alcotest.failf "non-finite emission failed to parse: %s" msg
+  | Ok (Json.Obj [ ("pos", Json.Null); ("neg", Json.Null); ("nn", Json.Null) ]) -> ()
+  | Ok other -> Alcotest.failf "expected all-null object, got %s" (Json.to_string other)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" text)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_numbers () =
+  (match Json.of_string "[0, -7, 123456789]" with
+  | Ok (Json.List [ Json.Int 0; Json.Int (-7); Json.Int 123456789 ]) -> ()
+  | _ -> Alcotest.fail "plain integers should parse as Int");
+  match Json.of_string "[1.5, 2e3, -0.25]" with
+  | Ok (Json.List [ Json.Float a; Json.Float b; Json.Float c ]) ->
+    Alcotest.(check (float 1e-12)) "1.5" 1.5 a;
+    Alcotest.(check (float 1e-12)) "2e3" 2000.0 b;
+    Alcotest.(check (float 1e-12)) "-0.25" (-0.25) c
+  | _ -> Alcotest.fail "decimals should parse as Float"
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -294,7 +425,18 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "scalar" `Quick test_scalar;
+          Alcotest.test_case "scalar empty" `Quick test_scalar_empty;
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "histogram empty/single" `Quick test_histogram_empty_and_single;
+          Alcotest.test_case "histogram monotone in p" `Quick test_histogram_monotone_in_p;
+          Alcotest.test_case "histogram bucket roundtrip" `Quick test_histogram_bucket_roundtrip;
           Alcotest.test_case "series buckets" `Quick test_series_buckets;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "number classes" `Quick test_json_numbers;
         ] );
     ]

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 gate: formatting, build, unit/property tests, and a
+# 5-virtual-second Exp-1-shaped benchmark smoke whose --json output must
+# parse (guards the JSON emitter and the observability registry export).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build @fmt"
+dune build @fmt
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench smoke (5 virtual seconds of exp1 at W=2, --json)"
+json_tmp="$(mktemp /tmp/phoebe-smoke-XXXXXX.json)"
+trap 'rm -f "$json_tmp"' EXIT
+dune exec bench/main.exe -- smoke --json "$json_tmp"
+dune exec bench/main.exe -- --check-json "$json_tmp"
+
+echo "== tier-1: OK"
