@@ -38,14 +38,41 @@ let section title =
 
 let note fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* Command-line overrides ([--deadline-ms], [--admission]): applied to
+   every experiment config, so any harness can be rerun with transaction
+   deadlines or admission control switched on. Both default off — the
+   published experiment numbers are produced with the features disabled
+   (and the sim is bit-identical to a build without the wait core). *)
+let opt_deadline_ms : int option ref = ref None
+let opt_admission = ref false
+
 let phoebe_config ~warehouses ~workers ~slots ~buffer_mb =
-  {
-    Config.default with
-    Config.n_workers = workers;
-    slots_per_worker = slots;
-    buffer_bytes = buffer_mb * mb;
-  }
-  |> fun cfg -> ignore warehouses; cfg
+  ignore warehouses;
+  let cfg =
+    {
+      Config.default with
+      Config.n_workers = workers;
+      slots_per_worker = slots;
+      buffer_bytes = buffer_mb * mb;
+    }
+  in
+  let cfg =
+    match !opt_deadline_ms with
+    | Some ms -> { cfg with Config.txn_deadline_ns = ms * 1_000_000 }
+    | None -> cfg
+  in
+  if !opt_admission then
+    { cfg with
+      Config.admission = { Config.enabled = true; max_inflight = 0; max_lock_wait_p95_ns = 0 } }
+  else cfg
+
+(* Aborts broken down by reason, for the machine-readable output. *)
+let abort_reasons_json db =
+  let tm = Db.txnmgr db in
+  Json.Obj
+    (List.map
+       (fun r -> (Txnmgr.reason_label r, Json.Int (Txnmgr.stats_aborted_for tm r)))
+       [ Txnmgr.Deadlock; Txnmgr.Deadline; Txnmgr.Shed; Txnmgr.Conflict; Txnmgr.User ])
 
 let load_tpcc cfg ~warehouses =
   let db = Db.create cfg in
@@ -87,6 +114,7 @@ let exp1 () =
                 ("virtual_s", Json.Float r.T.duration_s);
                 ("tpmc", Json.Float r.T.tpmc);
                 ("tpm_total", Json.Float r.T.tpm_total);
+                ("aborts_by_reason", abort_reasons_json db);
                 (* the whole observability plane, including the
                    trace.txn.<kind>.* span percentiles *)
                 ("registry", Obs.to_json (Db.obs db));
@@ -549,6 +577,69 @@ let ablation_htap () =
       if abs_float (colsum -. rowsum) > 1e-6 then note "  !! sums disagree")
 
 (* ------------------------------------------------------------------ *)
+(* Overload: tpm and p99 vs offered load, admission control on vs off.
+
+   Offered load (virtual users, zero think time) sweeps well past the
+   task-slot supply. Without protection every arrival is admitted, the
+   lock and slot queues back up, and tail latency grows with the
+   backlog. With the protections on — a per-transaction deadline plus
+   admission control capping in-flight transactions — excess arrivals
+   are shed at the door (retried by the driver with backoff) and
+   stragglers are cut at the deadline, so committed throughput holds
+   and the p99 of admitted work stays bounded. *)
+
+let overload () =
+  section "Overload: offered-load sweep, admission control on vs off";
+  let w = 2 and workers = 2 and slots = 4 in
+  let seconds = 0.3 in
+  let loads = [ 8; 32; 128 ] in
+  note "%-10s %-6s %12s %12s %8s %10s %8s" "admission" "users" "tpm-total" "p99-us" "sheds"
+    "dl-aborts" "aborted";
+  let run_point ~admission users =
+    let cfg = phoebe_config ~warehouses:w ~workers ~slots ~buffer_mb:16 in
+    let cfg =
+      if admission then
+        {
+          cfg with
+          Config.txn_deadline_ns = 2_000_000;
+          admission =
+            {
+              Config.enabled = true;
+              max_inflight = 2 * workers * slots;
+              max_lock_wait_p95_ns = 0;
+            };
+        }
+      else cfg
+    in
+    let db, t = load_tpcc cfg ~warehouses:w in
+    let r = T.run_mix t ~concurrency:users ~duration_ns:(int_of_float (seconds *. 1e9)) ~seed () in
+    note "%-10s %-6d %12.0f %12.1f %8d %10d %8d"
+      (if admission then "on" else "off")
+      users r.T.tpm_total r.T.latency_p99_us r.T.sheds r.T.deadline_aborts r.T.aborted;
+    Json.Obj
+      [
+        ("admission", Json.Bool admission);
+        ("users", Json.Int users);
+        ("virtual_s", Json.Float r.T.duration_s);
+        ("tpm_total", Json.Float r.T.tpm_total);
+        ("latency_p50_us", Json.Float r.T.latency_p50_us);
+        ("latency_p99_us", Json.Float r.T.latency_p99_us);
+        ("sheds", Json.Int r.T.sheds);
+        ("deadline_aborts", Json.Int r.T.deadline_aborts);
+        ("aborts_by_reason", abort_reasons_json db);
+      ]
+  in
+  let points =
+    List.concat_map
+      (fun u ->
+        let off = run_point ~admission:false u in
+        let on = run_point ~admission:true u in
+        [ off; on ])
+      loads
+  in
+  add_json "overload" (Json.List points)
+
+(* ------------------------------------------------------------------ *)
 (* Tier-1 smoke: a 5-virtual-second single-point Exp 1 run at W=2.
    Exercises the same path as [exp1] — mix driver, consistency checks,
    full registry export — at a scale CI can afford, so `tier1.sh` can
@@ -576,6 +667,7 @@ let smoke () =
              ("virtual_s", Json.Float r.T.duration_s);
              ("tpmc", Json.Float r.T.tpmc);
              ("tpm_total", Json.Float r.T.tpm_total);
+             ("aborts_by_reason", abort_reasons_json db);
              ("registry", Obs.to_json (Db.obs db));
            ];
        ])

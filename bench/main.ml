@@ -138,9 +138,12 @@ let run_micro () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations micro all smoke]\n\
+    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations overload micro \
+     all smoke]\n\
     \       [--json <path>]         write machine-readable results (simulated quantities only)\n\
-    \       [--check-json <path>]   validate that <path> parses as JSON, then exit"
+    \       [--check-json <path>]   validate that <path> parses as JSON, then exit\n\
+    \       [--deadline-ms <n>]     arm an n-millisecond (virtual) per-transaction deadline\n\
+    \       [--admission]           enable overload admission control (default thresholds)"
 
 (* Pull "<key> <value>" out of the argument list. *)
 let rec extract_opt key = function
@@ -155,11 +158,32 @@ let rec extract_opt key = function
     let path, remaining = extract_opt key rest in
     (path, arg :: remaining)
 
+(* Pull a bare "<key>" flag out of the argument list. *)
+let rec extract_flag key = function
+  | [] -> (false, [])
+  | k :: rest when k = key ->
+    let _, remaining = extract_flag key rest in
+    (true, remaining)
+  | arg :: rest ->
+    let found, remaining = extract_flag key rest in
+    (found, arg :: remaining)
+
 let () =
   let t0 = Unix.gettimeofday () in
   let args = List.tl (Array.to_list Sys.argv) in
   let json_path, args = extract_opt "--json" args in
   let check_path, args = extract_opt "--check-json" args in
+  let deadline_ms, args = extract_opt "--deadline-ms" args in
+  let admission, args = extract_flag "--admission" args in
+  (match deadline_ms with
+  | Some ms -> (
+    match int_of_string_opt ms with
+    | Some n when n > 0 -> Experiments.opt_deadline_ms := Some n
+    | _ ->
+      prerr_endline "--deadline-ms requires a positive integer";
+      exit 2)
+  | None -> ());
+  Experiments.opt_admission := admission;
   (match check_path with
   | Some path -> (
     match Json.of_file path with
@@ -187,6 +211,7 @@ let () =
       | "exp8" -> Experiments.exp8 ()
       | "exp9" -> Experiments.exp9 ()
       | "ablations" -> Experiments.ablations ()
+      | "overload" -> Experiments.overload ()
       | "smoke" -> Experiments.smoke ()
       | "micro" -> run_micro ()
       | "all" -> Experiments.all ()

@@ -65,7 +65,7 @@ let () =
   (try
      ignore
        (Db.with_txn db (fun txn -> Table.insert users txn [| Value.Str "alice"; Value.Int 0 |]))
-   with Phoebe_txn.Txnmgr.Abort msg -> Printf.printf "duplicate insert rejected: %s\n" msg);
+   with Phoebe_txn.Txnmgr.Abort (_, msg) -> Printf.printf "duplicate insert rejected: %s\n" msg);
 
   (* Crash recovery: replay the WAL into a fresh instance. *)
   Db.checkpoint db;

@@ -2,6 +2,12 @@ type lock_style =
   | Decentralized
   | Global_serialized of { lock_hold_ns : int; snapshot_hold_ns : int }
 
+type admission = {
+  enabled : bool;
+  max_inflight : int;
+  max_lock_wait_p95_ns : int;
+}
+
 type t = {
   n_workers : int;
   slots_per_worker : int;
@@ -17,6 +23,8 @@ type t = {
   isolation : Phoebe_txn.Txnmgr.isolation;
   gc_every_n_commits : int;
   max_txn_retries : int;
+  txn_deadline_ns : int;
+  admission : admission;
   spans : bool;
   freeze_max_access : int;
   data_device : Phoebe_io.Device.config;
@@ -40,6 +48,8 @@ let default =
     isolation = Phoebe_txn.Txnmgr.Read_committed;
     gc_every_n_commits = 64;
     max_txn_retries = 8;
+    txn_deadline_ns = 0;
+    admission = { enabled = false; max_inflight = 0; max_lock_wait_p95_ns = 0 };
     spans = true;
     freeze_max_access = 2;
     data_device = Phoebe_io.Device.pm9a3;

@@ -7,6 +7,17 @@ type lock_style =
   | Decentralized
   | Global_serialized of { lock_hold_ns : int; snapshot_hold_ns : int }
 
+(** Overload admission control: when enabled, {!Db.submit} sheds new
+    transactions (raising {!Db.Overloaded}) while either trigger fires.
+    Both thresholds use 0 as "default/off": [max_inflight = 0] means
+    4 × the total task-slot count, [max_lock_wait_p95_ns = 0] disables
+    the lock-wait-latency trigger. *)
+type admission = {
+  enabled : bool;
+  max_inflight : int;  (** cap on concurrently running transactions (0 = 4 × slots) *)
+  max_lock_wait_p95_ns : int;  (** shed while recent lock-wait p95 exceeds this (0 = off) *)
+}
+
 type t = {
   n_workers : int;  (** worker threads, each bound to a simulated core *)
   slots_per_worker : int;  (** co-routine task slots per worker (paper default 32) *)
@@ -22,6 +33,11 @@ type t = {
   isolation : Phoebe_txn.Txnmgr.isolation;  (** default isolation (paper runs read committed) *)
   gc_every_n_commits : int;  (** per-worker GC cadence (§7.1) *)
   max_txn_retries : int;  (** automatic retries after an MVCC abort *)
+  txn_deadline_ns : int;
+      (** per-transaction deadline in virtual ns (0 = none). Waits past
+          the deadline wake with [Timed_out] and the transaction aborts
+          with reason [Deadline] through the normal UNDO rollback. *)
+  admission : admission;  (** overload shedding at {!Db.submit} (default off) *)
   spans : bool;  (** collect per-transaction trace spans (default on) *)
   freeze_max_access : int;  (** access-count threshold for freezing (§5.2) *)
   data_device : Phoebe_io.Device.config;

@@ -4,6 +4,7 @@ module Device = Phoebe_io.Device
 module Pagestore = Phoebe_io.Pagestore
 module Walstore = Phoebe_io.Walstore
 module Bufmgr = Phoebe_storage.Bufmgr
+module Latch = Phoebe_storage.Latch
 module Pax = Phoebe_storage.Pax
 module Value = Phoebe_storage.Value
 module Wal = Phoebe_wal.Wal
@@ -33,7 +34,11 @@ type t = {
   mutable next_block_id : int;
   commits_since_gc : int array;  (** per worker *)
   gc_pending : bool array;
+  n_shed : Obs.Counter.t;
+  mutable inflight : int;  (** transactions submitted and not yet finished *)
 }
+
+exception Overloaded
 
 let pax_codec : Pax.t Bufmgr.codec =
   { Bufmgr.encode = Pax.encode; decode = Pax.decode; size = Pax.size_bytes }
@@ -96,6 +101,8 @@ let create_on eng (cfg : Config.t) =
     next_block_id = 0;
     commits_since_gc = Array.make cfg.Config.n_workers 0;
     gc_pending = Array.make cfg.Config.n_workers false;
+    n_shed = Obs.counter obs "db.shed";
+    inflight = 0;
   }
 
 let create cfg = create_on (Engine.create ()) cfg
@@ -150,6 +157,8 @@ let create_attached old (cfg : Config.t) =
     next_block_id = old.next_block_id;
     commits_since_gc = Array.make cfg.Config.n_workers 0;
     gc_pending = Array.make cfg.Config.n_workers false;
+    n_shed = Obs.counter obs "db.shed";
+    inflight = 0;
   }
 
 let config t = t.cfg
@@ -224,24 +233,46 @@ let begin_txn ?isolation t =
 
 let abort_txn t txn = Txnmgr.abort t.txns txn ~rollback:(rollback_one t)
 
+(* The per-attempt deadline: armed on the fiber before the transaction
+   begins (so even the first lock wait can time out), cleared before
+   commit and before rollback — once the outcome is decided, the commit
+   must complete and the rollback's own latch/WAL waits must not
+   re-raise {!Latch.Timeout} forever. *)
+let arm_deadline t =
+  if t.cfg.Config.txn_deadline_ns > 0 && Scheduler.in_fiber () then
+    Scheduler.set_txn_deadline (Some (Engine.now t.eng + t.cfg.Config.txn_deadline_ns))
+
+let disarm_deadline () = Scheduler.set_txn_deadline None
+
+let retryable = function Txnmgr.Deadlock | Txnmgr.Conflict -> true | _ -> false
+
 let with_txn ?isolation t body =
   let isolation = Option.value isolation ~default:t.cfg.Config.isolation in
   let rec attempt n =
+    arm_deadline t;
     let txn = Txnmgr.begin_txn t.txns ~isolation ~slot:(current_slot_or_zero ()) in
     match body txn with
     | result ->
+      disarm_deadline ();
       Txnmgr.commit t.txns txn;
       result
-    | exception Txnmgr.Abort msg ->
-      Txnmgr.abort t.txns txn ~rollback:(rollback_one t);
-      if n < t.cfg.Config.max_txn_retries then begin
+    | exception Txnmgr.Abort (reason, msg) ->
+      disarm_deadline ();
+      Txnmgr.abort ~reason t.txns txn ~rollback:(rollback_one t);
+      if retryable reason && n < t.cfg.Config.max_txn_retries then begin
         (* back off before retrying so transactions we just woke get to
            run first — retrying inline would starve them *)
         Scheduler.yield Scheduler.Low;
         attempt (n + 1)
       end
-      else raise (Txnmgr.Abort msg)
+      else raise (Txnmgr.Abort (reason, msg))
+    | exception Latch.Timeout ->
+      (* a latch spin observed the deadline expire *)
+      disarm_deadline ();
+      Txnmgr.abort ~reason:Txnmgr.Deadline t.txns txn ~rollback:(rollback_one t);
+      raise (Txnmgr.Abort (Txnmgr.Deadline, "latch wait exceeded the transaction deadline"))
     | exception e ->
+      disarm_deadline ();
       Txnmgr.abort t.txns txn ~rollback:(rollback_one t);
       raise e
   in
@@ -280,10 +311,39 @@ let after_commit_housekeeping t =
     end
   end
 
+(* Admission control (overload shedding): refuse new transactions while
+   either trigger fires — too many in flight, or the recent lock-wait
+   p95 says the lock queues are saturating. Shedding at the door keeps
+   admitted transactions' latency bounded instead of letting everyone
+   degrade together. *)
+let admission_max_inflight t =
+  let a = t.cfg.Config.admission in
+  if a.Config.max_inflight > 0 then a.Config.max_inflight
+  else 4 * t.cfg.Config.n_workers * t.cfg.Config.slots_per_worker
+
+let admit t =
+  let a = t.cfg.Config.admission in
+  if not a.Config.enabled then true
+  else begin
+    let shed =
+      t.inflight >= admission_max_inflight t
+      || (a.Config.max_lock_wait_p95_ns > 0
+          && Scheduler.lock_wait_p95_ns t.sched > a.Config.max_lock_wait_p95_ns)
+    in
+    if shed then Obs.Counter.incr t.n_shed;
+    not shed
+  end
+
+let inflight t = t.inflight
+let sheds t = Obs.Counter.get t.n_shed
+
 let submit ?affinity ?isolation ?(on_done = fun () -> ()) t body =
+  if not (admit t) then raise Overloaded;
+  t.inflight <- t.inflight + 1;
   Scheduler.submit ?affinity t.sched (fun () ->
       (try with_txn ?isolation t body
        with Txnmgr.Abort _ -> () (* retries exhausted: drop, counted in stats *));
+      t.inflight <- t.inflight - 1;
       after_commit_housekeeping t;
       on_done ())
 
@@ -346,6 +406,9 @@ let replay_wal ?after t ~from =
 type stats = {
   committed : int;
   aborted : int;
+  deadline_aborts : int;
+  sheds : int;
+  wait_timeouts : int;
   wal_records : int;
   wal_bytes : int;
   rfa_local_commits : int;
@@ -360,6 +423,9 @@ let stats t =
   {
     committed = Txnmgr.stats_committed t.txns;
     aborted = Txnmgr.stats_aborted t.txns;
+    deadline_aborts = Txnmgr.stats_aborted_for t.txns Txnmgr.Deadline;
+    sheds = Obs.Counter.get t.n_shed;
+    wait_timeouts = Scheduler.timeouts t.sched;
     wal_records = Wal.total_records t.walmgr;
     wal_bytes = Wal.total_bytes t.walmgr;
     rfa_local_commits = Wal.local_commits t.walmgr;

@@ -76,9 +76,32 @@ val abort_txn : t -> Table.txn -> unit
 
 val with_txn : ?isolation:Phoebe_txn.Txnmgr.isolation -> t -> (Table.txn -> 'a) -> 'a
 (** Run a transaction body with commit / rollback / automatic retry on
-    {!Phoebe_txn.Txnmgr.Abort} (up to [max_txn_retries]). Usable both
-    inside a fiber (transactional tasks) and outside (loaders, examples
-    — everything then completes synchronously in zero virtual time). *)
+    {!Phoebe_txn.Txnmgr.Abort} (up to [max_txn_retries]; only transient
+    reasons — [Deadlock] and [Conflict] — are retried, deadline/shed/user
+    aborts propagate). When {!Config.t.txn_deadline_ns} is set and the
+    caller runs in a fiber, each attempt arms a virtual-time deadline on
+    the fiber: waits past it wake with [Timed_out] (latch spins raise
+    {!Phoebe_storage.Latch.Timeout}) and the attempt aborts with reason
+    [Deadline] through the normal UNDO rollback. Usable both inside a
+    fiber (transactional tasks) and outside (loaders, examples —
+    everything then completes synchronously in zero virtual time). *)
+
+exception Overloaded
+(** Raised by {!submit} when admission control refuses the transaction
+    (see {!Config.admission}). The work was not enqueued; callers retry
+    later (with backoff) or drop the request. *)
+
+val admit : t -> bool
+(** Admission check: [true] when a new transaction may enter. [false]
+    counts a shed (the [db.shed] metric). Always [true] with admission
+    disabled. {!submit} calls this itself — use directly only to probe
+    without raising. *)
+
+val inflight : t -> int
+(** Transactions submitted and not yet finished. *)
+
+val sheds : t -> int
+(** Transactions refused by admission control so far. *)
 
 val submit :
   ?affinity:int ->
@@ -90,7 +113,8 @@ val submit :
 (** Enqueue a transaction on the global task queue (pull-based
     scheduling, §7.1). After commit, the worker runs its housekeeping
     cadence: per-slot UNDO GC, twin-table sweeps and buffer maintenance
-    on dedicated task slots. *)
+    on dedicated task slots.
+    @raise Overloaded when admission control sheds the transaction. *)
 
 val run : t -> unit
 (** Drive the simulation until quiescent. *)
@@ -140,6 +164,9 @@ val replay_wal :
 type stats = {
   committed : int;
   aborted : int;
+  deadline_aborts : int;  (** aborts with reason [Deadline] (subset of [aborted]) *)
+  sheds : int;  (** transactions refused by admission control *)
+  wait_timeouts : int;  (** scheduler waits that woke with [Timed_out] *)
   wal_records : int;
   wal_bytes : int;
   rfa_local_commits : int;

@@ -236,7 +236,7 @@ let rec write_entry t (txn : txn) ~page_key ~rid =
       end
     | Txnmgr.Repeatable_read ->
       Txnmgr.unlock_tuple t.txnmgr txn entry;
-      raise (Txnmgr.Abort "serialization failure: tuple updated since snapshot"))
+      raise (Txnmgr.Abort (Txnmgr.Conflict, "serialization failure: tuple updated since snapshot")))
   | Mvcc.Write_wait holder_xid -> (
     Txnmgr.unlock_tuple t.txnmgr txn entry;
     Txnmgr.wait_for_txn t.txnmgr txn ~holder_xid;
@@ -248,7 +248,7 @@ let rec write_entry t (txn : txn) ~page_key ~rid =
       (* first-committer-wins: if the holder committed, we must abort *)
       match Twin.chain_head entry with
       | Some h when (not (Clock.is_xid h.Undo.ets)) && h.Undo.ets > txn.Txnmgr.snapshot ->
-        raise (Txnmgr.Abort "serialization failure: concurrent writer committed")
+        raise (Txnmgr.Abort (Txnmgr.Conflict, "serialization failure: concurrent writer committed"))
       | _ -> write_entry t txn ~page_key ~rid))
 
 let sts_for entry =
@@ -269,7 +269,7 @@ let check_unique t (txn : txn) ix ~key ~inserting_rid =
             not (Pax.is_deleted (Bufmgr.payload frame) ~slot)
           | Some (Table_tree.In_frozen b) -> not (Frozen.is_deleted b ~row_id:rid)
         in
-        if live then raise (Txnmgr.Abort "unique constraint violation")
+        if live then raise (Txnmgr.Abort (Txnmgr.Conflict, "unique constraint violation"))
         else begin
           (* delete-marked: conflicts only if the deleter is an active
              foreign transaction *)
@@ -281,7 +281,7 @@ let check_unique t (txn : txn) ix ~key ~inserting_rid =
           match chain_head_for t ~page_key ~rid with
           | Some h
             when Clock.is_xid h.Undo.ets && h.Undo.ets <> txn.Txnmgr.xid ->
-            raise (Txnmgr.Abort "unique key held by concurrent deleter")
+            raise (Txnmgr.Abort (Txnmgr.Conflict, "unique key held by concurrent deleter"))
           | _ -> ()
         end
       end)

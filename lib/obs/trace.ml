@@ -1,6 +1,7 @@
 module Stats = Phoebe_util.Stats
 
 type phase = Execute | Lock_wait | Io_wait | Wal_wait
+type outcome = Committed | Aborted | Cancelled
 
 let n_phases = 4
 let phase_index = function Execute -> 0 | Lock_wait -> 1 | Io_wait -> 2 | Wal_wait -> 3
@@ -28,6 +29,7 @@ type t = {
   total : Stats.Histogram.t array; (* per kind *)
   n_committed : int array;
   n_aborted : int array;
+  n_cancelled : int array;
 }
 
 let kind_name t k =
@@ -38,7 +40,7 @@ let kind_name t k =
 let collect t () =
   let out = ref [] in
   for k = max_kinds - 1 downto 0 do
-    if t.n_committed.(k) + t.n_aborted.(k) > 0 then begin
+    if t.n_committed.(k) + t.n_aborted.(k) + t.n_cancelled.(k) > 0 then begin
       let pre = "trace.txn." ^ kind_name t k in
       let phases =
         List.init n_phases (fun p -> (pre ^ "." ^ phase_suffix.(p), Obs.of_hist t.phase_hist.(k).(p)))
@@ -46,6 +48,7 @@ let collect t () =
       out :=
         ((pre ^ ".committed", Obs.Int t.n_committed.(k))
          :: (pre ^ ".aborted", Obs.Int t.n_aborted.(k))
+         :: (pre ^ ".cancelled", Obs.Int t.n_cancelled.(k))
          :: (pre ^ ".total_ns", Obs.of_hist t.total.(k))
          :: phases)
         @ !out
@@ -64,6 +67,7 @@ let create ?obs ~n_slots () =
       total = Array.init max_kinds (fun _ -> Stats.Histogram.create ());
       n_committed = Array.make max_kinds 0;
       n_aborted = Array.make max_kinds 0;
+      n_cancelled = Array.make max_kinds 0;
     }
   in
   (match obs with None -> () | Some reg -> Obs.add_collector reg (collect t));
@@ -111,7 +115,7 @@ let resume t ~slot ~now =
     end
   end
 
-let end_span t ~slot ~now ~committed =
+let end_span t ~slot ~now ~outcome =
   if slot >= 0 && slot < Array.length t.slots then begin
     let s = t.slots.(slot) in
     if s.active then begin
@@ -122,14 +126,17 @@ let end_span t ~slot ~now ~committed =
         Stats.Histogram.add t.phase_hist.(k).(p) s.acc.(p)
       done;
       Stats.Histogram.add t.total.(k) (now - s.t0);
-      if committed then t.n_committed.(k) <- t.n_committed.(k) + 1
-      else t.n_aborted.(k) <- t.n_aborted.(k) + 1
+      match outcome with
+      | Committed -> t.n_committed.(k) <- t.n_committed.(k) + 1
+      | Aborted -> t.n_aborted.(k) <- t.n_aborted.(k) + 1
+      | Cancelled -> t.n_cancelled.(k) <- t.n_cancelled.(k) + 1
     end
   end
 
-let finished t ~kind = t.n_committed.(kind) + t.n_aborted.(kind)
+let finished t ~kind = t.n_committed.(kind) + t.n_aborted.(kind) + t.n_cancelled.(kind)
 let committed t ~kind = t.n_committed.(kind)
 let aborted t ~kind = t.n_aborted.(kind)
+let cancelled t ~kind = t.n_cancelled.(kind)
 let phase_ns t ~kind phase = Stats.Histogram.sum t.phase_hist.(kind).(phase_index phase)
 let total_ns t ~kind = Stats.Histogram.sum t.total.(kind)
 let total_hist t ~kind = t.total.(kind)

@@ -22,6 +22,11 @@ type phase =
   | Io_wait  (** suspended on device I/O *)
   | Wal_wait  (** waiting for a WAL flush (local or RFA remote floor) *)
 
+type outcome =
+  | Committed
+  | Aborted  (** conflict/deadlock/user abort (typically retried) *)
+  | Cancelled  (** cut short by a transaction deadline or admission shed *)
+
 val max_kinds : int
 (** Kind indices are [0 .. max_kinds - 1]; kind 0 is ["other"]. *)
 
@@ -49,13 +54,14 @@ val suspend : t -> slot:int -> phase -> now:int -> unit
 val resume : t -> slot:int -> now:int -> unit
 (** Back to [Execute]; no-op if already executing. *)
 
-val end_span : t -> slot:int -> now:int -> committed:bool -> unit
+val end_span : t -> slot:int -> now:int -> outcome:outcome -> unit
 
 (** {2 Aggregates} — for tests and harnesses. *)
 
 val finished : t -> kind:int -> int
 val committed : t -> kind:int -> int
 val aborted : t -> kind:int -> int
+val cancelled : t -> kind:int -> int
 
 val phase_ns : t -> kind:int -> phase -> float
 (** Total nanoseconds spent in [phase] across finished spans of [kind]. *)

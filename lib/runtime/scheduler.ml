@@ -2,12 +2,15 @@ module Engine = Phoebe_sim.Engine
 module Component = Phoebe_sim.Component
 module Counters = Phoebe_sim.Counters
 module Cost = Phoebe_sim.Cost
+module Binheap = Phoebe_util.Binheap
 module Obs = Phoebe_obs.Obs
 module Trace = Phoebe_obs.Trace
 module Phoebe_error = Phoebe_util.Phoebe_error
 
 type model = Coroutine | Thread
 type urgency = High | Low
+type reason = Signalled | Timed_out | Cancelled
+type bound = Inherit | Never | At of int
 type local = ..
 
 type config = {
@@ -29,6 +32,11 @@ type disposition =
   | Suspended  (** parked on I/O or a wait queue *)
   | Yielded of urgency
 
+(* [max_int] is the "no deadline" sentinel throughout: fiber deadlines,
+   waiter deadlines and the armed-timer time all use it, so comparisons
+   never need an option. *)
+let no_deadline = max_int
+
 type fiber = {
   fid : int;
   fworker : worker;
@@ -38,6 +46,7 @@ type fiber = {
   mutable locals : local list;
   mutable done_ : bool;
   mutable pending_instr : int;  (** charged instructions not yet turned into time *)
+  mutable fdeadline : int;  (** transaction deadline inherited by waits; [no_deadline] = none *)
 }
 
 and worker = {
@@ -67,13 +76,38 @@ and t = {
   mutable failure : exn option;
   created_at : int;
   mutable trace : Trace.t option;  (** per-slot txn spans, when enabled *)
+  dheap : dentry Binheap.t;  (** parked waiters with deadlines, by expiry *)
+  mutable next_dseq : int;  (** FIFO tie-break for same-instant expiries *)
+  mutable timer_time : int;  (** earliest armed engine timer; [no_deadline] = unarmed *)
+  n_timeouts : Obs.Counter.t;
+  lock_wait_ring : int array;  (** recent lock-wait durations (ns), for admission *)
+  mutable lock_wait_n : int;
+}
+
+and wstate = Parked | Woken of reason
+
+and waiter = {
+  wfiber : fiber;
+  wurgency : urgency;
+  wdeadline : int;
+  mutable wstate : wstate;
+}
+
+and dentry = { dtime : int; dseq : int; dwaiter : waiter }
+
+(* The wait core's park request: everything the scheduler needs to
+   suspend the current fiber as a cancellable waiter. *)
+type park_spec = {
+  purgency : urgency;
+  pdeadline : int;  (** absolute virtual time; [no_deadline] = none *)
+  pphase : Trace.phase;
+  pregister : waiter -> unit;
 }
 
 type _ Effect.t +=
   | E_charge_time : int -> unit Effect.t  (** instructions already counted; advance time only *)
   | E_yield : urgency -> unit Effect.t
-  | E_io : ((unit -> unit) -> unit) -> unit Effect.t
-  | E_block : fiber Queue.t -> unit Effect.t
+  | E_park : park_spec -> unit Effect.t
 
 (* The runtime is cooperative and single-OS-threaded, so a module-global
    current-fiber register is safe and avoids threading a context through
@@ -87,7 +121,12 @@ let busy_fraction t =
     let total_busy = Array.fold_left (fun acc w -> acc + w.busy_ns) 0 t.workers in
     float_of_int total_busy /. (float_of_int elapsed *. float_of_int t.cfg.n_workers)
 
+let lock_wait_window = 128
+
 let create ?obs eng cfg =
+  let counter metric =
+    match obs with Some reg -> Obs.counter reg metric | None -> Obs.Counter.create ()
+  in
   let sched =
     {
       cfg;
@@ -100,6 +139,14 @@ let create ?obs eng cfg =
       failure = None;
       created_at = Engine.now eng;
       trace = None;
+      dheap =
+        Binheap.create ~cmp:(fun a b ->
+            if a.dtime <> b.dtime then compare a.dtime b.dtime else compare a.dseq b.dseq);
+      next_dseq = 0;
+      timer_time = no_deadline;
+      n_timeouts = counter "sched.timeouts";
+      lock_wait_ring = Array.make lock_wait_window 0;
+      lock_wait_n = 0;
     }
   in
   (match obs with
@@ -140,6 +187,7 @@ let pending_tasks t =
   Queue.length t.global_tasks
   + Array.fold_left (fun acc w -> acc + Queue.length w.local_tasks) 0 t.workers
 let live_fibers t = t.live
+let timeouts t = Obs.Counter.get t.n_timeouts
 
 (* When workers outnumber hardware threads (Exp 6's 3200-thread model),
    the busy workers time-share the cores; charges stretch accordingly. *)
@@ -229,6 +277,7 @@ and start_task w task =
     locals = [];
     done_ = false;
     pending_instr = 0;
+    fdeadline = no_deadline;
   }
 
 and resume w f =
@@ -312,20 +361,17 @@ and run_fiber w f main =
               (fun (k : (a, _) continuation) ->
                 w.disposition <- Yielded u;
                 f.cont <- Some k)
-          | E_io register ->
+          | E_park spec ->
             Some
               (fun (k : (a, _) continuation) ->
                 w.disposition <- Suspended;
                 f.cont <- Some k;
-                probe_suspend t f Trace.Io_wait;
-                register (fun () -> wake f High))
-          | E_block q ->
-            Some
-              (fun (k : (a, _) continuation) ->
-                w.disposition <- Suspended;
-                f.cont <- Some k;
-                probe_suspend t f Trace.Lock_wait;
-                Queue.push f q)
+                probe_suspend t f spec.pphase;
+                let wt =
+                  { wfiber = f; wurgency = spec.purgency; wdeadline = spec.pdeadline; wstate = Parked }
+                in
+                if spec.pdeadline < no_deadline then add_deadline t wt;
+                spec.pregister wt)
           | _ -> None);
     }
 
@@ -333,6 +379,58 @@ and wake f urgency =
   let w = f.fworker in
   (match urgency with High -> Queue.push f w.runq_hi | Low -> Queue.push f w.runq_lo);
   if not w.busy then worker_loop w
+
+(* Deliver a wake reason to a parked waiter and re-queue its fiber at
+   the urgency recorded at park time. Idempotent: the first wake wins,
+   later ones (a signal racing a timeout, a stale heap entry) are
+   no-ops. Returns whether this call did the wake. *)
+and wake_waiter wt reason =
+  match wt.wstate with
+  | Woken _ -> false
+  | Parked ->
+    wt.wstate <- Woken reason;
+    (match reason with
+    | Timed_out -> Obs.Counter.incr wt.wfiber.fworker.wsched.n_timeouts
+    | Signalled | Cancelled -> ());
+    wake wt.wfiber wt.wurgency;
+    true
+
+(* The scheduler owns one deadline heap and keeps a single engine timer
+   armed at the earliest pending expiry. Woken waiters stay in the heap
+   and are dropped lazily when their time comes (wake_waiter makes that
+   a no-op); a timer made stale by an earlier arrival is ignored via the
+   [timer_time] guard. With no deadlines in play the heap stays empty
+   and no engine events are ever created — simulations without
+   deadlines are bit-identical to a scheduler without the wait core. *)
+and arm_deadline_timer t =
+  match Binheap.peek t.dheap with
+  | None -> ()
+  | Some e ->
+    if e.dtime < t.timer_time then begin
+      t.timer_time <- e.dtime;
+      Engine.schedule_at t.eng ~time:e.dtime (fun () -> fire_deadline_timer t e.dtime)
+    end
+
+and fire_deadline_timer t time =
+  if t.timer_time = time then begin
+    t.timer_time <- no_deadline;
+    let now = Engine.now t.eng in
+    let rec drain () =
+      match Binheap.peek t.dheap with
+      | Some e when e.dtime <= now ->
+        ignore (Binheap.pop t.dheap);
+        ignore (wake_waiter e.dwaiter Timed_out);
+        drain ()
+      | _ -> ()
+    in
+    drain ();
+    arm_deadline_timer t
+  end
+
+and add_deadline t wt =
+  t.next_dseq <- t.next_dseq + 1;
+  Binheap.push t.dheap { dtime = wt.wdeadline; dseq = t.next_dseq; dwaiter = wt };
+  arm_deadline_timer t
 
 let kick_any t =
   let rec go i =
@@ -396,14 +494,102 @@ let charge comp instr =
   | _ -> ()
 
 (* Note: suspension effects must NOT flush pending charge time first —
-   a flush is itself a suspension, and e.g. a Waitq.wait whose caller
-   just checked the holder's liveness would open a lost-wakeup window.
+   a flush is itself a suspension, and e.g. a wait whose caller just
+   checked the holder's liveness would open a lost-wakeup window.
    Residual time is carried onto the worker's next dispatch instead
    (see [continue_after_carry]), which is exact. *)
 let yield u = match !cur with Some _ -> Effect.perform (E_yield u) | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* The cancellable wait core. Every suspension in the kernel — device
+   completions, WAL durability, lock waits, condition queues — goes
+   through [park]; latch spins go through [spin_yield]. *)
+
+let resolve_bound f = function
+  | Inherit -> f.fdeadline
+  | Never -> no_deadline
+  | At d -> min d f.fdeadline
+
+let record_lock_wait t d =
+  t.lock_wait_ring.(t.lock_wait_n mod lock_wait_window) <- d;
+  t.lock_wait_n <- t.lock_wait_n + 1
+
+let lock_wait_p95_ns t =
+  let n = min t.lock_wait_n lock_wait_window in
+  if n = 0 then 0
+  else begin
+    let a = Array.sub t.lock_wait_ring 0 n in
+    Array.sort compare a;
+    a.(min (n - 1) (n * 95 / 100))
+  end
+
+let park ?(deadline = Inherit) ~urgency ~phase register =
+  match !cur with
+  | None -> Phoebe_error.bug ~subsystem:"runtime.scheduler" "park: not inside a fiber"
+  | Some f ->
+    let t = f.fworker.wsched in
+    let dl = resolve_bound f deadline in
+    let t0 = Engine.now t.eng in
+    let wref = ref None in
+    Effect.perform
+      (E_park
+         {
+           purgency = urgency;
+           pdeadline = dl;
+           pphase = phase;
+           pregister =
+             (fun wt ->
+               wref := Some wt;
+               register wt);
+         });
+    let r =
+      match !wref with
+      | Some { wstate = Woken r; _ } -> r
+      | _ ->
+        Phoebe_error.bug ~subsystem:"runtime.scheduler" "park: fiber %d resumed while still parked"
+          f.fid
+    in
+    (* Lock-wait durations feed the admission controller's p95 signal;
+       recording is a ring-buffer store, free of simulation effects. *)
+    (match phase with Trace.Lock_wait -> record_lock_wait t (Engine.now t.eng - t0) | _ -> ());
+    r
+
+let cancel_waiter wt = wake_waiter wt Cancelled
+let waiter_parked wt = wt.wstate = Parked
+
+(* A cancellable spin step: latch acquisition keeps its charge +
+   high-urgency-yield shape (parking would alter instruction counts and
+   interleavings), but each turn checks the resolved deadline. With no
+   deadline this is exactly [yield High]. *)
+let spin_yield ?(deadline = Inherit) u =
+  match !cur with
+  | None -> Signalled
+  | Some f ->
+    let dl = resolve_bound f deadline in
+    if dl <= Engine.now f.fworker.wsched.eng then begin
+      Obs.Counter.incr f.fworker.wsched.n_timeouts;
+      Timed_out
+    end
+    else begin
+      Effect.perform (E_yield u);
+      Signalled
+    end
+
+let set_txn_deadline d =
+  match !cur with
+  | None -> ()
+  | Some f -> f.fdeadline <- (match d with None -> no_deadline | Some abs_ns -> abs_ns)
+
+let txn_deadline () =
+  match !cur with Some f when f.fdeadline < no_deadline -> Some f.fdeadline | _ -> None
+
 let io_wait register =
-  match !cur with Some _ -> Effect.perform (E_io register) | None -> register (fun () -> ())
+  match !cur with
+  | Some _ ->
+    ignore
+      (park ~deadline:Never ~urgency:High ~phase:Trace.Io_wait (fun wt ->
+           register (fun () -> ignore (wake_waiter wt Signalled))))
+  | None -> register (fun () -> ())
 
 let current_fiber () =
   match !cur with
@@ -432,13 +618,13 @@ let span_begin () =
     | Some tr -> Trace.begin_span tr ~slot:(global_slot f) ~now:(Engine.now t.eng)
     | None -> ())
 
-let span_end ~committed =
+let span_end outcome =
   match !cur with
   | None -> ()
   | Some f -> (
     let t = f.fworker.wsched in
     match t.trace with
-    | Some tr -> Trace.end_span tr ~slot:(global_slot f) ~now:(Engine.now t.eng) ~committed
+    | Some tr -> Trace.end_span tr ~slot:(global_slot f) ~now:(Engine.now t.eng) ~outcome
     | None -> ())
 
 let span_kind k =
@@ -466,25 +652,24 @@ let remove_local pred =
   f.locals <- List.filter (fun l -> not (pred l)) f.locals
 
 module Waitq = struct
-  type q = fiber Queue.t
+  type q = waiter Queue.t
 
   let create () : q = Queue.create ()
 
-  let wait q =
-    match !cur with
-    | None -> Phoebe_error.bug ~subsystem:"runtime.scheduler" "Waitq.wait: not inside a fiber"
-    | Some _ -> Effect.perform (E_block q)
+  let wait_r ?deadline q = park ?deadline ~urgency:Low ~phase:Trace.Lock_wait (fun wt -> Queue.push wt q)
+
+  let wait q = ignore (wait_r ~deadline:Never q)
 
   let signal_all q =
     let rec drain () =
-      if not (Queue.is_empty q) then begin
-        let f = Queue.pop q in
-        wake f Low;
+      match Queue.take_opt q with
+      | None -> ()
+      | Some wt ->
+        ignore (wake_waiter wt Signalled);
         drain ()
-      end
     in
     drain ()
 
-  let is_empty = Queue.is_empty
-  let length = Queue.length
+  let length q = Queue.fold (fun n wt -> match wt.wstate with Parked -> n + 1 | Woken _ -> n) 0 q
+  let is_empty q = length q = 0
 end

@@ -8,6 +8,13 @@
     high-urgency (resumed before new tasks are accepted), tuple-lock waits
     are low-urgency.
 
+    Every suspension goes through one cancellable wait core: a parked
+    fiber is represented by a {!waiter} carrying its urgency class, an
+    optional virtual-time deadline, and a wake reason. The scheduler owns
+    a deadline heap on the simulation clock; when no deadlines are in
+    play the heap stays empty and creates no events, so runs without
+    deadlines are bit-identical to the pre-wait-core runtime.
+
     The same runtime also emulates the thread-per-transaction model used
     as the Exp 6 baseline: one slot per worker, kernel-priced context
     switches, and time-shared cores once workers outnumber them. *)
@@ -17,6 +24,21 @@ type t
 type model = Coroutine | Thread
 
 type urgency = High | Low
+
+type reason =
+  | Signalled  (** the event waited for happened *)
+  | Timed_out  (** the wait's deadline expired first *)
+  | Cancelled  (** explicitly cancelled by a third party *)
+
+(** Deadline policy of an individual wait, resolved against the fiber's
+    transaction deadline (see {!set_txn_deadline}) at park time. *)
+type bound =
+  | Inherit  (** the fiber's transaction deadline, if any (the default) *)
+  | Never  (** wait unconditionally — commit durability, page I/O *)
+  | At of int  (** absolute virtual time, capped by the fiber's deadline *)
+
+type waiter
+(** A parked fiber: the handle a wait registers with its wake source. *)
 
 type config = {
   model : model;
@@ -32,7 +54,8 @@ val default_config : config
 val create : ?obs:Phoebe_obs.Obs.t -> Phoebe_sim.Engine.t -> config -> t
 (** When [obs] is given, the per-component instruction counters register
     themselves under [sim.instr.<component>] and the scheduler exports
-    [sched.busy_fraction] as a pull metric. *)
+    [sched.busy_fraction] (pull metric) and [sched.timeouts] (deadline
+    expiries delivered, parked waits and latch spins alike). *)
 
 val engine : t -> Phoebe_sim.Engine.t
 val counters : t -> Phoebe_sim.Counters.t
@@ -64,6 +87,13 @@ val live_fibers : t -> int
 val busy_fraction : t -> float
 (** Mean CPU utilisation across workers since creation (Exp 9's 77%). *)
 
+val timeouts : t -> int
+(** Deadline expiries delivered so far ([sched.timeouts]). *)
+
+val lock_wait_p95_ns : t -> int
+(** p95 of the most recent lock-wait durations (sliding window), the
+    admission controller's congestion signal. 0 before any lock wait. *)
+
 (** {1 Fiber-side operations}
 
     These may only be called from inside a submitted task (except
@@ -81,11 +111,52 @@ val yield : urgency -> unit
 (** Voluntarily yield the worker; the fiber is re-queued at the given
     urgency. No-op outside a fiber. *)
 
+(** {1 The cancellable wait core} *)
+
+val park :
+  ?deadline:bound -> urgency:urgency -> phase:Phoebe_obs.Trace.phase -> (waiter -> unit) -> reason
+(** [park ~urgency ~phase register] suspends the current fiber as a
+    {!waiter} and hands it to [register], which must store it with the
+    wake source (a device completion list, a wait queue, a WAL waiter
+    list). The fiber resumes — re-queued at [urgency] — when someone
+    calls {!wake_waiter}, when the resolved [deadline] expires, or when
+    it is cancelled; the delivered {!reason} says which. [phase] labels
+    the suspension for trace spans. Waits parked with
+    {!Phoebe_obs.Trace.Lock_wait} feed the {!lock_wait_p95_ns} window.
+    @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)
+
+val wake_waiter : waiter -> reason -> bool
+(** Deliver a wake. Idempotent — only the first wake of a waiter takes
+    effect (a later signal racing a timeout is a no-op); returns whether
+    this call performed the wake. Safe to call from anywhere, including
+    plain engine callbacks. *)
+
+val cancel_waiter : waiter -> bool
+(** [wake_waiter w Cancelled]. *)
+
+val waiter_parked : waiter -> bool
+(** Still parked (not yet woken)? Wake sources use this to skip stale
+    entries — e.g. a timed-out waiter still sitting in a wait queue. *)
+
+val spin_yield : ?deadline:bound -> urgency -> reason
+(** One turn of a cancellable spin wait (latch acquisition): returns
+    [Timed_out] immediately if the resolved [deadline] (default: the
+    fiber's transaction deadline) has passed, otherwise yields at the
+    given urgency and returns [Signalled]. With no deadline set this is
+    exactly {!yield}. [Signalled] outside a fiber. *)
+
+val set_txn_deadline : int option -> unit
+(** Install (absolute virtual time) or clear the running fiber's
+    transaction deadline — the deadline that [Inherit]-bound waits and
+    spins resolve to. No-op outside a fiber. *)
+
+val txn_deadline : unit -> int option
+
 val io_wait : ((unit -> unit) -> unit) -> unit
-(** [io_wait register] suspends the fiber and calls [register resume];
-    the I/O device calls [resume] on completion, which re-queues the
-    fiber at high urgency. Outside a fiber, [register] is called with a
-    no-op continuation (synchronous completion). *)
+(** [io_wait register] parks the fiber ({!Never} bound, high urgency,
+    {!Phoebe_obs.Trace.Io_wait} phase) and calls [register resume]; the
+    I/O device calls [resume] on completion. Outside a fiber, [register]
+    is called with a no-op continuation (synchronous completion). *)
 
 val current_worker : unit -> int
 (** Worker id of the running fiber.
@@ -106,8 +177,9 @@ val current_scheduler : unit -> t option
 val span_begin : unit -> unit
 (** Open a span on the current fiber's slot (transaction begin). *)
 
-val span_end : committed:bool -> unit
-(** Close the current slot's span (commit or abort). *)
+val span_end : Phoebe_obs.Trace.outcome -> unit
+(** Close the current slot's span (committed, aborted, or cancelled by
+    deadline/shedding). *)
 
 val span_kind : int -> unit
 (** Label the open span with a transaction-kind index (see
@@ -126,7 +198,10 @@ val set_local : local -> unit
 val find_local : (local -> 'a option) -> 'a option
 val remove_local : (local -> bool) -> unit
 
-(** {1 Wait queues (condition variables for fibers)} *)
+(** {1 Wait queues (condition variables for fibers)}
+
+    A thin layer over the wait core: waiters queue in FIFO order and
+    are woken at low urgency. *)
 
 module Waitq : sig
   type q
@@ -134,12 +209,22 @@ module Waitq : sig
   val create : unit -> q
 
   val wait : q -> unit
-  (** Block the current fiber until signalled (low-urgency wake).
+  (** Block the current fiber until signalled, unconditionally (the
+      pre-deadline behaviour; equivalent to [wait_r ~deadline:Never]).
+      @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)
+
+  val wait_r : ?deadline:bound -> q -> reason
+  (** Block until signalled, the resolved deadline (default: the
+      fiber's transaction deadline) expires, or the wait is cancelled;
+      returns what happened.
       @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)
 
   val signal_all : q -> unit
-  (** Wake every waiter. Callable from anywhere. *)
+  (** Wake every still-parked waiter ([Signalled]); timed-out or
+      cancelled entries are skipped. Callable from anywhere. *)
 
   val is_empty : q -> bool
+
   val length : q -> int
+  (** Waiters still parked (stale woken entries are not counted). *)
 end

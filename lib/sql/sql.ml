@@ -372,7 +372,7 @@ let exec_stmt s stmt =
     | Some txn ->
       s.open_txn <- None;
       (try Txnmgr.commit (Db.txnmgr s.sdb) txn
-       with Txnmgr.Abort m ->
+       with Txnmgr.Abort (_, m) ->
          fail "commit failed: %s" m);
       Done "COMMIT")
   | Rollback -> (
@@ -393,7 +393,7 @@ let exec_stmt s stmt =
     match s.open_txn with
     | Some txn -> (
       try run_in_txn s txn stmt
-      with Txnmgr.Abort m ->
+      with Txnmgr.Abort (_, m) ->
         rollback_session s;
         fail "transaction aborted: %s" m)
     | None -> Db.with_txn s.sdb (fun txn -> run_in_txn s txn stmt))
@@ -405,7 +405,7 @@ let exec s input =
   try exec_stmt s stmt
   with
   | Error _ as e -> raise e
-  | Txnmgr.Abort m ->
+  | Txnmgr.Abort (_, m) ->
     rollback_session s;
     fail "transaction aborted: %s" m
 

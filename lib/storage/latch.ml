@@ -6,6 +6,8 @@ type mode = Free | Shared of int | Exclusive
 
 type t = { mutable lversion : int; mutable mode : mode }
 
+exception Timeout
+
 let create () = { lversion = 0; mode = Free }
 
 let version t = t.lversion
@@ -14,10 +16,18 @@ let is_exclusive t = t.mode = Exclusive
 let costs () =
   match Scheduler.current_scheduler () with Some s -> Scheduler.cost s | None -> Cost.default
 
+(* Latch waits keep the charge + high-urgency-yield spin of §7.1 (they
+   are short and parking them would perturb instruction accounting),
+   but every turn goes through the wait core's cancellable spin step:
+   when the fiber's transaction deadline has passed, the acquisition
+   raises {!Timeout} instead of spinning forever behind a stalled
+   holder. With no deadline set this is the original spin exactly. *)
 let spin () =
   let c = costs () in
   Scheduler.charge Component.Latch c.Cost.latch_acquire;
-  Scheduler.yield Scheduler.High
+  match Scheduler.spin_yield Scheduler.High with
+  | Scheduler.Signalled -> ()
+  | Scheduler.Timed_out | Scheduler.Cancelled -> raise Timeout
 
 let rec optimistic_read t f =
   let c = costs () in
@@ -32,7 +42,9 @@ let rec optimistic_read t f =
     if t.mode <> Exclusive && t.lversion = v0 then result
     else begin
       Scheduler.charge Component.Latch c.Cost.olc_restart;
-      Scheduler.yield Scheduler.High;
+      (match Scheduler.spin_yield Scheduler.High with
+      | Scheduler.Signalled -> ()
+      | Scheduler.Timed_out | Scheduler.Cancelled -> raise Timeout);
       optimistic_read t f
     end
   end

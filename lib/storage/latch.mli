@@ -13,6 +13,13 @@
 
 type t
 
+exception Timeout
+(** A latch spin observed the running fiber's transaction deadline
+    expire (see {!Phoebe_runtime.Scheduler.spin_yield}). Raised out of
+    {!acquire_shared} / {!acquire_exclusive} / {!optimistic_read}; the
+    transaction layer converts it into a deadline abort. Never raised
+    when no deadline is set on the fiber. *)
+
 val create : unit -> t
 
 val version : t -> int

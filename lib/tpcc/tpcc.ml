@@ -548,6 +548,8 @@ type results = {
   new_orders : int;
   total_committed : int;
   aborted : int;
+  deadline_aborts : int;
+  sheds : int;
   tpmc : float;
   tpm_total : float;
   latency_p50_us : float;
@@ -589,36 +591,64 @@ let run_mix t ?(affinity = true) ?(mix = standard_mix) ~concurrency ~duration_ns
     Trace.set_kind_names tr [| "new_order"; "payment"; "order_status"; "delivery"; "stock_level" |]
   | None -> ());
   let rollbacks = ref 0 in
+  let deadline_aborts = ref 0 in
+  let n_sheds = ref 0 in
   let latency = Stats.Histogram.create () in
   let n_workers = (Db.config database).Phoebe_core.Config.n_workers in
+  (* Exponential backoff (virtual time) after a shed or a deadline
+     abort: re-offering the work immediately would keep the system
+     exactly as overloaded as the shed was meant to relieve. *)
+  let base_backoff = 100_000 (* 100 µs *) in
+  let max_backoff = 10_000_000 (* 10 ms *) in
   (* One virtual user per unit of concurrency, each with a home warehouse
      bound round-robin; affinity also pins the user to the warehouse's
      worker (the paper's default). *)
-  let rec user uid rng () =
+  let rec user uid rng backoff () =
     if Engine.now eng < deadline then begin
       let home = 1 + (uid mod t.n_warehouses) in
       let w_id = if affinity then home else 1 + Prng.int rng t.n_warehouses in
       let kind = pick_kind rng mix in
       let began = Engine.now eng in
       let submit_affinity = if affinity then Some ((w_id - 1) mod n_workers) else None in
-      Scheduler.submit ?affinity:submit_affinity sched (fun () ->
-          (try
-             Db.with_txn database (fun txn ->
-                 Scheduler.span_kind (kind_index kind + 1);
-                 run_txn t kind txn rng ~w_id);
-             committed.(kind_index kind) <- committed.(kind_index kind) + 1;
-             Stats.Series.add t.commit_series ~time:(Engine.now eng) 1.0
-           with
-          | Rollback -> incr rollbacks
-          | Txnmgr.Abort _ -> ());
-          Db.after_commit_housekeeping database;
-          Stats.Histogram.add latency (Engine.now eng - began);
-          user uid rng ())
+      let retry_later () =
+        Engine.schedule_at eng ~time:(Engine.now eng + backoff) (fun () ->
+            user uid rng (min (backoff * 2) max_backoff) ())
+      in
+      let outcome = ref `Aborted in
+      let finish () =
+        Stats.Histogram.add latency (Engine.now eng - began);
+        match !outcome with
+        | `Committed ->
+          committed.(kind_index kind) <- committed.(kind_index kind) + 1;
+          Stats.Series.add t.commit_series ~time:(Engine.now eng) 1.0;
+          user uid rng base_backoff ()
+        | `Deadline ->
+          incr deadline_aborts;
+          retry_later ()
+        | `Aborted -> user uid rng base_backoff ()
+      in
+      match
+        Db.submit ?affinity:submit_affinity database ~on_done:finish (fun txn ->
+            Scheduler.span_kind (kind_index kind + 1);
+            (try run_txn t kind txn rng ~w_id with
+            | Rollback ->
+              (* the spec-mandated user rollback: abort without retry *)
+              incr rollbacks;
+              raise (Txnmgr.Abort (Txnmgr.User, "user-initiated rollback"))
+            | Txnmgr.Abort (Txnmgr.Deadline, _) as e ->
+              outcome := `Deadline;
+              raise e);
+            outcome := `Committed)
+      with
+      | () -> ()
+      | exception Db.Overloaded ->
+        incr n_sheds;
+        retry_later ()
     end
   in
   let rng0 = Prng.create ~seed in
   for uid = 0 to concurrency - 1 do
-    user uid (Prng.split rng0) ()
+    user uid (Prng.split rng0) base_backoff ()
   done;
   Scheduler.run_until_quiescent sched;
   let elapsed_s = float_of_int (Engine.now eng - start) /. 1e9 in
@@ -630,6 +660,8 @@ let run_mix t ?(affinity = true) ?(mix = standard_mix) ~concurrency ~duration_ns
     new_orders;
     total_committed = total;
     aborted = Db.aborted database;
+    deadline_aborts = !deadline_aborts;
+    sheds = !n_sheds;
     tpmc = (if minutes > 0.0 then float_of_int new_orders /. minutes else 0.0);
     tpm_total = (if minutes > 0.0 then float_of_int total /. minutes else 0.0);
     latency_p50_us = Stats.Histogram.percentile latency 0.5 /. 1e3;

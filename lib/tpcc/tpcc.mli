@@ -64,6 +64,8 @@ type results = {
   new_orders : int;  (** committed NewOrder transactions *)
   total_committed : int;
   aborted : int;
+  deadline_aborts : int;  (** aborts the driver saw end with reason [Deadline] *)
+  sheds : int;  (** submissions refused by admission control ({!Phoebe_core.Db.Overloaded}) *)
   tpmc : float;  (** committed NewOrders per virtual minute *)
   tpm_total : float;
   latency_p50_us : float;
@@ -82,7 +84,11 @@ val run_mix :
   results
 (** Keep [concurrency] transactions outstanding (HammerDB virtual users
     with zero think time) for a virtual-time window. [affinity] (default
-    true) pins each virtual user's home warehouse to a worker. *)
+    true) pins each virtual user's home warehouse to a worker. Each user
+    submits through {!Phoebe_core.Db.submit}: when admission control
+    sheds the submission or the transaction aborts on its deadline, the
+    user retries with exponential backoff in virtual time (100 µs
+    doubling to 10 ms) instead of re-offering the load immediately. *)
 
 val throughput_series : t -> (float * float) list
 (** (second, committed txns in that second) samples from the last

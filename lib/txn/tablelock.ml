@@ -37,4 +37,6 @@ let held_by t ~xid =
   else if Hashtbl.mem t.shared xid then Some Shared
   else None
 
-let waiters t = t.q
+let wait ?deadline t = Waitq.wait_r ?deadline t.q
+let wake_waiters t = Waitq.signal_all t.q
+let waiter_count t = Waitq.length t.q

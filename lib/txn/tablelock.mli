@@ -21,4 +21,14 @@ val add_holder : t -> mode -> xid:int -> unit
 val remove_holder : t -> xid:int -> unit
 val held_by : t -> xid:int -> mode option
 
-val waiters : t -> Phoebe_runtime.Scheduler.Waitq.q
+val wait :
+  ?deadline:Phoebe_runtime.Scheduler.bound -> t -> Phoebe_runtime.Scheduler.reason
+(** Park the current fiber on this lock's queue until a holder releases
+    (every release wakes all waiters, who re-check compatibility), the
+    resolved deadline expires, or the wait is cancelled. The queue itself
+    is internal — callers only wait and wake. *)
+
+val wake_waiters : t -> unit
+(** Wake every parked waiter; {!remove_holder} does this automatically. *)
+
+val waiter_count : t -> int

@@ -8,6 +8,7 @@ module Record = Phoebe_wal.Record
 module Resource = Phoebe_sim.Resource
 module Engine = Phoebe_sim.Engine
 module Obs = Phoebe_obs.Obs
+module Trace = Phoebe_obs.Trace
 
 type isolation = Read_committed | Repeatable_read
 type state = Active | Committed | Aborted
@@ -19,7 +20,16 @@ type contention = {
   proc_array : (Resource.t * int) option;
 }
 
-exception Abort of string
+type abort_reason = Deadlock | Deadline | Shed | Conflict | User
+
+exception Abort of abort_reason * string
+
+let reason_label = function
+  | Deadlock -> "deadlock"
+  | Deadline -> "deadline"
+  | Shed -> "shed"
+  | Conflict -> "conflict"
+  | User -> "user"
 
 type txn = {
   xid : int;
@@ -53,7 +63,10 @@ type t = {
   live_undo_bytes : Obs.Counter.t;
   n_committed : Obs.Counter.t;
   n_aborted : Obs.Counter.t;
+  abort_by_reason : Obs.Counter.t array;  (** indexed by [reason_index] *)
 }
+
+let reason_index = function Deadlock -> 0 | Deadline -> 1 | Shed -> 2 | Conflict -> 3 | User -> 4
 
 let create ?obs ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention () =
   let counter metric =
@@ -71,6 +84,15 @@ let create ?obs ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention
     live_undo_bytes = counter "txn.undo_bytes";
     n_committed = counter "txn.committed";
     n_aborted = counter "txn.aborted";
+    abort_by_reason =
+      (* deadline aborts get the name the overload experiments key on *)
+      [|
+        counter "txn.abort.deadlock";
+        counter "txn.deadline_aborts";
+        counter "txn.abort.shed";
+        counter "txn.abort.conflict";
+        counter "txn.abort.user";
+      |];
   }
 
 let clock t = t.tclock
@@ -184,10 +206,10 @@ let commit t txn =
   if txn.undo_newest <> None then
     Queue.push { bcts = cts; bxid = txn.xid; undos = txn.undo_newest } t.slot_bundles.(txn.slot);
   Obs.Counter.incr t.n_committed;
-  Scheduler.span_end ~committed:true;
+  Scheduler.span_end Trace.Committed;
   finish t txn Committed
 
-let abort t txn ~rollback =
+let abort ?(reason = User) t txn ~rollback =
   if txn.state <> Active then invalid_arg "Txnmgr.abort: transaction not active";
   let c = costs () in
   Scheduler.charge Component.Effective c.Cost.txn_finalize;
@@ -200,7 +222,10 @@ let abort t txn ~rollback =
     ignore (Wal.append t.twal ~slot:txn.slot (Record.Abort { xid = txn.xid }) ~gsn)
   end;
   Obs.Counter.incr t.n_aborted;
-  Scheduler.span_end ~committed:false;
+  Obs.Counter.incr t.abort_by_reason.(reason_index reason);
+  (* spans distinguish cancellations (deadline/shed) from ordinary
+     conflict aborts, which are usually retried *)
+  Scheduler.span_end (match reason with Deadline | Shed -> Trace.Cancelled | _ -> Trace.Aborted);
   finish t txn Aborted
 
 let find_active t ~xid = Hashtbl.find_opt t.active xid
@@ -222,6 +247,16 @@ let would_deadlock t ~requester ~holder_xid =
   in
   walk holder_xid 0
 
+(* A lock wait ended by the wait core instead of the holder: the
+   deadline fallback for conflicts the wait-for walk cannot see. *)
+let lock_wait_interrupted txn reason what =
+  txn.waiting_on <- 0;
+  match reason with
+  | Scheduler.Signalled -> ()
+  | Scheduler.Timed_out ->
+    raise (Abort (Deadline, Printf.sprintf "%s exceeded the transaction deadline" what))
+  | Scheduler.Cancelled -> raise (Abort (User, Printf.sprintf "%s cancelled" what))
+
 let wait_for_txn t txn ~holder_xid =
   let c = costs () in
   through_lock_table t;
@@ -230,10 +265,10 @@ let wait_for_txn t txn ~holder_xid =
   | None -> () (* already finished: the shared lock is granted instantly *)
   | Some holder ->
     if would_deadlock t ~requester:txn ~holder_xid then
-      raise (Abort (Printf.sprintf "deadlock waiting for xid %d" holder_xid));
+      raise (Abort (Deadlock, Printf.sprintf "deadlock waiting for xid %d" holder_xid));
     txn.waiting_on <- holder_xid;
-    Waitq.wait holder.waiters;
-    txn.waiting_on <- 0
+    let r = Waitq.wait_r holder.waiters in
+    lock_wait_interrupted txn r (Printf.sprintf "wait for xid %d" holder_xid)
 
 let holder_state_after_wait t ~xid =
   match Hashtbl.find_opt t.active xid with
@@ -268,11 +303,11 @@ let lock_tuple t txn (entry : Twin.entry) =
     else begin
       (match Hashtbl.find_opt t.active entry.Twin.lock_xid with
       | Some _ when would_deadlock t ~requester:txn ~holder_xid:entry.Twin.lock_xid ->
-        raise (Abort "deadlock on tuple lock")
+        raise (Abort (Deadlock, "deadlock on tuple lock"))
       | Some _ ->
         txn.waiting_on <- entry.Twin.lock_xid;
-        Waitq.wait entry.Twin.lock_waiters;
-        txn.waiting_on <- 0;
+        let r = Waitq.wait_r entry.Twin.lock_waiters in
+        lock_wait_interrupted txn r "tuple lock wait";
         (* re-acquisition work; charged after the wake — a charge can
            suspend, and nothing may suspend between the liveness check
            and the wait *)
@@ -308,10 +343,10 @@ let lock_table t txn tl ~mode =
       else begin
         let holder = Tablelock.exclusive_holder tl in
         if holder <> 0 && would_deadlock t ~requester:txn ~holder_xid:holder then
-          raise (Abort "deadlock on table lock");
+          raise (Abort (Deadlock, "deadlock on table lock"));
         txn.waiting_on <- (if holder <> 0 then holder else txn.waiting_on);
-        Waitq.wait (Tablelock.waiters tl);
-        txn.waiting_on <- 0;
+        let r = Tablelock.wait tl in
+        lock_wait_interrupted txn r "table lock wait";
         acquire ()
       end
     in
@@ -374,3 +409,4 @@ let dump_active t =
 let undo_bytes t = Obs.Counter.get t.live_undo_bytes
 let stats_aborted t = Obs.Counter.get t.n_aborted
 let stats_committed t = Obs.Counter.get t.n_committed
+let stats_aborted_for t reason = Obs.Counter.get t.abort_by_reason.(reason_index reason)

@@ -30,9 +30,26 @@ type contention = {
   proc_array : (Phoebe_sim.Resource.t * int) option;  (** resource, hold ns per snapshot *)
 }
 
-exception Abort of string
-(** Raised into the transaction body on conflicts/deadlocks; the runner
-    rolls back (and typically retries). *)
+(** Why a transaction aborted. The runner's retry policy keys on this:
+    [Deadlock] and [Conflict] are transient and worth retrying in place;
+    [Deadline] and [Shed] are cancellations (the system refused or cut
+    short the work — retrying immediately would make overload worse);
+    [User] is an application-initiated rollback. *)
+type abort_reason =
+  | Deadlock  (** wait-for cycle detected at block time *)
+  | Deadline  (** the transaction's deadline expired (wait timed out) *)
+  | Shed  (** refused by admission control before doing work *)
+  | Conflict  (** MVCC serialization failure or unique-key conflict *)
+  | User  (** application-requested rollback *)
+
+exception Abort of abort_reason * string
+(** Raised into the transaction body on conflicts/deadlocks/deadline
+    expiry; the runner rolls back (and retries when the reason is
+    transient). *)
+
+val reason_label : abort_reason -> string
+(** Stable lowercase label ("deadlock", "deadline", "shed", "conflict",
+    "user") for reports and JSON output. *)
 
 type txn = {
   xid : int;
@@ -86,9 +103,11 @@ val commit : t -> txn -> unit
 (** Assign cts, stamp the UNDO logs, log + await durability (RFA), wake
     ID-lock waiters, and queue the UNDO bundle for GC. *)
 
-val abort : t -> txn -> rollback:(Undo.t -> unit) -> unit
+val abort : ?reason:abort_reason -> t -> txn -> rollback:(Undo.t -> unit) -> unit
 (** Roll back newest-to-oldest via [rollback], log an abort record, wake
-    waiters. *)
+    waiters. [reason] (default [User]) drives the per-reason abort
+    counters and the span outcome: deadline/shed aborts end their trace
+    span as [Cancelled], others as [Aborted]. *)
 
 val find_active : t -> xid:int -> txn option
 val active_count : t -> int
@@ -147,6 +166,9 @@ val undo_bytes : t -> int
 
 val stats_aborted : t -> int
 val stats_committed : t -> int
+
+val stats_aborted_for : t -> abort_reason -> int
+(** Aborts broken down by reason (sums to {!stats_aborted}). *)
 
 val dump_active : t -> (int * int * int) list
 (** (xid, slot, waiting_on) of every active transaction — deadlock

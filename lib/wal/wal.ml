@@ -196,6 +196,19 @@ let append t ~slot op ~gsn =
 let current_lsn t ~slot = t.writers.(effective_slot t slot).next_lsn - 1
 let flushed_lsn t ~slot = t.writers.(effective_slot t slot).flushed_lsn
 
+(* Durability waits park on the unified wait core with a [Never] bound:
+   a commit that reached the WAL must not be severed from its flush by a
+   transaction deadline (atomicity), so the wait is uncancellable.
+   Outside a fiber, [register] gets a no-op resume — durability is
+   immediate in virtual time, exactly like the fiber-less loaders'
+   device I/O. *)
+let wal_wait register =
+  if Scheduler.in_fiber () then
+    ignore
+      (Scheduler.park ~deadline:Scheduler.Never ~urgency:Scheduler.High ~phase:Trace.Wal_wait
+         (fun wt -> register (fun () -> ignore (Scheduler.wake_waiter wt Scheduler.Signalled))))
+  else register (fun () -> ())
+
 let commit_durable t ~slot ~lsn ~needs_remote ~remote_gsn =
   if !debug then Printf.printf "commit_durable slot=%d lsn=%d flushed=%d remote=%b\n%!" slot lsn t.writers.(slot).flushed_lsn needs_remote;
   Scheduler.charge Component.Wal (costs ()).Cost.wal_commit;
@@ -204,8 +217,7 @@ let commit_durable t ~slot ~lsn ~needs_remote ~remote_gsn =
     let w = t.writers.(slot) in
     if lsn > w.flushed_lsn then begin
       flush t w;
-      Scheduler.span_wait Trace.Wal_wait;
-      Scheduler.io_wait (fun resume ->
+      wal_wait (fun resume ->
           if lsn <= w.flushed_lsn then resume ()
           else w.lsn_waiters <- (lsn, resume) :: w.lsn_waiters)
     end;
@@ -219,8 +231,7 @@ let commit_durable t ~slot ~lsn ~needs_remote ~remote_gsn =
             | Some (_, gsn) when gsn <= remote_gsn -> flush t w'
             | _ -> ())
           t.writers;
-        Scheduler.span_wait Trace.Wal_wait;
-        Scheduler.io_wait (fun resume ->
+        wal_wait (fun resume ->
             if durable_floor t >= remote_gsn then resume ()
             else t.remote_waiters <- (remote_gsn, resume) :: t.remote_waiters)
       end

@@ -308,6 +308,83 @@ let test_deadlock_detected_and_resolved () =
     (List.sort compare [ balance_of db t a; balance_of db t b ])
 
 (* ------------------------------------------------------------------ *)
+(* Transaction deadlines and admission control *)
+
+let test_txn_deadline_aborts_stalled_wait () =
+  let cfg = { small_config with Config.n_workers = 1; txn_deadline_ns = 100_000 } in
+  let db, t = accounts_db ~cfg () in
+  let rid = insert_account db t "d" 0 in
+  let eng = Db.engine db in
+  (* holder: writes the row, then stalls on "I/O" for a millisecond
+     while still active *)
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      Db.with_txn db (fun txn ->
+          ignore (Table.update t txn ~rid [ ("balance", Value.Int 1) ]);
+          Scheduler.io_wait (fun resume ->
+              Phoebe_sim.Engine.schedule eng ~delay:1_000_000 (fun () -> resume ()))));
+  (* waiter: blocks behind the holder and hits its 100 µs deadline long
+     before the holder resumes *)
+  let reason = ref None in
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      try Db.with_txn db (fun txn -> ignore (Table.update t txn ~rid [ ("balance", Value.Int 2) ]))
+      with Txnmgr.Abort (r, _) -> reason := Some r);
+  Db.run db;
+  check_bool "aborted with reason Deadline" true (!reason = Some Txnmgr.Deadline);
+  let s = Db.stats db in
+  check_int "deadline abort counted" 1 s.Db.deadline_aborts;
+  check_bool "a wait timed out" true (s.Db.wait_timeouts >= 1);
+  (* the stalled holder still committed; the timed-out waiter rolled back *)
+  check_int "holder's write survived" 1 (balance_of db t rid)
+
+let test_no_deadline_means_no_timeouts () =
+  (* Same shape without a deadline: the waiter simply outwaits the stall. *)
+  let cfg = { small_config with Config.n_workers = 1 } in
+  let db, t = accounts_db ~cfg () in
+  let rid = insert_account db t "d" 0 in
+  let eng = Db.engine db in
+  Scheduler.submit (Db.scheduler db) (fun () ->
+      Db.with_txn db (fun txn ->
+          ignore (Table.update t txn ~rid [ ("balance", Value.Int 1) ]);
+          Scheduler.io_wait (fun resume ->
+              Phoebe_sim.Engine.schedule eng ~delay:1_000_000 (fun () -> resume ()))));
+  Db.submit db (fun txn -> ignore (Table.update t txn ~rid [ ("balance", Value.Int 2) ]));
+  Db.run db;
+  let s = Db.stats db in
+  check_int "no wait ever timed out" 0 s.Db.wait_timeouts;
+  check_int "no deadline aborts" 0 s.Db.deadline_aborts;
+  check_int "waiter won in the end" 2 (balance_of db t rid)
+
+let test_admission_sheds_over_cap () =
+  let cfg =
+    {
+      small_config with
+      Config.admission = { Config.enabled = true; max_inflight = 2; max_lock_wait_p95_ns = 0 };
+    }
+  in
+  let db, t = accounts_db ~cfg () in
+  let accepted = ref 0 and shed = ref 0 in
+  for i = 1 to 5 do
+    match
+      Db.submit db (fun txn ->
+          ignore (Table.insert t txn [| Value.Str (string_of_int i); Value.Int i |]))
+    with
+    | () -> incr accepted
+    | exception Db.Overloaded -> incr shed
+  done;
+  check_int "cap admitted" 2 !accepted;
+  check_int "excess shed" 3 !shed;
+  check_int "sheds counted" 3 (Db.sheds db);
+  check_int "stats agree" 3 (Db.stats db).Db.sheds;
+  Db.run db;
+  check_int "in-flight drained" 0 (Db.inflight db);
+  (* capacity freed: submissions are admitted again *)
+  (match Db.submit db (fun txn -> ignore (Table.insert t txn [| Value.Str "late"; Value.Int 9 |])) with
+  | () -> ()
+  | exception Db.Overloaded -> Alcotest.fail "still shedding after drain");
+  Db.run db;
+  check_int "admitted transactions committed" 3 (Db.committed db)
+
+(* ------------------------------------------------------------------ *)
 (* Banking invariant under concurrency *)
 
 let test_transfers_conserve_money () =
@@ -534,6 +611,13 @@ let () =
         [
           Alcotest.test_case "exclusive blocks dml" `Quick test_table_lock_blocks_dml;
           Alcotest.test_case "shared dml compatible" `Quick test_table_lock_shared_dml_compatible;
+        ] );
+      ( "deadlines+admission",
+        [
+          Alcotest.test_case "deadline aborts stalled wait" `Quick
+            test_txn_deadline_aborts_stalled_wait;
+          Alcotest.test_case "no deadline, no timeouts" `Quick test_no_deadline_means_no_timeouts;
+          Alcotest.test_case "admission sheds over cap" `Quick test_admission_sheds_over_cap;
         ] );
       ( "gc",
         [

@@ -102,7 +102,7 @@ let crash_recovery_trial seed =
       ~on_done:(fun () -> if not aborts then Hashtbl.replace committed i ())
       (fun txn ->
         ignore (Table.insert t1 txn [| Value.Int (1000 + i); Value.Int i |]);
-        if aborts then raise (Txnmgr.Abort "injected"))
+        if aborts then raise (Txnmgr.Abort (Txnmgr.Conflict, "injected")))
   done;
   (* crash at a random virtual time: some transactions never ran *)
   Db.run_for db1 ~ns:(200_000 + Prng.int rng 3_000_000);
@@ -398,6 +398,83 @@ let test_cleaner_transparency () =
   check_bool "recovery lost nothing (on)" true (rec_on = live_on);
   check_bool "recovery lost nothing (off)" true (rec_off = live_off)
 
+(* ------------------------------------------------------------------ *)
+(* Randomized lock graphs: transactions update overlapping random row
+   sequences, forming wait-for cycles. With no deadline configured, the
+   wait-for cycle detector alone must resolve every cycle (the run
+   terminating proves no deadlock was missed) and the deadline fallback
+   must never fire (no spurious aborts). With a generous deadline, cycle
+   detection still fires first — outcomes agree with the no-deadline
+   run. With a tiny deadline, the fallback may abort stragglers, but the
+   system still drains and every abort carries a structured reason. *)
+
+let lock_graph_trial ~deadline_ns ~seed =
+  let cfg =
+    { Config.default with Config.n_workers = 3; slots_per_worker = 4; txn_deadline_ns = deadline_ns }
+  in
+  let db = Db.create cfg in
+  let t = Db.create_table db ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+  Db.create_index db t ~name:"kv_pk" ~cols:[ "k" ] ~unique:true;
+  let n_rows = 6 in
+  let rids =
+    Array.init n_rows (fun k -> Db.with_txn db (fun txn -> Table.insert t txn [| Value.Int k; Value.Int 0 |]))
+  in
+  let rng = Prng.create ~seed in
+  (* a random walk over [n] distinct rows: partial Fisher-Yates shuffle *)
+  let pick_rows n =
+    let idx = Array.init n_rows Fun.id in
+    for i = 0 to n - 1 do
+      let j = i + Prng.int rng (n_rows - i) in
+      let tmp = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- tmp
+    done;
+    List.init n (fun i -> rids.(idx.(i)))
+  in
+  let committed = ref 0 and failed = ref 0 in
+  for i = 1 to 200 do
+    let walk = pick_rows (2 + Prng.int rng 3) in
+    let think = 10_000 + Prng.int rng 30_000 in
+    Scheduler.submit (Db.scheduler db) (fun () ->
+        match
+          Db.with_txn db (fun txn ->
+              List.iter
+                (fun rid ->
+                  ignore (Table.update t txn ~rid [ ("v", Value.Int i) ]);
+                  Scheduler.charge Phoebe_sim.Component.Effective think)
+                walk)
+        with
+        | () -> incr committed
+        | exception Txnmgr.Abort _ -> incr failed)
+  done;
+  (* termination here is itself the "no missed deadlock" check: a cycle
+     neither detected nor timed out would leave live fibers and trip the
+     scheduler's quiescence bug-check inside Db.run *)
+  Db.run db;
+  let aborted r = Txnmgr.stats_aborted_for (Db.txnmgr db) r in
+  check_int (Printf.sprintf "seed %d: every submission resolved" seed) 200 (!committed + !failed);
+  check_int (Printf.sprintf "seed %d: admission off, nothing shed" seed) 0 (aborted Txnmgr.Shed);
+  (!committed, aborted Txnmgr.Deadlock, aborted Txnmgr.Deadline)
+
+let test_lock_graph_deadline_agreement () =
+  List.iter
+    (fun seed ->
+      (* (a) cycle detection alone: no deadline configured, so the
+         fallback must never fire *)
+      let c_none, dl_none, exp_none = lock_graph_trial ~deadline_ns:0 ~seed in
+      check_int "no deadline => no deadline aborts" 0 exp_none;
+      check_bool "contention actually produced deadlocks" true (dl_none > 0);
+      (* (b) generous deadline: cycle detection still wins every race,
+         so outcomes agree exactly with the no-deadline run *)
+      let c_slow, dl_slow, exp_slow = lock_graph_trial ~deadline_ns:50_000_000 ~seed in
+      check_int "generous deadline never expires" 0 exp_slow;
+      check_int "same commits as the no-deadline run" c_none c_slow;
+      check_int "same deadlock aborts as the no-deadline run" dl_none dl_slow;
+      (* (c) tiny deadline: the fallback may abort waits first, but the
+         run still drains (asserted inside the trial) *)
+      ignore (lock_graph_trial ~deadline_ns:30_000 ~seed))
+    [ 7; 21; 42 ]
+
 let () =
   Alcotest.run "phoebe_properties"
     [
@@ -411,6 +488,8 @@ let () =
           Alcotest.test_case "random crash points" `Quick test_crash_recovery_random_points;
           Alcotest.test_case "aborted never recovered" `Quick test_aborted_never_recovered;
         ] );
+      ( "lock-graphs",
+        [ Alcotest.test_case "deadline fallback vs cycle detection" `Quick test_lock_graph_deadline_agreement ] );
       ("gc", [ Alcotest.test_case "transparency vs model" `Quick test_gc_transparency ]);
       ("cleaner", [ Alcotest.test_case "transparency on/off" `Quick test_cleaner_transparency ]);
       ( "index-splits",

@@ -290,6 +290,133 @@ let test_outside_fiber_noops () =
       resume ());
   check_bool "io register called synchronously" true !called
 
+(* ------------------------------------------------------------------ *)
+(* The cancellable wait core: deadline heap ordering, wake reasons,
+   cancellation, and the interplay with wait queues and spins. *)
+
+module Trace = Phoebe_obs.Trace
+
+let test_deadline_heap_ordering () =
+  (* Three fibers park with out-of-order deadlines and no wake source:
+     the scheduler's deadline heap must expire them in deadline order,
+     each at its own virtual time. *)
+  let eng, s = make ~n_workers:1 ~slots:4 () in
+  let log = ref [] in
+  let park_until name d =
+    Scheduler.submit s (fun () ->
+        let r =
+          Scheduler.park ~deadline:(Scheduler.At d) ~urgency:Scheduler.Low
+            ~phase:Trace.Lock_wait (fun _ -> ())
+        in
+        log := (name, r, Engine.now eng) :: !log)
+  in
+  park_until "a" 30_000;
+  park_until "b" 10_000;
+  park_until "c" 20_000;
+  Scheduler.run_until_quiescent s;
+  (match List.rev !log with
+  | [ ("b", rb, tb); ("c", rc, tc); ("a", ra, ta) ] ->
+    check_bool "all timed out" true
+      (rb = Scheduler.Timed_out && rc = Scheduler.Timed_out && ra = Scheduler.Timed_out);
+    check_bool "b at its deadline" true (tb >= 10_000 && tb < 20_000);
+    check_bool "c at its deadline" true (tc >= 20_000 && tc < 30_000);
+    check_bool "a at its deadline" true (ta >= 30_000)
+  | l -> Alcotest.failf "wrong wake order (%d wakes)" (List.length l));
+  check_int "three timeouts counted" 3 (Scheduler.timeouts s)
+
+let test_wake_reason_signalled_before_deadline () =
+  let eng, s = make ~n_workers:1 ~slots:2 () in
+  let got = ref None in
+  Scheduler.submit s (fun () ->
+      let r =
+        Scheduler.park ~deadline:(Scheduler.At 50_000) ~urgency:Scheduler.Low
+          ~phase:Trace.Lock_wait (fun wt ->
+            Engine.schedule eng ~delay:5_000 (fun () ->
+                ignore (Scheduler.wake_waiter wt Scheduler.Signalled)))
+      in
+      got := Some (r, Engine.now eng));
+  Scheduler.run_until_quiescent s;
+  (match !got with
+  | Some (Scheduler.Signalled, t) -> check_bool "woke at the signal, not the deadline" true (t < 50_000)
+  | _ -> Alcotest.fail "expected Signalled");
+  check_int "no timeout counted" 0 (Scheduler.timeouts s)
+
+let test_wake_reason_cancelled () =
+  let eng, s = make ~n_workers:1 ~slots:2 () in
+  let got = ref None in
+  Scheduler.submit s (fun () ->
+      let r =
+        Scheduler.park ~deadline:Scheduler.Never ~urgency:Scheduler.High ~phase:Trace.Io_wait
+          (fun wt -> Engine.schedule eng ~delay:3_000 (fun () -> ignore (Scheduler.cancel_waiter wt)))
+      in
+      got := Some r);
+  Scheduler.run_until_quiescent s;
+  check_bool "cancelled" true (!got = Some Scheduler.Cancelled)
+
+let test_signal_after_timeout_is_noop () =
+  (* A waiter that timed out is still sitting in its wait queue; the
+     eventual signal must skip it (idempotent wake), and Waitq.length
+     must not count it. *)
+  let eng, s = make ~n_workers:1 ~slots:2 () in
+  let q = Scheduler.Waitq.create () in
+  let wakes = ref [] in
+  Scheduler.submit s (fun () ->
+      let r = Scheduler.Waitq.wait_r ~deadline:(Scheduler.At 10_000) q in
+      wakes := r :: !wakes);
+  Engine.schedule eng ~delay:20_000 (fun () ->
+      (* after the timeout, before the signal: the stale entry is dead *)
+      check_int "timed-out waiter not counted" 0 (Scheduler.Waitq.length q);
+      Scheduler.Waitq.signal_all q);
+  Scheduler.run_until_quiescent s;
+  (match !wakes with
+  | [ Scheduler.Timed_out ] -> ()
+  | _ -> Alcotest.fail "expected exactly one Timed_out wake");
+  check_int "one timeout counted" 1 (Scheduler.timeouts s)
+
+let test_spin_yield_observes_deadline () =
+  let eng, s = make ~n_workers:1 ~slots:2 () in
+  let before = ref None and after = ref None in
+  Scheduler.submit s (fun () ->
+      Scheduler.set_txn_deadline (Some (Engine.now eng + 50_000));
+      before := Some (Scheduler.spin_yield Scheduler.High);
+      (* burn past the deadline, then spin again *)
+      Scheduler.charge Component.Effective 400_000;
+      after := Some (Scheduler.spin_yield Scheduler.High);
+      Scheduler.set_txn_deadline None);
+  Scheduler.run_until_quiescent s;
+  check_bool "pre-deadline spin yields normally" true (!before = Some Scheduler.Signalled);
+  check_bool "post-deadline spin times out" true (!after = Some Scheduler.Timed_out);
+  check_int "spin timeout counted" 1 (Scheduler.timeouts s)
+
+let test_inherit_resolves_fiber_deadline () =
+  (* An Inherit-bound park (the Waitq default wait_r) picks up the
+     fiber's transaction deadline; a Never-bound wait ignores it. *)
+  let eng, s = make ~n_workers:1 ~slots:4 () in
+  let q = Scheduler.Waitq.create () in
+  let inherited = ref None in
+  Scheduler.submit s (fun () ->
+      Scheduler.set_txn_deadline (Some 8_000);
+      let r = Scheduler.Waitq.wait_r q in
+      inherited := Some (r, Engine.now eng));
+  let never_woke = ref None in
+  Scheduler.submit s (fun () ->
+      Scheduler.set_txn_deadline (Some 8_000);
+      let r =
+        Scheduler.park ~deadline:Scheduler.Never ~urgency:Scheduler.High ~phase:Trace.Io_wait
+          (fun wt ->
+            Engine.schedule eng ~delay:40_000 (fun () ->
+                ignore (Scheduler.wake_waiter wt Scheduler.Signalled)))
+      in
+      never_woke := Some (r, Engine.now eng));
+  Scheduler.run_until_quiescent s;
+  (match !inherited with
+  | Some (Scheduler.Timed_out, t) -> check_bool "timed out at fiber deadline" true (t >= 8_000 && t < 40_000)
+  | _ -> Alcotest.fail "Inherit wait should time out at the fiber deadline");
+  match !never_woke with
+  | Some (Scheduler.Signalled, t) ->
+    check_bool "Never-bound wait outlived the fiber deadline" true (t >= 40_000)
+  | _ -> Alcotest.fail "Never wait should wake only on its signal"
+
 let test_thread_model_slower () =
   (* Same workload; the thread model pays kernel-priced switches, so the
      co-routine model finishes sooner in virtual time. *)
@@ -361,6 +488,16 @@ let () =
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
           Alcotest.test_case "high urgency preferred" `Quick test_high_urgency_preferred;
           Alcotest.test_case "no pull before high urgency" `Quick test_pull_not_before_high_urgency;
+        ] );
+      ( "wait-core",
+        [
+          Alcotest.test_case "deadline heap ordering" `Quick test_deadline_heap_ordering;
+          Alcotest.test_case "signalled before deadline" `Quick
+            test_wake_reason_signalled_before_deadline;
+          Alcotest.test_case "cancelled" `Quick test_wake_reason_cancelled;
+          Alcotest.test_case "signal after timeout is noop" `Quick test_signal_after_timeout_is_noop;
+          Alcotest.test_case "spin_yield observes deadline" `Quick test_spin_yield_observes_deadline;
+          Alcotest.test_case "inherit vs never bounds" `Quick test_inherit_resolves_fiber_deadline;
         ] );
       ( "locals",
         [

@@ -446,9 +446,59 @@ let test_recovery_gsn_order_across_slots () =
        });
   check_int "later gsn wins" 2 !last
 
+(* ------------------------------------------------------------------ *)
+(* Table locks: the wait/wake surface over the internal queue *)
+
+module Tablelock = Phoebe_txn.Tablelock
+module Scheduler = Phoebe_runtime.Scheduler
+
+let test_tablelock_wait_wake () =
+  let eng = Engine.create () in
+  let s =
+    Scheduler.create eng { Scheduler.default_config with Scheduler.n_workers = 1; slots_per_worker = 4 }
+  in
+  let tl = Tablelock.create () in
+  Tablelock.add_holder tl Tablelock.Exclusive ~xid:1;
+  let woke = ref [] in
+  for _ = 1 to 2 do
+    Scheduler.submit s (fun () ->
+        (* bind before consing: [!woke] must be read after the wait *)
+        let r = Tablelock.wait tl in
+        woke := r :: !woke)
+  done;
+  Engine.schedule eng ~delay:5_000 (fun () ->
+      check_int "both parked on the lock" 2 (Tablelock.waiter_count tl);
+      (* releasing the holder wakes every waiter *)
+      Tablelock.remove_holder tl ~xid:1);
+  Scheduler.run_until_quiescent s;
+  check_int "no waiters left" 0 (Tablelock.waiter_count tl);
+  (match !woke with
+  | [ Scheduler.Signalled; Scheduler.Signalled ] -> ()
+  | _ -> Alcotest.fail "both waiters must wake Signalled");
+  check_bool "lock is free" true (Tablelock.is_free_for tl Tablelock.Exclusive ~xid:2)
+
+let test_tablelock_wait_deadline () =
+  let eng = Engine.create () in
+  let s =
+    Scheduler.create eng { Scheduler.default_config with Scheduler.n_workers = 1; slots_per_worker = 4 }
+  in
+  let tl = Tablelock.create () in
+  Tablelock.add_holder tl Tablelock.Exclusive ~xid:1;
+  let woke = ref None in
+  Scheduler.submit s (fun () ->
+      woke := Some (Tablelock.wait ~deadline:(Scheduler.At 10_000) tl));
+  Scheduler.run_until_quiescent s;
+  check_bool "timed out behind a stuck holder" true (!woke = Some Scheduler.Timed_out);
+  check_int "stale waiter not counted" 0 (Tablelock.waiter_count tl)
+
 let () =
   Alcotest.run "phoebe_txn"
     [
+      ( "tablelock",
+        [
+          Alcotest.test_case "wait/wake on release" `Quick test_tablelock_wait_wake;
+          Alcotest.test_case "wait observes deadline" `Quick test_tablelock_wait_deadline;
+        ] );
       ( "clock",
         [
           Alcotest.test_case "monotone" `Quick test_clock_monotone;

@@ -20,4 +20,10 @@ trap 'rm -f "$json_tmp"' EXIT
 dune exec bench/main.exe -- smoke --json "$json_tmp"
 dune exec bench/main.exe -- --check-json "$json_tmp"
 
+echo "== overload smoke (offered-load sweep, admission on vs off, --json)"
+overload_tmp="$(mktemp /tmp/phoebe-overload-XXXXXX.json)"
+trap 'rm -f "$json_tmp" "$overload_tmp"' EXIT
+dune exec bench/main.exe -- overload --json "$overload_tmp"
+dune exec bench/main.exe -- --check-json "$overload_tmp"
+
 echo "== tier-1: OK"
