@@ -22,7 +22,6 @@ module Obs = Phoebe_obs.Obs
 
 module Bufmgr = Phoebe_storage.Bufmgr
 
-let seed = 42
 let mb = 1024 * 1024
 
 (* Experiments append machine-readable results here; main.ml writes the
@@ -45,6 +44,11 @@ let note fmt = Printf.printf (fmt ^^ "\n%!")
    (and the sim is bit-identical to a build without the wait core). *)
 let opt_deadline_ms : int option ref = ref None
 let opt_admission = ref false
+
+(* Workload seed ([--seed <n>], default 42): drives transaction mixes,
+   keys and think times in every harness. Same seed, same config =>
+   byte-identical --json output. *)
+let opt_seed = ref 42
 
 let phoebe_config ~warehouses ~workers ~slots ~buffer_mb =
   ignore warehouses;
@@ -76,13 +80,13 @@ let abort_reasons_json db =
 
 let load_tpcc cfg ~warehouses =
   let db = Db.create cfg in
-  (db, T.load db ~warehouses ~scale:T.default_scale ~seed ())
+  (db, T.load db ~warehouses ~scale:T.default_scale ~seed:!opt_seed ())
 
 let run_tpcc ?(affinity = true) t ~workers ~slots ~seconds =
   T.run_mix t ~affinity
     ~concurrency:(workers * min slots 16)
     ~duration_ns:(int_of_float (seconds *. 1e9))
-    ~seed ()
+    ~seed:!opt_seed ()
 
 (* ------------------------------------------------------------------ *)
 (* Exp 1 / Figure 7(a): tpmC at warehouses = workers *)
@@ -275,7 +279,7 @@ let exp4 () =
                ("workers", Json.Int 10);
                ("buffer_mb", Json.Int 6);
                ("virtual_seconds", Json.Float 2.0);
-               ("seed", Json.Int seed);
+               ("seed", Json.Int !opt_seed);
              ] );
          ("runs", Json.List [ json_off; json_on ]);
        ])
@@ -311,9 +315,9 @@ let exp6 () =
   in
   let run name cfg concurrency =
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed:!opt_seed () in
     let r =
-      T.run_mix t ~affinity:false ~concurrency ~duration_ns:(int_of_float 0.4e9) ~seed ()
+      T.run_mix t ~affinity:false ~concurrency ~duration_ns:(int_of_float 0.4e9) ~seed:!opt_seed ()
     in
     note "%-22s %12.0f tpm   (p99 %.0f us, switch instr/txn %d)" name r.T.tpm_total
       r.T.latency_p99_us
@@ -379,7 +383,7 @@ let exp8 () =
   let workers = 26 in
   let run name cfg =
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:workers ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:workers ~scale:T.default_scale ~seed:!opt_seed () in
     let r = run_tpcc t ~workers ~slots:(cfg.Config.slots_per_worker) ~seconds:0.3 in
     note "%-14s %12.0f tpm  (cpu %.0f%%)" name r.T.tpm_total
       (100.0 *. (Db.stats db).Db.cpu_busy_fraction);
@@ -391,10 +395,10 @@ let exp8 () =
   (* per-transaction cycles for Payment and NewOrder (Figure 9) *)
   let cycles cfg kind =
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:4 ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:4 ~scale:T.default_scale ~seed:!opt_seed () in
     let before = Counters.snapshot (Scheduler.counters (Db.scheduler db)) in
     let r =
-      T.run_mix t ~mix:[ (kind, 1.0) ] ~concurrency:16 ~duration_ns:(int_of_float 0.2e9) ~seed ()
+      T.run_mix t ~mix:[ (kind, 1.0) ] ~concurrency:16 ~duration_ns:(int_of_float 0.2e9) ~seed:!opt_seed ()
     in
     let diff = Counters.diff before (Counters.snapshot (Scheduler.counters (Db.scheduler db))) in
     float_of_int (Array.fold_left ( + ) 0 diff) /. float_of_int (max 1 r.T.total_committed)
@@ -417,7 +421,7 @@ let exp9 () =
   let workers = 26 in
   let cfg = B.odb_like ~workers ~buffer_bytes:(16 * mb) () in
   let db = Db.create cfg in
-  let t = T.load db ~warehouses:workers ~scale:T.default_scale ~seed () in
+  let t = T.load db ~warehouses:workers ~scale:T.default_scale ~seed:!opt_seed () in
   let r = run_tpcc t ~workers ~slots:1 ~seconds:0.3 in
   let s = Db.stats db in
   note "O-DB-like: %.0f tpm, cpu %.0f%%, data device busy %.0f%%" r.T.tpm_total
@@ -438,7 +442,7 @@ let ablation_rfa () =
         Config.wal = { Wal.default_config with Wal.rfa } }
     in
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed:!opt_seed () in
     let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
     let s = Db.stats db in
     note "%-10s %10.0f tpm   p99 %6.0f us   rfa-local %d / remote %d" name r.T.tpm_total
@@ -455,7 +459,7 @@ let ablation_snapshot () =
     let cfg = { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with
                 Config.snapshot_mode } in
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed:!opt_seed () in
     let before = Counters.snapshot (Scheduler.counters (Db.scheduler db)) in
     let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
     let diff = Counters.diff before (Counters.snapshot (Scheduler.counters (Db.scheduler db))) in
@@ -475,7 +479,7 @@ let ablation_lock_table () =
     let cfg = { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with
                 Config.lock_style } in
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed:!opt_seed () in
     let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
     note "%-22s %10.0f tpm" name r.T.tpm_total;
     r.T.tpm_total
@@ -494,7 +498,7 @@ let ablation_swizzling () =
     let cost = { Phoebe_sim.Cost.default with Phoebe_sim.Cost.buffer_hit } in
     let cfg = { (phoebe_config ~warehouses:8 ~workers:8 ~slots:32 ~buffer_mb:64) with Config.cost } in
     let db = Db.create cfg in
-    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed () in
+    let t = T.load db ~warehouses:8 ~scale:T.default_scale ~seed:!opt_seed () in
     let r = run_tpcc t ~workers:8 ~slots:32 ~seconds:0.3 in
     ignore db;
     note "%-26s %10.0f tpm" name r.T.tpm_total;
@@ -612,7 +616,7 @@ let overload () =
       else cfg
     in
     let db, t = load_tpcc cfg ~warehouses:w in
-    let r = T.run_mix t ~concurrency:users ~duration_ns:(int_of_float (seconds *. 1e9)) ~seed () in
+    let r = T.run_mix t ~concurrency:users ~duration_ns:(int_of_float (seconds *. 1e9)) ~seed:!opt_seed () in
     note "%-10s %-6d %12.0f %12.1f %8d %10d %8d"
       (if admission then "on" else "off")
       users r.T.tpm_total r.T.latency_p99_us r.T.sheds r.T.deadline_aborts r.T.aborted;
@@ -671,6 +675,89 @@ let smoke () =
              ("registry", Obs.to_json (Db.obs db));
            ];
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: WAL replay vs checkpoint cadence. A fixed insert/update
+   workload runs to completion, re-checkpointing after every N commits;
+   power fails after the last commit and the instance is restored from
+   the newest snapshot. Everything reported is a deterministic count
+   (records, operations, bytes) — never wall time — so tier1.sh can
+   gate on the emitted JSON. *)
+
+let recovery () =
+  section "Recovery: WAL replay vs checkpoint cadence";
+  let n_base = 64 and n_txns = 150 in
+  let cfg = { Config.default with Config.n_workers = 2; slots_per_worker = 4 } in
+  note "  %d transactions (1 update + 0-2 inserts each), power loss after the last commit" n_txns;
+  note "%-10s %10s %10s %12s %14s %12s %8s" "ckpt every" "snapshots" "committed" "wal_durable" "records_read" "ops_replayed" "rows";
+  let module Checkpoint = Phoebe_core.Checkpoint in
+  let module Recovery = Phoebe_wal.Recovery in
+  let run_point every =
+    let db = Db.create cfg in
+    let t = Db.create_table db ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+    Db.create_index db t ~name:"kv_pk" ~cols:[ "k" ] ~unique:true;
+    let rng = Phoebe_util.Prng.create ~seed:!opt_seed in
+    Db.with_txn db (fun txn ->
+        for k = 1 to n_base do
+          ignore (Phoebe_core.Table.insert t txn [| Value.Int k; Value.Int 0 |])
+        done);
+    let snapshot = ref (Checkpoint.take db) in
+    let snapshots = ref 1 in
+    let inserted = ref 0 in
+    for i = 1 to n_txns do
+      (* the fiber path: sync commits actually wait for WAL durability,
+         so the crash below loses nothing that was acknowledged *)
+      let n_ins = Phoebe_util.Prng.int rng 3 in
+      Db.submit db (fun txn ->
+          (match
+             Phoebe_core.Table.index_lookup_first t txn ~index:"kv_pk"
+               ~key:[ Value.Int (1 + (i mod n_base)) ]
+           with
+          | Some (rid, _) ->
+            ignore (Phoebe_core.Table.update t txn ~rid [ ("v", Value.Int i) ])
+          | None -> ());
+          for j = 0 to n_ins - 1 do
+            ignore
+              (Phoebe_core.Table.insert t txn [| Value.Int (1_000 + (i * 4) + j); Value.Int i |])
+          done);
+      inserted := !inserted + n_ins;
+      if every > 0 && i mod every = 0 then begin
+        Db.run db;
+        snapshot := Checkpoint.take db;
+        incr snapshots
+      end
+    done;
+    Db.run db;
+    let report = Db.crash db in
+    let wal_durable =
+      List.fold_left (fun acc (_, survive, _) -> acc + survive) 0 report.Db.wal_files
+    in
+    let db2, rep = Checkpoint.restore ~from:db ~snapshot:!snapshot cfg in
+    let rows =
+      Db.with_txn db2 (fun txn ->
+          let n = ref 0 in
+          Phoebe_core.Table.scan (Db.table db2 "kv") txn (fun _ _ -> incr n);
+          !n)
+    in
+    let expect = n_base + !inserted in
+    note "%-10d %10d %10d %12d %14d %12d %8d%s" every !snapshots n_txns wal_durable
+      rep.Recovery.records_read rep.Recovery.ops_replayed rows
+      (if rows = expect then "" else Printf.sprintf "  !! expected %d" expect);
+    Json.Obj
+      [
+        ("checkpoint_every", Json.Int every);
+        ("snapshots", Json.Int !snapshots);
+        ("committed_txns", Json.Int n_txns);
+        ("wal_durable_bytes", Json.Int wal_durable);
+        ("records_read", Json.Int rep.Recovery.records_read);
+        ("ops_replayed", Json.Int rep.Recovery.ops_replayed);
+        ("ops_dropped", Json.Int rep.Recovery.ops_dropped);
+        ("replayed_committed_txns", Json.Int rep.Recovery.committed_txns);
+        ("rows_recovered", Json.Int rows);
+        ("rows_expected", Json.Int expect);
+      ]
+  in
+  add_json "recovery" (Json.List (List.map run_point [ 0; 16; 64 ]))
 
 let ablations () =
   ablation_rfa ();

@@ -138,8 +138,10 @@ let run_micro () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations overload micro \
-     all smoke]\n\
+    "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations overload \
+     recovery micro all smoke]\n\
+    \       [--experiment <name>]   run <name> (same as passing it positionally)\n\
+    \       [--seed <n>]            workload seed for every harness (default 42)\n\
     \       [--json <path>]         write machine-readable results (simulated quantities only)\n\
     \       [--check-json <path>]   validate that <path> parses as JSON, then exit\n\
     \       [--deadline-ms <n>]     arm an n-millisecond (virtual) per-transaction deadline\n\
@@ -174,7 +176,18 @@ let () =
   let json_path, args = extract_opt "--json" args in
   let check_path, args = extract_opt "--check-json" args in
   let deadline_ms, args = extract_opt "--deadline-ms" args in
+  let seed_arg, args = extract_opt "--seed" args in
+  let experiment, args = extract_opt "--experiment" args in
   let admission, args = extract_flag "--admission" args in
+  (match seed_arg with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> Experiments.opt_seed := n
+    | None ->
+      prerr_endline "--seed requires an integer";
+      exit 2)
+  | None -> ());
+  let args = match experiment with Some name -> args @ [ name ] | None -> args in
   (match deadline_ms with
   | Some ms -> (
     match int_of_string_opt ms with
@@ -212,6 +225,7 @@ let () =
       | "exp9" -> Experiments.exp9 ()
       | "ablations" -> Experiments.ablations ()
       | "overload" -> Experiments.overload ()
+      | "recovery" -> Experiments.recovery ()
       | "smoke" -> Experiments.smoke ()
       | "micro" -> run_micro ()
       | "all" -> Experiments.all ()

@@ -82,6 +82,12 @@ let take db =
           List.iter (Varint.write_string buf) cols)
         indexes)
     tables;
+  (* The manifest walk queued leaf write-backs; until they (and any
+     earlier cleaner/freeze writes) are confirmed on media the snapshot
+     references volatile pages and must not be published. This is the
+     checkpointer's fsync-and-verify barrier — it also re-issues writes
+     that fault injection tore. *)
+  Db.sync_stores db;
   Buffer.to_bytes buf
 
 let restore ~from ~snapshot cfg =

@@ -30,6 +30,7 @@ type t = {
   data_device : Phoebe_io.Device.config;
   wal_device : Phoebe_io.Device.config;
   block_device : Phoebe_io.Device.config;
+  faults : Phoebe_io.Device.fault_config option;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     data_device = Phoebe_io.Device.pm9a3;
     wal_device = Phoebe_io.Device.pm9a3;
     block_device = Phoebe_io.Device.pm9a3;
+    faults = None;
   }
 
 let paper_scale = { default with n_workers = 100; slots_per_worker = 32 }

@@ -43,6 +43,12 @@ type t = {
   data_device : Phoebe_io.Device.config;
   wal_device : Phoebe_io.Device.config;  (** Exp 3 puts WAL on its own disk *)
   block_device : Phoebe_io.Device.config;
+  faults : Phoebe_io.Device.fault_config option;
+      (** deterministic device fault injection (torn writes, lost and
+          delayed completions). [None] (the default) never consults the
+          fault machinery: the simulation is bit-identical to a build
+          without it. Each device derives its own PRNG stream from
+          [fault_seed] (data +0, wal +1, blocks +2). *)
 }
 
 val default : t

@@ -10,6 +10,8 @@ module Value = Phoebe_storage.Value
 module Wal = Phoebe_wal.Wal
 module Recovery = Phoebe_wal.Recovery
 module Txnmgr = Phoebe_txn.Txnmgr
+module Twin = Phoebe_txn.Twin
+module Undo = Phoebe_txn.Undo
 module Clock = Phoebe_txn.Clock
 module Obs = Phoebe_obs.Obs
 module Trace = Phoebe_obs.Trace
@@ -43,6 +45,62 @@ exception Overloaded
 let pax_codec : Pax.t Bufmgr.codec =
   { Bufmgr.encode = Pax.encode; decode = Pax.decode; size = Pax.size_bytes }
 
+(* The steal guard. Pages are updated in place and the WAL is redo-only,
+   so a dirty page flushed mid-transaction (cleaner, eviction,
+   checkpoint) would put uncommitted values on durable media that
+   recovery can never roll back. Before an image leaves for the store,
+   walk the page's twin table and apply the uncommitted prefix of every
+   version chain — the active transaction's before-images — to a copy,
+   reconstructing the committed view. The live page is never touched,
+   and pages with no uncommitted writers (the common case) are written
+   as-is, copy-free. Uncommitted entries are always a prefix of a chain:
+   the tuple lock admits one active writer per tuple at a time. *)
+(* A twin entry is safe to persist only once its transaction is both
+   commit-stamped and past its durability wait: between the [ets] stamp
+   and [Wal.commit_durable] returning, a stolen flush would put
+   committed-looking data on media with no durable commit record to
+   justify it after a crash. *)
+let durably_committed txns (u : Undo.t) =
+  Undo.is_committed u && u.Undo.ets <= Txnmgr.durable_commit_ts txns ~slot:u.Undo.slot
+
+let sanitize_page txns ~page_id (p : Pax.t) =
+  match Txnmgr.twin_of_page txns ~page_id with
+  | None -> p
+  | Some twin ->
+    let needs = ref false in
+    Twin.iter twin (fun _rid entry ->
+        match Twin.chain_head entry with
+        | Some u when not (durably_committed txns u) -> needs := true
+        | _ -> ());
+    if not !needs then p
+    else begin
+      let copy = Pax.copy p in
+      Twin.iter twin (fun rid entry ->
+          match Pax.find copy ~row_id:rid with
+          | None -> ()
+          | Some slot ->
+            let rec undo = function
+              | Some (u : Undo.t)
+                when (not u.Undo.reclaimed) && not (durably_committed txns u) ->
+                (match u.Undo.kind with
+                | Undo.Created -> Pax.mark_deleted copy ~slot
+                | Undo.Updated before ->
+                  Array.iter (fun (col, v) -> Pax.set_col copy ~slot ~col v) before
+                | Undo.Deleted before ->
+                  Array.iteri (fun col v -> Pax.set_col copy ~slot ~col v) before;
+                  Pax.unmark_deleted copy ~slot);
+                undo u.Undo.next
+              | _ -> ()
+            in
+            undo (Twin.chain_head entry));
+      copy
+    end
+
+let fault_cfg (cfg : Config.t) i =
+  Option.map
+    (fun (fc : Device.fault_config) -> { fc with Device.fault_seed = fc.Device.fault_seed + i })
+    cfg.Config.faults
+
 let create_on eng (cfg : Config.t) =
   let obs = Obs.create () in
   let sched_cfg =
@@ -57,9 +115,15 @@ let create_on eng (cfg : Config.t) =
   let sched = Scheduler.create ~obs eng sched_cfg in
   let n_slots = cfg.Config.n_workers * cfg.Config.slots_per_worker in
   if cfg.Config.spans then Scheduler.set_trace sched (Trace.create ~obs ~n_slots ());
-  let data_dev = Device.create ~obs eng ~name:"data" cfg.Config.data_device in
-  let wal_dev = Device.create ~obs eng ~name:"wal" cfg.Config.wal_device in
-  let block_dev = Device.create ~obs eng ~name:"blocks" cfg.Config.block_device in
+  let data_dev =
+    Device.create ~obs ?faults:(fault_cfg cfg 0) eng ~name:"data" cfg.Config.data_device
+  in
+  let wal_dev =
+    Device.create ~obs ?faults:(fault_cfg cfg 1) eng ~name:"wal" cfg.Config.wal_device
+  in
+  let block_dev =
+    Device.create ~obs ?faults:(fault_cfg cfg 2) eng ~name:"blocks" cfg.Config.block_device
+  in
   let buf =
     Bufmgr.create ~obs eng ~store:(Pagestore.create data_dev) ~partitions:cfg.Config.n_workers
       ~budget_bytes:cfg.Config.buffer_bytes ~codec:pax_codec
@@ -82,6 +146,7 @@ let create_on eng (cfg : Config.t) =
     Txnmgr.create ~obs ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode
       ?contention ()
   in
+  Bufmgr.set_write_sanitizer buf (fun ~page_id p -> sanitize_page txns ~page_id p);
   {
     cfg;
     eng;
@@ -138,6 +203,7 @@ let create_attached old (cfg : Config.t) =
   let txns =
     Txnmgr.create ~obs ~clock ~wal:walmgr ~n_slots ~snapshot_mode:cfg.Config.snapshot_mode ()
   in
+  Bufmgr.set_write_sanitizer buf (fun ~page_id p -> sanitize_page txns ~page_id p);
   {
     cfg;
     eng;
@@ -361,6 +427,38 @@ let checkpoint t =
   if not !completed then
     Phoebe_error.bug ~subsystem:"core.db" "checkpoint: WAL flush did not complete after engine drain"
 
+type crash_report = {
+  wal_files : (int * int * int) list;  (** (file, surviving bytes, lost bytes) *)
+  volatile_pages : int;  (** data/block pages that existed only in the volatile view *)
+}
+
+(* Power loss, at whatever virtual-time point the engine happens to be:
+   active transactions, in-flight WAL flushes and dirty pages all die
+   where they stand. Nothing is snapshotted or flushed — every pending
+   event is dropped and every store is cut back to its durable frontier.
+   The handle must not run transactions afterwards; hand the surviving
+   stores to [Checkpoint.restore]. *)
+let crash ?tear t =
+  Wal.stop t.walmgr;
+  Engine.clear t.eng;
+  let wal_files = Walstore.crash ?tear (Wal.store t.walmgr) in
+  let data_lost = Pagestore.crash (Bufmgr.store t.buf) in
+  let block_lost = Pagestore.crash t.block_store in
+  { wal_files; volatile_pages = data_lost + block_lost }
+
+let wal_lost_bytes r = List.fold_left (fun acc (_, _, lost) -> acc + lost) 0 r.wal_files
+
+(* The fsync barrier under a checkpoint: both page stores must converge
+   onto durable media before a snapshot referencing their pages may be
+   published as a recovery point. *)
+let sync_stores t =
+  let pending = ref 2 in
+  Pagestore.sync (Bufmgr.store t.buf) ~on_complete:(fun () -> decr pending);
+  Pagestore.sync t.block_store ~on_complete:(fun () -> decr pending);
+  Engine.run t.eng;
+  if !pending <> 0 then
+    Phoebe_error.bug ~subsystem:"core.db" "sync_stores: page-store sync did not converge"
+
 let flush_pages t =
   let completed = ref false in
   Bufmgr.flush_all_dirty t.buf ~on_done:(fun () -> completed := true);
@@ -393,12 +491,21 @@ let replay_wal ?after t ~from =
     | Some tbl -> tbl
     | None -> Phoebe_error.bug ~subsystem:"core.db" "replay_wal: unknown table id %d" id
   in
-  Recovery.replay ?after from
-    {
-      Recovery.insert = (fun ~table ~rid row -> Table.raw_insert (table_for table) ~rid row);
-      update = (fun ~table ~rid cols -> Table.raw_update (table_for table) ~rid cols);
-      delete = (fun ~table ~rid -> Table.raw_delete (table_for table) ~rid);
-    }
+  let report =
+    Recovery.replay ?after from
+      {
+        Recovery.insert = (fun ~table ~rid row -> Table.raw_insert (table_for table) ~rid row);
+        update = (fun ~table ~rid cols -> Table.raw_update (table_for table) ~rid cols);
+        delete = (fun ~table ~rid -> Table.raw_delete (table_for table) ~rid);
+      }
+  in
+  (* a lossy restore must be visible, not silent *)
+  Obs.Counter.add (Obs.counter t.obs "wal.recovery.torn_tails") report.Recovery.torn_tails;
+  Obs.Counter.add (Obs.counter t.obs "wal.recovery.bytes_skipped") report.Recovery.bytes_skipped;
+  Obs.Counter.add
+    (Obs.counter t.obs "wal.recovery.corrupt_records")
+    report.Recovery.corrupt_records;
+  report
 
 (* ------------------------------------------------------------------ *)
 (* Statistics *)
@@ -411,6 +518,7 @@ type stats = {
   wait_timeouts : int;
   wal_records : int;
   wal_bytes : int;
+  wal_durable_bytes : int;
   rfa_local_commits : int;
   rfa_remote_waits : int;
   undo_bytes : int;
@@ -428,6 +536,7 @@ let stats t =
     wait_timeouts = Scheduler.timeouts t.sched;
     wal_records = Wal.total_records t.walmgr;
     wal_bytes = Wal.total_bytes t.walmgr;
+    wal_durable_bytes = Wal.total_durable_bytes t.walmgr;
     rfa_local_commits = Wal.local_commits t.walmgr;
     rfa_remote_waits = Wal.remote_waits t.walmgr;
     undo_bytes = Txnmgr.undo_bytes t.txns;

@@ -139,9 +139,36 @@ val checkpoint : t -> unit
     checkpoint manifest walk — so the on-disk image never runs ahead of
     a snapshot taken earlier. *)
 
+val sync_stores : t -> unit
+(** Fsync barrier: drive both page stores until their durable images
+    match the latest view, retrying writes that fault injection tears.
+    [Checkpoint.take] calls this before publishing a snapshot — the
+    image is not a recovery point while any page it references is
+    volatile. *)
+
 val flush_pages : t -> unit
 (** Write back every dirty buffer page through the cleaner's vectored
     batch path and drive the engine until the batches complete. *)
+
+type crash_report = {
+  wal_files : (int * int * int) list;
+      (** per WAL file: (file, surviving bytes, bytes lost past the
+          durable frontier) *)
+  volatile_pages : int;
+      (** data/block pages that existed only in the volatile view and
+          are gone *)
+}
+
+val crash : ?tear:Phoebe_util.Prng.t -> t -> crash_report
+(** Power loss at the current virtual-time point — mid-workload is the
+    intended use. Snapshots nothing: every pending engine event (device
+    completions, fibers, timers) is dropped, every WAL file is truncated
+    to its durable frontier ([tear] additionally cuts the last in-flight
+    write at a random sector boundary), and every page store reverts to
+    its durable images. The handle is dead afterwards except as the
+    [from] argument of [Checkpoint.restore] / {!replay_wal}. *)
+
+val wal_lost_bytes : crash_report -> int
 
 val gc : t -> int
 (** Run a full UNDO + twin-table GC pass over every slot (the per-worker
@@ -168,7 +195,8 @@ type stats = {
   sheds : int;  (** transactions refused by admission control *)
   wait_timeouts : int;  (** scheduler waits that woke with [Timed_out] *)
   wal_records : int;
-  wal_bytes : int;
+  wal_bytes : int;  (** appended to writer buffers (pre-durability) *)
+  wal_durable_bytes : int;  (** flush completions actually received *)
   rfa_local_commits : int;
   rfa_remote_waits : int;
   undo_bytes : int;

@@ -599,9 +599,22 @@ let gc_reclaim_undo t (undo : Undo.t) =
 (* ------------------------------------------------------------------ *)
 (* Recovery replay *)
 
+(* Replay must be idempotent: recovery starts from whatever leaf images
+   last reached durable media, and a cleaner may have flushed rows
+   inserted *after* the checkpoint — so a replayed insert can find its
+   rid already present. Overwrite in place instead of raising. *)
 let raw_insert t ~rid row =
-  Table_tree.append_exact t.ttree ~row_id:rid row;
-  List.iter (fun ix -> Index_tree.insert ix.ix ~key:(key_of_row ix row) ~rid) t.indexes
+  match Table_tree.locate ~touch:false t.ttree ~row_id:rid with
+  | Some (Table_tree.In_page (frame, slot)) ->
+    let page = Bufmgr.payload frame in
+    Array.iteri (fun col v -> Pax.set_col page ~slot ~col v) row;
+    Pax.unmark_deleted page ~slot;
+    Bufmgr.mark_dirty frame;
+    List.iter (fun ix -> Index_tree.insert ix.ix ~key:(key_of_row ix row) ~rid) t.indexes
+  | Some (Table_tree.In_frozen _) -> () (* block images are immutable and already durable *)
+  | None ->
+    Table_tree.append_exact t.ttree ~row_id:rid row;
+    List.iter (fun ix -> Index_tree.insert ix.ix ~key:(key_of_row ix row) ~rid) t.indexes
 
 let raw_insert_mapped t row =
   let rid = Table_tree.append t.ttree row in

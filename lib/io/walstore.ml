@@ -1,36 +1,148 @@
-type t = {
-  dev : Device.t;
-  file_bufs : (int, Buffer.t) Hashtbl.t;
-  mutable appended : int;
+(* Each file is its full append history plus a queue of extents not yet
+   absorbed into the durable frontier. Appends to one file are absorbed
+   in order: an extent's bytes only join [durable] once every earlier
+   extent of that file is on media, so the frontier is always a
+   contiguous prefix of [buf]. *)
+
+module Engine = Phoebe_sim.Engine
+
+type extent = {
+  e_len : int;
+  mutable e_state : [ `Pending | `Done | `Media_no_ack | `Torn of int ];
+  e_ack : unit -> unit;
 }
 
-let create dev = { dev; file_bufs = Hashtbl.create 64; appended = 0 }
+type wfile = {
+  buf : Buffer.t;  (** every appended byte, in append order *)
+  mutable durable : int;  (** contiguous media frontier, in bytes *)
+  extents : extent Queue.t;  (** appended but not yet absorbed, in order *)
+}
 
-let buffer_for t file =
-  match Hashtbl.find_opt t.file_bufs file with
-  | Some b -> b
+type t = {
+  dev : Device.t;
+  files : (int, wfile) Hashtbl.t;
+  mutable appended : int;
+  mutable durable_total : int;
+  mutable crashes : int;
+}
+
+let create dev =
+  { dev; files = Hashtbl.create 64; appended = 0; durable_total = 0; crashes = 0 }
+
+let file_for t file =
+  match Hashtbl.find_opt t.files file with
+  | Some f -> f
   | None ->
-    let b = Buffer.create 4096 in
-    Hashtbl.add t.file_bufs file b;
-    b
+    let f = { buf = Buffer.create 4096; durable = 0; extents = Queue.create () } in
+    Hashtbl.add t.files file f;
+    f
+
+(* Absorb the longest all-on-media prefix of the extent queue into the
+   durable frontier. Acks fire in append order; a lost-ack extent
+   advances the frontier immediately (its bytes are on media) but its
+   ack is only delivered after the host's completion-timeout + verify
+   pass — until then the writer legitimately believes the flush is
+   still in flight. *)
+let advance t f =
+  let rec go () =
+    match Queue.peek_opt f.extents with
+    | Some e when e.e_state = `Done ->
+      ignore (Queue.pop f.extents);
+      f.durable <- f.durable + e.e_len;
+      t.durable_total <- t.durable_total + e.e_len;
+      e.e_ack ();
+      go ()
+    | Some e when e.e_state = `Media_no_ack ->
+      ignore (Queue.pop f.extents);
+      f.durable <- f.durable + e.e_len;
+      t.durable_total <- t.durable_total + e.e_len;
+      Engine.schedule (Device.engine t.dev) ~delay:Device.fault_recovery_ns e.e_ack;
+      go ()
+    | _ -> ()
+  in
+  go ()
 
 let append t ~file bytes ~on_durable =
-  let buf = buffer_for t file in
-  Buffer.add_bytes buf bytes;
+  let f = file_for t file in
+  Buffer.add_bytes f.buf bytes;
   t.appended <- t.appended + Bytes.length bytes;
-  Device.submit t.dev Device.Write ~bytes:(Bytes.length bytes) ~on_complete:on_durable
+  let e = { e_len = Bytes.length bytes; e_state = `Pending; e_ack = on_durable } in
+  Queue.push e f.extents;
+  let epoch = t.crashes in
+  let rec on_outcome _ outcome =
+    (match outcome with
+    | Device.W_done -> e.e_state <- `Done
+    | Device.W_lost_ack -> e.e_state <- `Media_no_ack
+    | Device.W_torn media ->
+      (* keep the largest prefix known on media across retries *)
+      e.e_state <-
+        (match e.e_state with `Torn m when m > media -> `Torn m | _ -> `Torn media);
+      (* the host's completion timeout fires, the log manager finds the
+         short write and rewrites the extent tail from its buffer *)
+      Engine.schedule (Device.engine t.dev) ~delay:Device.fault_recovery_ns (fun () ->
+          if t.crashes = epoch then
+            Device.submit_writes t.dev ~sizes:[ e.e_len ] ~on_outcome));
+    advance t f
+  in
+  Device.submit_writes t.dev ~sizes:[ Bytes.length bytes ] ~on_outcome
 
+(* The live view: everything appended, durable or not. A running system
+   reading its own WAL sees its own writes; [crash] is what makes the
+   volatile tail actually disappear. *)
 let contents t ~file =
-  match Hashtbl.find_opt t.file_bufs file with
-  | Some b -> Buffer.to_bytes b
+  match Hashtbl.find_opt t.files file with
+  | Some f -> Buffer.to_bytes f.buf
   | None -> Bytes.empty
 
+let durable_frontier t ~file =
+  match Hashtbl.find_opt t.files file with Some f -> f.durable | None -> 0
+
+let pending_bytes t ~file =
+  match Hashtbl.find_opt t.files file with
+  | Some f -> Buffer.length f.buf - f.durable
+  | None -> 0
+
+let crash ?tear t =
+  t.crashes <- t.crashes + 1;
+  Hashtbl.fold (fun file f acc -> (file, f) :: acc) t.files []
+  |> List.sort compare
+  |> List.map (fun (file, f) ->
+         (* Only the first unabsorbed extent can contribute bytes past
+            the frontier: a torn write keeps its sector prefix, and an
+            in-flight write may tear at a random sector boundary when
+            the caller asks for it. Later extents are unreachable even
+            if the device finished them — the hole in front of them
+            makes the log undecodable there, so the media image drops
+            them. *)
+         let extra =
+           match Queue.peek_opt f.extents with
+           | Some { e_state = `Torn media; e_len; _ } -> min media e_len
+           | Some { e_state = `Pending; e_len; _ } -> (
+             match tear with
+             | None -> 0
+             | Some rng ->
+               let sectors = (e_len + Device.sector_size - 1) / Device.sector_size in
+               min e_len (Phoebe_util.Prng.int_incl rng 0 sectors * Device.sector_size))
+           | _ -> 0
+         in
+         let survive = f.durable + extra in
+         let total = Buffer.length f.buf in
+         let image = Buffer.sub f.buf 0 survive in
+         Buffer.clear f.buf;
+         Buffer.add_string f.buf image;
+         f.durable <- survive;
+         Queue.clear f.extents;
+         (file, survive, total - survive))
+
 let files t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.file_bufs [] |> List.sort compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
 
 let total_appended t = t.appended
+let total_durable t = t.durable_total
+let crash_count t = t.crashes
 let device t = t.dev
 
 let reset t =
-  Hashtbl.reset t.file_bufs;
-  t.appended <- 0
+  Hashtbl.reset t.files;
+  t.appended <- 0;
+  t.durable_total <- 0

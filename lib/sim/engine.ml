@@ -39,5 +39,6 @@ let run_until t ~time =
   in
   loop ()
 
+let clear t = Phoebe_util.Binheap.clear t.heap
 let pending t = Phoebe_util.Binheap.length t.heap
 let processed t = t.processed

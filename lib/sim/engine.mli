@@ -23,6 +23,12 @@ val run_until : t -> time:int -> unit
 (** Process events with timestamp [<= time]; afterwards [now t = time]
     if the queue outlived the horizon. *)
 
+val clear : t -> unit
+(** Drop every pending event without running it; [now] is unchanged.
+    This is power loss: in-flight device completions, background fibers
+    and timer ticks of the dead instance simply never fire. Only crash
+    simulation ({!Phoebe_core.Db.crash}) should use it. *)
+
 val pending : t -> int
 (** Number of queued events (for tests and liveness checks). *)
 

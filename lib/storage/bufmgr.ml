@@ -67,6 +67,10 @@ type 'p t = {
   mutable next_page_id : int;
   mutable cleaner_cfg : cleaner_config;
   mutable cleaner_sched : Scheduler.t option;
+  mutable sanitize : (page_id:int -> 'p -> 'p) option;
+      (** applied to every payload just before it is encoded for the
+          store: the steal guard strips uncommitted changes from the
+          written image (the live page is never touched) *)
   cl_batches : Obs.Counter.t;
   cl_pages : Obs.Counter.t;
   cl_requeued : Obs.Counter.t;
@@ -103,6 +107,7 @@ let create ?obs engine ~store ~partitions ~budget_bytes ~codec =
     next_page_id = 0;
     cleaner_cfg = { default_cleaner with cl_enabled = false };
     cleaner_sched = None;
+    sanitize = None;
     cl_batches = counter "buf.cleaner.batches";
     cl_pages = counter "buf.cleaner.pages";
     cl_requeued = counter "buf.cleaner.requeued";
@@ -276,12 +281,41 @@ let drop t frame =
   frame.fpayload <- None;
   Pagestore.delete t.pstore ~page_id:frame.fpage_id
 
+(* Every image that leaves for the store goes through here: the steal
+   guard (when installed) rebuilds the durably-committed view of the
+   page before the codec sees it. Returns whether the guard had to
+   strip anything — a stripped image is incomplete, so the frame must
+   STAY DIRTY: clearing the flag would let a clean-frame eviction drop
+   the only full copy and a later reload would resurrect the stripped
+   (older) store image mid-flight. The sanitizer signals "stripped" by
+   returning a fresh copy ([!=] the input). *)
+let encode_image t ~page_id p =
+  match t.sanitize with
+  | None -> (t.codec.encode p, false)
+  | Some f ->
+    let q = f ~page_id p in
+    (t.codec.encode q, q != p)
+
+(* True when [encode_image] would have to strip entries from this
+   frame's image — the sanitizer returns a copy instead of the page
+   itself. Writing such an image is pure write amplification: the
+   stripped copy cannot make the frame clean (the frame holds the only
+   full image and must stay resident), so callers that have the option
+   should defer the write until the page is safe instead. *)
+let would_strip t f =
+  match (t.sanitize, f.fpayload) with
+  | Some sf, Some p -> sf ~page_id:f.fpage_id p != p
+  | _ -> false
+
 let write_back t frame =
   match frame.fpayload with
   | Some p when frame.fdirty ->
-    Pagestore.write t.pstore ~page_id:frame.fpage_id (t.codec.encode p);
-    frame.fdirty <- false
+    let raw, stripped = encode_image t ~page_id:frame.fpage_id p in
+    Pagestore.write t.pstore ~page_id:frame.fpage_id raw;
+    if not stripped then frame.fdirty <- false
   | _ -> ()
+
+let set_write_sanitizer t f = t.sanitize <- Some f
 
 let access_count f = f.faccess_count
 let last_access f = f.flast_access
@@ -363,6 +397,14 @@ let rec cleaner_service t partition =
   let part = t.parts.(partition) in
   let cfg = t.cleaner_cfg in
   let c = costs () in
+  (* Frames deferred this pass because their image would need stripping
+     (entries not yet durably committed); they rejoin the queue only
+     after the pass so [collect] cannot pull them again at the same
+     virtual instant. [wrote] gates the tail re-kick: a pass that wrote
+     nothing must not re-arm itself, or an all-deferred queue would spin
+     without advancing time. *)
+  let deferred = ref [] in
+  let wrote = ref false in
   let rec collect k acc =
     if k = 0 then List.rev acc
     else
@@ -378,32 +420,47 @@ let rec cleaner_service t partition =
         else collect k acc
   in
   let clean_batch batch =
-    let n = List.length batch in
-    Scheduler.charge Component.Cleaner (n * c.Cost.cleaner_page);
-    (* no suspension between flipping frames clean and capturing their
-       images below: Pagestore.write_batch copies the pages synchronously
-       inside io_wait's register, before any other fiber can run *)
-    let pages =
-      List.map
-        (fun f ->
-          f.fin_flight <- true;
-          f.fdirty <- false;
-          (f.fpage_id, t.codec.encode (payload f)))
-        batch
-    in
-    Scheduler.io_wait (fun resume -> Pagestore.write_batch t.pstore pages ~on_complete:resume);
-    (* batch durable; write coalescing for pages re-dirtied in flight *)
+    (* defer unsafe frames up front (synchronous — no fiber can change
+       page safety between the check and the partition) *)
+    let writable, unsafe = List.partition (fun f -> not (would_strip t f)) batch in
     List.iter
       (fun f ->
-        f.fin_flight <- false;
-        if f.fdirty && f.fstate = Cooling && Hashtbl.mem part.frames f.fpage_id then begin
-          Obs.Counter.incr t.cl_requeued;
-          queue_dirty_cooling part f
-        end)
-      batch;
-    Obs.Counter.incr t.cl_batches;
-    Obs.Counter.add t.cl_pages n;
-    Stats.Scalar.add t.cl_batch_sizes (float_of_int n)
+        Obs.Counter.incr t.cl_requeued;
+        deferred := f :: !deferred)
+      unsafe;
+    match writable with
+    | [] -> ()
+    | batch ->
+      wrote := true;
+      let n = List.length batch in
+      Scheduler.charge Component.Cleaner (n * c.Cost.cleaner_page);
+      (* no suspension between flipping frames clean and capturing their
+         images below: Pagestore.write_batch copies the pages synchronously
+         inside io_wait's register, before any other fiber can run *)
+      let pages =
+        List.map
+          (fun f ->
+            f.fin_flight <- true;
+            let raw, stripped = encode_image t ~page_id:f.fpage_id (payload f) in
+            (* a page can turn unsafe during the charge suspension above;
+               a stripped capture stays dirty and is requeued below *)
+            f.fdirty <- stripped;
+            (f.fpage_id, raw))
+          batch
+      in
+      Scheduler.io_wait (fun resume -> Pagestore.write_batch t.pstore pages ~on_complete:resume);
+      (* batch durable; write coalescing for pages re-dirtied in flight *)
+      List.iter
+        (fun f ->
+          f.fin_flight <- false;
+          if f.fdirty && f.fstate = Cooling && Hashtbl.mem part.frames f.fpage_id then begin
+            Obs.Counter.incr t.cl_requeued;
+            queue_dirty_cooling part f
+          end)
+        batch;
+      Obs.Counter.incr t.cl_batches;
+      Obs.Counter.add t.cl_pages n;
+      Stats.Scalar.add t.cl_batch_sizes (float_of_int n)
   in
   (* Demote hot frames until a full batch is queued or the sweep stops
      making progress (every frame pinned, latched or recently touched):
@@ -432,6 +489,13 @@ let rec cleaner_service t partition =
     end
   in
   pass 64;
+  (* deferred frames rejoin the queue for a later pass, once their
+     commits' durability has drained *)
+  List.iter
+    (fun f ->
+      if f.fdirty && f.fstate = Cooling && Hashtbl.mem part.frames f.fpage_id then
+        queue_dirty_cooling part f)
+    (List.rev !deferred);
   (* the partition may now hold a run of clean cooling frames: unswizzle
      down to budget while we are on the owning worker instead of waiting
      for the next housekeeping cadence *)
@@ -440,8 +504,10 @@ let rec cleaner_service t partition =
   done;
   part.cleaner_active <- false;
   (* dirty frames may have been demoted while the last batch was in
-     flight; re-arm rather than leave them stranded *)
-  kick_cleaner t ~partition
+     flight; re-arm rather than leave them stranded — but only if this
+     pass made progress, else an all-deferred queue would respawn the
+     fiber at the same virtual time forever *)
+  if !wrote then kick_cleaner t ~partition
 
 and kick_cleaner ?(force = false) t ~partition =
   match t.cleaner_sched with
@@ -476,17 +542,24 @@ and evict_one t part =
     match f.fpayload with
     | Some p ->
       if f.fdirty then begin
-        (* inline fallback: the cleaner is off, unattached, or behind *)
-        Obs.Counter.incr t.cl_dirty_fallbacks;
-        let raw = t.codec.encode p in
-        Pagestore.write t.pstore ~page_id:f.fpage_id raw;
-        f.fdirty <- false
+        (* inline fallback: the cleaner is off, unattached, or behind.
+           An image that would need stripping is not written at all —
+           it could not make the frame evictable anyway, and the
+           re-check below keeps the still-dirty frame resident. *)
+        if not (would_strip t f) then begin
+          Obs.Counter.incr t.cl_dirty_fallbacks;
+          let raw, stripped = encode_image t ~page_id:f.fpage_id p in
+          Pagestore.write t.pstore ~page_id:f.fpage_id raw;
+          if not stripped then f.fdirty <- false
+        end
       end
       else Obs.Counter.incr t.cl_clean_evicts;
       (* Re-check: the write may have suspended us; the frame may have
-         been re-heated or re-touched while we were writing back. *)
+         been re-heated or re-touched while we were writing back — and a
+         still-dirty frame (stripped write-back, or re-dirtied in
+         flight) holds the only full image, so it must stay resident. *)
       if
-        f.fstate = Cooling && f.fpinned = 0
+        (not f.fdirty) && f.fstate = Cooling && f.fpinned = 0
         && Engine.now t.engine - f.flast_access >= recency_guard_ns
       then begin
         (match f.fparent with
@@ -581,8 +654,9 @@ let chunked n list =
 let snapshot_chunk t chunk =
   List.map
     (fun f ->
-      f.fdirty <- false;
-      (f.fpage_id, t.codec.encode (payload f)))
+      let raw, stripped = encode_image t ~page_id:f.fpage_id (payload f) in
+      f.fdirty <- stripped;
+      (f.fpage_id, raw))
     chunk
 
 let write_back_batch t frames =

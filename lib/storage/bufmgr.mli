@@ -83,6 +83,20 @@ val set_parent : 'p frame -> 'p swip -> unit
 val drop : 'p t -> 'p frame -> unit
 (** Remove a page entirely (freeze path); the swip holder must forget it. *)
 
+val set_write_sanitizer : 'p t -> (page_id:int -> 'p -> 'p) -> unit
+(** Install the steal guard: a function applied to every payload just
+    before it is encoded for the store (single write-back, cleaner
+    batches, eviction fallback and flush-all alike). With in-place page
+    updates and redo-only WAL, a stolen (dirty, flushed mid-transaction)
+    page would put uncommitted data on durable media that recovery can
+    never roll back; the sanitizer reconstructs the durably-committed
+    image (from the in-memory undo chains) on a copy, leaving the live
+    page untouched. Contract: return the input payload itself
+    (physically [==]) when nothing needed stripping, a fresh copy
+    otherwise — a stripped flush leaves the frame dirty so the full
+    image is flushed again later rather than silently lost to a
+    clean-frame eviction. *)
+
 val write_back : 'p t -> 'p frame -> unit
 (** Persist a dirty resident frame to the store without evicting it
     (checkpointing). No-op on clean or non-resident frames. *)

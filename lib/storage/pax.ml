@@ -45,6 +45,25 @@ let create schema ~capacity =
     str_bytes = 0;
   }
 
+let copy t =
+  {
+    pschema = t.pschema;
+    pcapacity = t.pcapacity;
+    n = t.n;
+    row_ids = Array.copy t.row_ids;
+    cols =
+      Array.map
+        (function
+          | Ints a -> Ints (Array.copy a)
+          | Floats a -> Floats (Array.copy a)
+          | Strs a -> Strs (Array.copy a)
+          | Bools b -> Bools (Bytes.copy b))
+        t.cols;
+    nulls = Array.map Bytes.copy t.nulls;
+    deleted = Bytes.copy t.deleted;
+    str_bytes = t.str_bytes;
+  }
+
 let schema t = t.pschema
 let capacity t = t.pcapacity
 let count t = t.n

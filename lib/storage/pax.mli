@@ -14,6 +14,11 @@ type t
 
 val create : Value.Schema.t -> capacity:int -> t
 
+val copy : t -> t
+(** Deep copy: mutating the copy never touches the original. Used to
+    build a sanitized image for write-back without disturbing the live
+    page. *)
+
 val schema : t -> Value.Schema.t
 val capacity : t -> int
 val count : t -> int

@@ -22,6 +22,7 @@ let find_or_add t ~rid =
     Hashtbl.add t.entries rid e;
     e
 
+let iter t f = Hashtbl.iter f t.entries
 let max_modifier_xid t = t.max_xid
 let note_modifier t ~xid = if xid > t.max_xid then t.max_xid <- xid
 let entry_count t = Hashtbl.length t.entries

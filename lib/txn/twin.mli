@@ -23,6 +23,9 @@ val find : t -> rid:int -> entry option
 
 val find_or_add : t -> rid:int -> entry
 
+val iter : t -> (int -> entry -> unit) -> unit
+(** Visit every (rid, entry) pair; iteration order is unspecified. *)
+
 val max_modifier_xid : t -> int
 
 val note_modifier : t -> xid:int -> unit

@@ -59,6 +59,9 @@ type t = {
   active : (int, txn) Hashtbl.t;
   slot_bundles : bundle Queue.t array;
   slot_last_reclaimed_xid : int array;
+  slot_durable_cts : int array;
+      (** highest commit timestamp per slot whose commit record is known
+          durable — the write-back sanitizer's watermark *)
   twins : (int, Twin.t) Hashtbl.t;
   live_undo_bytes : Obs.Counter.t;
   n_committed : Obs.Counter.t;
@@ -80,6 +83,7 @@ let create ?obs ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention
     active = Hashtbl.create 256;
     slot_bundles = Array.init n_slots (fun _ -> Queue.create ());
     slot_last_reclaimed_xid = Array.make n_slots 0;
+    slot_durable_cts = Array.make n_slots 0;
     twins = Hashtbl.create 1024;
     live_undo_bytes = counter "txn.undo_bytes";
     n_committed = counter "txn.committed";
@@ -202,6 +206,13 @@ let commit t txn =
     in
     Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn
   end;
+  (* Only now — after the durability wait — may the sanitizer treat this
+     transaction's after-images as safe to put on data pages. Before this
+     point a stolen page flush could persist data whose commit record
+     never reaches the device. With sync_commit off the wait is a no-op
+     and the watermark advances eagerly: relaxed durability is that
+     configuration's contract. *)
+  if cts > t.slot_durable_cts.(txn.slot) then t.slot_durable_cts.(txn.slot) <- cts;
   (* bundle joins the slot's GC queue in commit order *)
   if txn.undo_newest <> None then
     Queue.push { bcts = cts; bxid = txn.xid; undos = txn.undo_newest } t.slot_bundles.(txn.slot);
@@ -290,6 +301,7 @@ let twin_for_page t ~page_id =
     tw
 
 let twin_of_page t ~page_id = Hashtbl.find_opt t.twins page_id
+let durable_commit_ts t ~slot = t.slot_durable_cts.(slot)
 
 let lock_tuple t txn (entry : Twin.entry) =
   let c = costs () in

@@ -128,6 +128,14 @@ val holder_state_after_wait : t -> xid:int -> state
 val twin_for_page : t -> page_id:int -> Twin.t
 val twin_of_page : t -> page_id:int -> Twin.t option
 
+val durable_commit_ts : t -> slot:int -> int
+(** Highest commit timestamp in [slot] whose commit record has passed
+    its durability wait. A commit-stamped undo entry with
+    [ets > durable_commit_ts ~slot] belongs to a transaction whose
+    commit record may still be volatile: the write-back sanitizer must
+    treat it as uncommitted, or a stolen flush could persist changes the
+    crashed WAL cannot justify. *)
+
 val lock_tuple : t -> txn -> Twin.entry -> unit
 (** Short-duration tuple lock (held at most for one operation, §7.2). *)
 

@@ -105,13 +105,31 @@ let decode b off =
   in
   ({ slot; lsn; gsn; op = record }, endpos)
 
+type stop_reason = Eof | Torn | Corrupt
+type stop = { stop_offset : int; reason : stop_reason; bytes_skipped : int }
+
+(* Distinguish "the file simply ends mid-record" (a torn tail — the
+   normal shape after a crash) from "the file continues but the record
+   is wrong" (corruption — bit rot, a misdirected write, a bug). The
+   header is re-read defensively: a flipped bit can turn the length
+   varint into garbage that sends [decode] out of bounds. *)
+let classify b off =
+  match Varint.read_uint b off with
+  | exception (Failure _ | Invalid_argument _) -> Torn
+  | len, off' -> (
+    match Varint.read_uint b off' with
+    | exception (Failure _ | Invalid_argument _) -> Torn
+    | _crc, off'' -> if len < 0 || off'' + len > Bytes.length b then Torn else Corrupt)
+
 let decode_all b ~slot:_ =
+  let n = Bytes.length b in
   let rec go off acc =
-    if off >= Bytes.length b then List.rev acc
+    if off >= n then (List.rev acc, { stop_offset = off; reason = Eof; bytes_skipped = 0 })
     else
       match decode b off with
       | r, off' -> go off' (r :: acc)
-      | exception Failure _ -> List.rev acc (* torn tail after a crash *)
+      | exception (Failure _ | Invalid_argument _) ->
+        (List.rev acc, { stop_offset = off; reason = classify b off; bytes_skipped = n - off })
   in
   go 0 []
 

@@ -23,9 +23,25 @@ val encode : Buffer.t -> t -> unit
 val decode : Bytes.t -> int -> t * int
 (** @raise Failure on CRC mismatch or truncation. *)
 
-val decode_all : Bytes.t -> slot:int -> t list
-(** Decode a whole WAL file; a trailing torn record (simulated crash cut)
-    is tolerated and ignored. *)
+type stop_reason =
+  | Eof  (** the file ends exactly on a record boundary *)
+  | Torn
+      (** the file ends mid-record — the normal tail shape after a
+          crash cut a flush *)
+  | Corrupt
+      (** the record is damaged but the file continues past it: bit
+          rot or a misdirected write, never a clean crash *)
+
+type stop = {
+  stop_offset : int;  (** first byte not consumed *)
+  reason : stop_reason;
+  bytes_skipped : int;  (** bytes from [stop_offset] to end of file *)
+}
+
+val decode_all : Bytes.t -> slot:int -> t list * stop
+(** Decode a whole WAL file prefix and say exactly why decoding stopped.
+    Never raises: truncation, checksum damage and malformed headers all
+    yield a typed {!stop}. *)
 
 val size_bytes : t -> int
 (** Encoded size, for WAL-volume accounting. *)

@@ -12,11 +12,14 @@ type report = {
   committed_txns : int;
   ops_replayed : int;
   ops_dropped : int;
+  torn_tails : int;
+  bytes_skipped : int;
+  corrupt_records : int;
 }
 
 let read_all store =
   List.concat_map
-    (fun file -> Record.decode_all (Walstore.contents store ~file) ~slot:file)
+    (fun file -> fst (Record.decode_all (Walstore.contents store ~file) ~slot:file))
     (Walstore.files store)
 
 (* A transaction's data records carry no xid (they are ordered within
@@ -33,9 +36,43 @@ let replay ?(after = fun _ -> -1) store apply =
   let committed = ref 0 in
   let replayable = ref [] in
   let dropped = ref 0 in
+  let torn_tails = ref 0 in
+  let bytes_skipped = ref 0 in
+  let corrupt = ref 0 in
   List.iter
     (fun file ->
-      let records = Record.decode_all (Walstore.contents store ~file) ~slot:file in
+      let records, stop = Record.decode_all (Walstore.contents store ~file) ~slot:file in
+      (match stop.Record.reason with
+      | Record.Eof -> ()
+      | Record.Torn ->
+        incr torn_tails;
+        bytes_skipped := !bytes_skipped + stop.Record.bytes_skipped
+      | Record.Corrupt ->
+        incr corrupt;
+        bytes_skipped := !bytes_skipped + stop.Record.bytes_skipped);
+      (* The checkpoint frontier must sit on a transaction boundary: the
+         snapshot was taken with no transaction active, so the last
+         record it covers in each slot is a Commit or Abort. A frontier
+         that lands on a data record would make the filter below replay
+         that transaction's suffix under the *next* commit — silent
+         corruption — so refuse loudly instead. *)
+      List.iter
+        (fun (r : Record.t) ->
+          if r.Record.lsn = after r.Record.slot then
+            match r.Record.op with
+            | Record.Commit _ | Record.Abort _ -> ()
+            | _ ->
+              raise
+                (Phoebe_util.Phoebe_error.Bug
+                   {
+                     subsystem = "recovery";
+                     context =
+                       Printf.sprintf
+                         "checkpoint frontier slot=%d lsn=%d lands mid-transaction on a data \
+                          record"
+                         r.Record.slot r.Record.lsn;
+                   }))
+        records;
       let records =
         List.filter (fun (r : Record.t) -> r.Record.lsn > after r.Record.slot) records
       in
@@ -56,13 +93,33 @@ let replay ?(after = fun _ -> -1) store apply =
         records;
       dropped := !dropped + List.length !pending)
     files;
+  (* Inserts are applied first, in (table, rid) order, then everything
+     else in (GSN, slot, LSN) order. Row ids are allocated monotonically
+     and never reused, so every update/delete of a rid follows its
+     insert anyway; ordering the inserts by rid (rather than GSN) keeps
+     the rebuild appending in allocation order — two inserts that landed
+     on different pages carry GSNs from different Lamport clocks, and
+     their GSN order need not match rid order. *)
+  let inserts, others =
+    List.partition
+      (fun (r : Record.t) -> match r.Record.op with Record.Insert _ -> true | _ -> false)
+      !replayable
+  in
   let ordered =
     List.sort
       (fun (a : Record.t) (b : Record.t) ->
-        if a.gsn <> b.gsn then compare a.gsn b.gsn
-        else if a.slot <> b.slot then compare a.slot b.slot
-        else compare a.lsn b.lsn)
-      !replayable
+        match (a.Record.op, b.Record.op) with
+        | Record.Insert { table = ta; rid = ra; _ }, Record.Insert { table = tb; rid = rb; _ }
+          ->
+          if ta <> tb then compare ta tb else compare ra rb
+        | _ -> 0)
+      inserts
+    @ List.sort
+        (fun (a : Record.t) (b : Record.t) ->
+          if a.gsn <> b.gsn then compare a.gsn b.gsn
+          else if a.slot <> b.slot then compare a.slot b.slot
+          else compare a.lsn b.lsn)
+        others
   in
   List.iter
     (fun (r : Record.t) ->
@@ -78,6 +135,9 @@ let replay ?(after = fun _ -> -1) store apply =
     committed_txns = !committed;
     ops_replayed = List.length ordered;
     ops_dropped = !dropped;
+    torn_tails = !torn_tails;
+    bytes_skipped = !bytes_skipped;
+    corrupt_records = !corrupt;
   }
 
 let committed_transactions store =

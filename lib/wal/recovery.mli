@@ -20,12 +20,21 @@ type report = {
   committed_txns : int;
   ops_replayed : int;
   ops_dropped : int;  (** operations of uncommitted transactions *)
+  torn_tails : int;  (** files whose tail was cut mid-record by a crash *)
+  bytes_skipped : int;  (** bytes past the last decodable record, all files *)
+  corrupt_records : int;
+      (** files where decoding stopped on a damaged record with more
+          data after it — never produced by a clean crash *)
 }
 
 val replay : ?after:(int -> int) -> Phoebe_io.Walstore.t -> apply -> report
 (** [after slot] is a per-slot LSN frontier: records at or below it are
     already reflected in the restored state (checkpoint) and skipped.
-    Default: replay everything. *)
+    Default: replay everything.
+    @raise Phoebe_util.Phoebe_error.Bug if a frontier lands on a data
+    record — a checkpoint can only cover whole transactions, so a
+    mid-transaction frontier means the snapshot or the WAL is wrong and
+    replaying would silently split the transaction. *)
 
 val committed_transactions : Phoebe_io.Walstore.t -> (int * int) list
 (** (xid, cts) pairs found in the logs, sorted by cts. *)

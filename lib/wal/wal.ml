@@ -47,6 +47,7 @@ type t = {
   mutable running : bool;
   records : Obs.Counter.t;
   bytes : Obs.Counter.t;
+  bytes_durable : Obs.Counter.t;
   n_remote_waits : Obs.Counter.t;
   n_local_commits : Obs.Counter.t;
 }
@@ -80,6 +81,7 @@ let create ?obs ?(resume = false) engine ~store ~n_slots cfg =
     running = false;
     records = counter "wal.records";
     bytes = counter "wal.bytes";
+    bytes_durable = counter "wal.bytes.durable";
     n_remote_waits = counter "wal.rfa.remote_waits";
     n_local_commits = counter "wal.rfa.local_commits";
   }
@@ -95,7 +97,7 @@ let create ?obs ?(resume = false) engine ~store ~n_slots cfg =
               w.flushed_lsn <- max w.flushed_lsn r.Record.lsn;
               w.cur_gsn <- max w.cur_gsn r.Record.gsn;
               w.max_flushed_gsn <- max w.max_flushed_gsn r.Record.gsn)
-            (Record.decode_all (Walstore.contents t.wstore ~file) ~slot:file)
+            (fst (Record.decode_all (Walstore.contents t.wstore ~file) ~slot:file))
         end)
       (Walstore.files t.wstore);
   t
@@ -137,6 +139,7 @@ let rec flush t w =
     w.inflight_gsn <- w.max_buffered_gsn;
     Walstore.append t.wstore ~file:w.wslot data ~on_durable:(fun () ->
         if !debug then Printf.printf "durable slot=%d lsn=%d\n%!" w.wslot w.inflight_lsn;
+        Obs.Counter.add t.bytes_durable (Bytes.length data);
         w.flushed_lsn <- w.inflight_lsn;
         w.max_flushed_gsn <- max w.max_flushed_gsn w.inflight_gsn;
         w.inflight <- false;
@@ -279,6 +282,7 @@ let remote_waiter_count t = List.length t.remote_waiters
 
 let total_records t = Obs.Counter.get t.records
 let total_bytes t = Obs.Counter.get t.bytes
+let total_durable_bytes t = Obs.Counter.get t.bytes_durable
 let remote_waits t = Obs.Counter.get t.n_remote_waits
 let local_commits t = Obs.Counter.get t.n_local_commits
 let store t = t.wstore

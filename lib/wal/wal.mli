@@ -80,7 +80,16 @@ val flush_all : t -> on_done:(unit -> unit) -> unit
 (** {1 Introspection} *)
 
 val total_records : t -> int
+
 val total_bytes : t -> int
+(** Bytes appended to writer buffers (counted at append time — may not
+    have reached the device yet). *)
+
+val total_durable_bytes : t -> int
+(** Bytes whose flush completion the WAL actually received; also the
+    [wal.bytes.durable] obs counter. Always [<= total_bytes]; the gap is
+    the volatile tail (plus acks lost to fault injection). *)
+
 val remote_waits : t -> int
 (** Commits that had to wait for a remote writer (RFA misses). *)
 

@@ -196,6 +196,149 @@ let test_pagestore_write_batch () =
   check_int "one device submission" 1
     (Device.total_batches (Pagestore.device store) Device.Write)
 
+(* ------------------------------------------------------------------ *)
+(* Durable frontiers and crash semantics *)
+
+let test_walstore_durable_frontier () =
+  let eng = Engine.create () in
+  let ws = Walstore.create (small_dev eng) in
+  let acked = ref false in
+  Walstore.append ws ~file:0 (Bytes.make 1000 'a') ~on_durable:(fun () -> acked := true);
+  (* appended but the device has not completed: volatile tail *)
+  check_int "frontier still zero" 0 (Walstore.durable_frontier ws ~file:0);
+  check_int "tail pending" 1000 (Walstore.pending_bytes ws ~file:0);
+  check_int "live view sees the tail" 1000 (Bytes.length (Walstore.contents ws ~file:0));
+  check_bool "no ack yet" false !acked;
+  Engine.run eng;
+  check_bool "ack after completion" true !acked;
+  check_int "frontier advanced" 1000 (Walstore.durable_frontier ws ~file:0);
+  check_int "no tail left" 0 (Walstore.pending_bytes ws ~file:0)
+
+let test_walstore_crash_drops_tail () =
+  let eng = Engine.create () in
+  let ws = Walstore.create (small_dev eng) in
+  Walstore.append ws ~file:0 (Bytes.make 700 'a') ~on_durable:ignore;
+  Engine.run eng;
+  (* second extent stays in flight: power is cut before its completion *)
+  Walstore.append ws ~file:0 (Bytes.make 300 'b') ~on_durable:(fun () ->
+      Alcotest.fail "ack must not fire across a crash");
+  let report = Walstore.crash ws in
+  Engine.clear eng;
+  Alcotest.(check (list (triple int int int))) "durable survives, tail lost" [ (0, 700, 300) ] report;
+  check_int "contents truncated" 700 (Bytes.length (Walstore.contents ws ~file:0));
+  check_int "crash counted" 1 (Walstore.crash_count ws);
+  (* the store keeps working after the crash *)
+  Walstore.append ws ~file:0 (Bytes.make 100 'c') ~on_durable:ignore;
+  Engine.run eng;
+  check_int "frontier resumes from the cut" 800 (Walstore.durable_frontier ws ~file:0)
+
+let test_walstore_crash_tear () =
+  let eng = Engine.create () in
+  let ws = Walstore.create (small_dev eng) in
+  let len = 4 * Device.sector_size in
+  Walstore.append ws ~file:0 (Bytes.make len 'x') ~on_durable:ignore;
+  let tear = Phoebe_util.Prng.create ~seed:7 in
+  (match Walstore.crash ~tear ws with
+  | [ (0, survive, lost) ] ->
+    check_int "nothing vanishes" len (survive + lost);
+    check_bool "tear is sector-aligned" true (survive mod Device.sector_size = 0);
+    check_int "contents match the torn prefix" survive
+      (Bytes.length (Walstore.contents ws ~file:0))
+  | r -> Alcotest.failf "unexpected crash report (%d files)" (List.length r));
+  Engine.clear eng
+
+let fault_dev ?(faults = { Device.fault_seed = 3; torn_write_p = 0.0; lost_ack_p = 0.0;
+                           delayed_ack_p = 0.0; max_delay_ns = 0 }) eng =
+  Device.create eng ~name:"faulty" ~faults
+    { Device.channels = 2; read_mb_s = 1000.0; write_mb_s = 500.0; iops = 100_000.0;
+      latency_us = 100.0 }
+
+let test_device_torn_write () =
+  let eng = Engine.create () in
+  let dev =
+    fault_dev eng
+      ~faults:{ Device.fault_seed = 11; torn_write_p = 1.0; lost_ack_p = 0.0;
+                delayed_ack_p = 0.0; max_delay_ns = 0 }
+  in
+  let outcomes = ref [] in
+  Device.submit_writes dev ~sizes:[ 4 * Device.sector_size ]
+    ~on_outcome:(fun i o -> outcomes := (i, o) :: !outcomes);
+  Engine.run eng;
+  (match !outcomes with
+  | [ (0, Device.W_torn media) ] ->
+    check_bool "strict prefix" true (media < 4 * Device.sector_size);
+    check_bool "sector aligned" true (media mod Device.sector_size = 0)
+  | _ -> Alcotest.fail "expected exactly one torn outcome");
+  let torn, lost, delayed = Device.fault_counts dev in
+  check_int "torn counted" 1 torn;
+  check_int "no lost acks" 0 lost;
+  check_int "no delays" 0 delayed
+
+let test_device_fault_determinism () =
+  let run () =
+    let eng = Engine.create () in
+    let dev =
+      fault_dev eng
+        ~faults:{ Device.fault_seed = 42; torn_write_p = 0.3; lost_ack_p = 0.3;
+                  delayed_ack_p = 0.3; max_delay_ns = 50_000 }
+    in
+    let trace = ref [] in
+    for _ = 1 to 20 do
+      Device.submit_writes dev ~sizes:[ 2048 ] ~on_outcome:(fun i o ->
+          let tag =
+            match o with
+            | Device.W_done -> 0
+            | Device.W_torn m -> 100 + m
+            | Device.W_lost_ack -> 1
+          in
+          trace := (i, tag, Engine.now eng) :: !trace)
+    done;
+    Engine.run eng;
+    (List.rev !trace, Device.fault_counts dev)
+  in
+  let a = run () and b = run () in
+  check_bool "same seed, same outcome sequence" true (a = b);
+  let _, (torn, lost, delayed) = a in
+  check_bool "faults actually injected" true (torn + lost + delayed > 0)
+
+let test_pagestore_crash_keeps_durable_images () =
+  let eng = Engine.create () in
+  let store = Pagestore.create (small_dev eng) in
+  Pagestore.write_async store ~page_id:1 (Bytes.of_string "v1") ~on_complete:ignore;
+  Engine.run eng;
+  check_int "one page durable" 1 (Pagestore.durable_page_count store);
+  (* overwrite in flight: latest view updates, durable image does not *)
+  Pagestore.write_async store ~page_id:1 (Bytes.of_string "v2") ~on_complete:ignore;
+  Pagestore.write_async store ~page_id:2 (Bytes.of_string "new") ~on_complete:ignore;
+  Alcotest.(check string) "live read sees latest" "v2" (Bytes.to_string (Pagestore.read store ~page_id:1));
+  let lost = Pagestore.crash store in
+  Engine.clear eng;
+  check_int "volatile-only pages dropped" 1 lost;
+  Alcotest.(check string) "durable image survives" "v1" (Bytes.to_string (Pagestore.read store ~page_id:1));
+  check_bool "in-flight new page gone" false (Pagestore.mem store ~page_id:2)
+
+let test_pagestore_torn_write_is_atomic () =
+  let eng = Engine.create () in
+  let store =
+    Pagestore.create
+      (fault_dev eng
+         ~faults:{ Device.fault_seed = 11; torn_write_p = 1.0; lost_ack_p = 0.0;
+                   delayed_ack_p = 0.0; max_delay_ns = 0 })
+  in
+  Pagestore.write_async store ~page_id:1 (Bytes.make 2048 'a') ~on_complete:ignore;
+  (* every write tears, and every tear schedules a timeout + rewrite:
+     bound the run (a device that tears 100% of writes never completes
+     an fsync in reality either) *)
+  Engine.run_until eng ~time:50_000_000;
+  (* the page never becomes durable, but the old (absent) image is
+     intact — full-page-write torn-page protection *)
+  check_int "nothing durable" 0 (Pagestore.durable_page_count store);
+  let torn, _ = Pagestore.fault_stats store in
+  check_bool "tear recorded and retried" true (torn >= 2);
+  ignore (Pagestore.crash store);
+  Engine.clear eng;
+  check_bool "torn page absent after crash" false (Pagestore.mem store ~page_id:1)
+
 let () =
   Alcotest.run "phoebe_io"
     [
@@ -218,4 +361,17 @@ let () =
           Alcotest.test_case "write batch" `Quick test_pagestore_write_batch;
         ] );
       ("walstore", [ Alcotest.test_case "append order" `Quick test_walstore_append_order ]);
+      ( "crash",
+        [
+          Alcotest.test_case "durable frontier" `Quick test_walstore_durable_frontier;
+          Alcotest.test_case "crash drops tail" `Quick test_walstore_crash_drops_tail;
+          Alcotest.test_case "crash tear" `Quick test_walstore_crash_tear;
+          Alcotest.test_case "pagestore crash" `Quick test_pagestore_crash_keeps_durable_images;
+          Alcotest.test_case "pagestore torn write" `Quick test_pagestore_torn_write_is_atomic;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "torn write" `Quick test_device_torn_write;
+          Alcotest.test_case "determinism" `Quick test_device_fault_determinism;
+        ] );
     ]

@@ -12,6 +12,7 @@ module Value = Phoebe_storage.Value
 module Engine = Phoebe_sim.Engine
 module Device = Phoebe_io.Device
 module Walstore = Phoebe_io.Walstore
+module Prng = Phoebe_util.Prng
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -294,8 +295,9 @@ let test_record_roundtrip () =
   let buf = Buffer.create 256 in
   List.iter (Record.encode buf) sample_records;
   let b = Buffer.to_bytes buf in
-  let decoded = Record.decode_all b ~slot:0 in
+  let decoded, stop = Record.decode_all b ~slot:0 in
   check_int "count" (List.length sample_records) (List.length decoded);
+  check_bool "clean eof" true (stop.Record.reason = Record.Eof);
   List.iter2
     (fun (a : Record.t) (b : Record.t) ->
       check_int "slot" a.Record.slot b.Record.slot;
@@ -309,8 +311,11 @@ let test_record_torn_tail_tolerated () =
   List.iter (Record.encode buf) sample_records;
   let b = Buffer.to_bytes buf in
   let cut = Bytes.sub b 0 (Bytes.length b - 4) in
-  let decoded = Record.decode_all cut ~slot:0 in
-  check_int "one record lost to the tear" (List.length sample_records - 1) (List.length decoded)
+  let decoded, stop = Record.decode_all cut ~slot:0 in
+  check_int "one record lost to the tear" (List.length sample_records - 1) (List.length decoded);
+  check_bool "typed as torn" true (stop.Record.reason = Record.Torn);
+  check_int "skipped bytes accounted" (Bytes.length cut - stop.Record.stop_offset)
+    stop.Record.bytes_skipped
 
 let test_record_corruption_detected () =
   let buf = Buffer.create 64 in
@@ -322,6 +327,119 @@ let test_record_corruption_detected () =
        ignore (Record.decode b 0);
        false
      with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Record codec fuzzing: arbitrary damage must yield typed results,
+   never phantom records or uncaught exceptions. *)
+
+let random_value rng =
+  match Prng.int rng 5 with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (Prng.int rng 1_000_000 - 500_000)
+  | 2 -> Value.Float (float_of_int (Prng.int rng 1000) /. 7.0)
+  | 3 -> Value.Bool (Prng.int rng 2 = 0)
+  | _ -> Value.Str (String.init (Prng.int rng 20) (fun _ -> Char.chr (32 + Prng.int rng 95)))
+
+let random_record rng =
+  let op =
+    match Prng.int rng 5 with
+    | 0 ->
+      Record.Insert
+        {
+          table = Prng.int rng 16;
+          rid = Prng.int rng 10_000;
+          row = Array.init (1 + Prng.int rng 6) (fun _ -> random_value rng);
+        }
+    | 1 ->
+      Record.Update
+        {
+          table = Prng.int rng 16;
+          rid = Prng.int rng 10_000;
+          cols = Array.init (1 + Prng.int rng 4) (fun i -> (i, random_value rng));
+        }
+    | 2 -> Record.Delete { table = Prng.int rng 16; rid = Prng.int rng 10_000 }
+    | 3 -> Record.Commit { xid = Clock.xid_of_start_ts (1 + Prng.int rng 1000); cts = Prng.int rng 100_000 }
+    | _ -> Record.Abort { xid = Clock.xid_of_start_ts (1 + Prng.int rng 1000) }
+  in
+  { Record.slot = Prng.int rng 8; lsn = Prng.int rng 1_000_000; gsn = Prng.int rng 1_000_000; op }
+
+let record_eq (a : Record.t) (b : Record.t) =
+  a.Record.slot = b.Record.slot && a.Record.lsn = b.Record.lsn && a.Record.gsn = b.Record.gsn
+  && a.Record.op = b.Record.op
+
+let test_record_fuzz_roundtrip () =
+  for seed = 1 to 50 do
+    let rng = Prng.create ~seed in
+    let records = List.init (1 + Prng.int rng 10) (fun _ -> random_record rng) in
+    let buf = Buffer.create 512 in
+    List.iter (Record.encode buf) records;
+    let decoded, stop = Record.decode_all (Buffer.to_bytes buf) ~slot:0 in
+    check_bool "clean eof" true (stop.Record.reason = Record.Eof);
+    check_int "skipped nothing" 0 stop.Record.bytes_skipped;
+    check_int "count" (List.length records) (List.length decoded);
+    List.iter2 (fun a b -> check_bool "exact roundtrip" true (record_eq a b)) records decoded
+  done
+
+(* Cutting the encoding at EVERY byte offset must decode an exact record
+   prefix: no phantom records, no exceptions, boundary cuts read as Eof
+   and mid-record cuts as Torn with the remainder accounted. *)
+let test_record_fuzz_truncation () =
+  let rng = Prng.create ~seed:99 in
+  let records = List.init 8 (fun _ -> random_record rng) in
+  let buf = Buffer.create 512 in
+  let boundaries =
+    List.map
+      (fun r ->
+        Record.encode buf r;
+        Buffer.length buf)
+      records
+  in
+  let b = Buffer.to_bytes buf in
+  for cut = 0 to Bytes.length b do
+    let decoded, stop = Record.decode_all (Bytes.sub b 0 cut) ~slot:0 in
+    let full = List.length (List.filter (fun off -> off <= cut) boundaries) in
+    check_int "prefix length" full (List.length decoded);
+    List.iteri
+      (fun i d -> check_bool "no phantom record" true (record_eq (List.nth records i) d))
+      decoded;
+    let on_boundary = cut = 0 || List.mem cut boundaries in
+    check_bool "typed stop" true
+      (stop.Record.reason = if on_boundary then Record.Eof else Record.Torn);
+    check_int "remainder accounted" (cut - stop.Record.stop_offset) stop.Record.bytes_skipped
+  done
+
+(* Random single-bit damage anywhere in the file: decoding stays total
+   and every record decoded from the undamaged prefix is exact. *)
+let test_record_fuzz_bitflips () =
+  let rng = Prng.create ~seed:7 in
+  let records = List.init 8 (fun _ -> random_record rng) in
+  let buf = Buffer.create 512 in
+  let boundaries =
+    List.map
+      (fun r ->
+        Record.encode buf r;
+        Buffer.length buf)
+      records
+  in
+  let clean = Buffer.to_bytes buf in
+  for _trial = 1 to 200 do
+    let b = Bytes.copy clean in
+    let pos = Prng.int rng (Bytes.length b) in
+    let bit = Prng.int rng 8 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    let decoded, stop = Record.decode_all b ~slot:0 in
+    (* records wholly before the damaged byte must decode exactly *)
+    let intact = List.length (List.filter (fun off -> off <= pos) boundaries) in
+    check_bool "undamaged prefix intact" true (List.length decoded >= intact);
+    List.iteri
+      (fun i d ->
+        if i < intact then check_bool "prefix exact" true (record_eq (List.nth records i) d))
+      decoded;
+    check_bool "stop is typed" true
+      (match stop.Record.reason with Record.Eof | Record.Torn | Record.Corrupt -> true);
+    check_bool "offsets consistent" true
+      (stop.Record.stop_offset + stop.Record.bytes_skipped = Bytes.length b)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* WAL manager: LSN/GSN, flushing, RFA *)
@@ -446,6 +564,36 @@ let test_recovery_gsn_order_across_slots () =
        });
   check_int "later gsn wins" 2 !last
 
+(* A checkpoint frontier can only land on a transaction boundary. A
+   frontier pointing at a data record means the snapshot and the WAL
+   disagree — replaying from it would split a transaction — so the
+   guard must refuse loudly rather than recover wrong state. *)
+let test_recovery_frontier_guard () =
+  let eng, w = make_wal ~n_slots:1 () in
+  ignore (Wal.append w ~slot:0 (Record.Insert { table = 1; rid = 1; row = str "a" }) ~gsn:1);
+  ignore (Wal.append w ~slot:0 (Record.Insert { table = 1; rid = 2; row = str "b" }) ~gsn:2);
+  ignore (Wal.append w ~slot:0 (Record.Commit { xid = 301; cts = 5 }) ~gsn:3);
+  let flushed = ref false in
+  Wal.flush_all w ~on_done:(fun () -> flushed := true);
+  Engine.run eng;
+  check_bool "flushed" true !flushed;
+  let apply =
+    {
+      Recovery.insert = (fun ~table:_ ~rid:_ _ -> ());
+      update = (fun ~table:_ ~rid:_ _ -> ());
+      delete = (fun ~table:_ ~rid:_ -> ());
+    }
+  in
+  (* lsn 1 is the second Insert: mid-transaction, must be rejected *)
+  check_bool "mid-transaction frontier raises Bug" true
+    (try
+       ignore (Recovery.replay ~after:(fun _ -> 1) (Wal.store w) apply);
+       false
+     with Phoebe_util.Phoebe_error.Bug _ -> true);
+  (* lsn 2 is the Commit: a legal whole-transaction frontier *)
+  let report = Recovery.replay ~after:(fun _ -> 2) (Wal.store w) apply in
+  check_int "nothing left to replay past the commit" 0 report.Recovery.ops_replayed
+
 (* ------------------------------------------------------------------ *)
 (* Table locks: the wait/wake surface over the internal queue *)
 
@@ -531,6 +679,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_record_torn_tail_tolerated;
           Alcotest.test_case "corruption" `Quick test_record_corruption_detected;
+          Alcotest.test_case "fuzz roundtrip" `Quick test_record_fuzz_roundtrip;
+          Alcotest.test_case "fuzz truncation" `Quick test_record_fuzz_truncation;
+          Alcotest.test_case "fuzz bit flips" `Quick test_record_fuzz_bitflips;
         ] );
       ( "wal",
         [
@@ -545,5 +696,6 @@ let () =
         [
           Alcotest.test_case "committed only" `Quick test_recovery_replays_committed_only;
           Alcotest.test_case "gsn order across slots" `Quick test_recovery_gsn_order_across_slots;
+          Alcotest.test_case "frontier guard" `Quick test_recovery_frontier_guard;
         ] );
     ]

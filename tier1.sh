@@ -26,4 +26,10 @@ trap 'rm -f "$json_tmp" "$overload_tmp"' EXIT
 dune exec bench/main.exe -- overload --json "$overload_tmp"
 dune exec bench/main.exe -- --check-json "$overload_tmp"
 
+echo "== recovery smoke (fixed-seed crash + replay vs checkpoint cadence, --json)"
+recovery_tmp="$(mktemp /tmp/phoebe-recovery-XXXXXX.json)"
+trap 'rm -f "$json_tmp" "$overload_tmp" "$recovery_tmp"' EXIT
+dune exec bench/main.exe -- --experiment recovery --seed 42 --json "$recovery_tmp"
+dune exec bench/main.exe -- --check-json "$recovery_tmp"
+
 echo "== tier-1: OK"
