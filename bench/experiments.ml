@@ -45,6 +45,13 @@ let note fmt = Printf.printf (fmt ^^ "\n%!")
 let opt_deadline_ms : int option ref = ref None
 let opt_admission = ref false
 
+(* [--sanitize]: run with the kernel sanitizer plane enabled. The hooks
+   are pure OCaml mutation — no engine events, no instruction charges —
+   so throughput numbers remain comparable (EXPERIMENTS.md bounds the
+   overhead), and the registry export gains the sanitize.* counters,
+   including the replay digest tier1.sh compares across double runs. *)
+let opt_sanitize = ref false
+
 (* Workload seed ([--seed <n>], default 42): drives transaction mixes,
    keys and think times in every harness. Same seed, same config =>
    byte-identical --json output. *)
@@ -65,10 +72,14 @@ let phoebe_config ~warehouses ~workers ~slots ~buffer_mb =
     | Some ms -> { cfg with Config.txn_deadline_ns = ms * 1_000_000 }
     | None -> cfg
   in
-  if !opt_admission then
-    { cfg with
-      Config.admission = { Config.enabled = true; max_inflight = 0; max_lock_wait_p95_ns = 0 } }
-  else cfg
+  let cfg =
+    if !opt_admission then
+      { cfg with
+        Config.admission = { Config.enabled = true; max_inflight = 0; max_lock_wait_p95_ns = 0 }
+      }
+    else cfg
+  in
+  if !opt_sanitize then { cfg with Config.sanitize = true } else cfg
 
 (* Aborts broken down by reason, for the machine-readable output. *)
 let abort_reasons_json db =

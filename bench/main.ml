@@ -145,7 +145,8 @@ let usage () =
     \       [--json <path>]         write machine-readable results (simulated quantities only)\n\
     \       [--check-json <path>]   validate that <path> parses as JSON, then exit\n\
     \       [--deadline-ms <n>]     arm an n-millisecond (virtual) per-transaction deadline\n\
-    \       [--admission]           enable overload admission control (default thresholds)"
+    \       [--admission]           enable overload admission control (default thresholds)\n\
+    \       [--sanitize]            enable the kernel sanitizer plane (exports sanitize.* counters)"
 
 (* Pull "<key> <value>" out of the argument list. *)
 let rec extract_opt key = function
@@ -179,6 +180,7 @@ let () =
   let seed_arg, args = extract_opt "--seed" args in
   let experiment, args = extract_opt "--experiment" args in
   let admission, args = extract_flag "--admission" args in
+  let sanitize, args = extract_flag "--sanitize" args in
   (match seed_arg with
   | Some s -> (
     match int_of_string_opt s with
@@ -197,6 +199,7 @@ let () =
       exit 2)
   | None -> ());
   Experiments.opt_admission := admission;
+  Experiments.opt_sanitize := sanitize;
   (match check_path with
   | Some path -> (
     match Json.of_file path with

@@ -1,0 +1,542 @@
+(* Repo lint gate: mechanical checks for determinism and idiom hazards
+   the type checker cannot see (DESIGN.md section 4g).
+
+   Rules:
+     random               Stdlib.Random in kernel code (use Phoebe_util.Prng:
+                          seeded, stream-splittable, deterministic)
+     wall-clock           Unix.gettimeofday / Unix.time / Sys.time (virtual
+                          time comes from the simulation engine only)
+     poly-compare         bare or [Stdlib.] polymorphic [compare] (structural
+                          compare on abstract handles follows representation,
+                          not identity; use Int.compare / String.compare /
+                          a typed comparator)
+     poly-eq-id           structural [=] / [<>] on id-suffixed handles
+                          (…xid / …lsn / …gsn / …page_id); use Int.equal
+     hashtbl-iter-mutate  [Hashtbl.iter] whose body mutates the iterated
+                          table (undefined traversal; collect then mutate)
+     missing-mli          library module without an interface file
+
+   Escape hatches, in a comment on the offending line or the line above:
+       (* lint: allow <rule> *)
+   or, anywhere in the file, covering the whole file:
+       (* lint: allow <rule> file *)
+
+   Pure Stdlib; no dependencies. Scans the directories/files given on the
+   command line (the dune runtest rule passes [lib]); [--self-test] runs
+   the embedded fixtures instead. Exit 0 = clean, 1 = findings. *)
+
+type finding = { f_file : string; f_line : int; f_rule : string; f_msg : string }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* ------------------------------------------------------------------ *)
+(* Comment / string-literal stripping.
+
+   Replaces the contents of comments, "..." strings and {id|...|id}
+   quoted strings with spaces (newlines preserved) so rule matching
+   never fires inside either. Handles nested comments and character
+   literals (['"'] must not open a string; ['a] type variables must not
+   open a char literal). *)
+
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let rec skip_string i =
+    (* [i] points after the opening quote *)
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' ->
+        blank i;
+        i + 1
+      | '\\' when i + 1 < n ->
+        blank i;
+        blank (i + 1);
+        skip_string (i + 2)
+      | _ ->
+        blank i;
+        skip_string (i + 1)
+  in
+  let rec skip_quoted i closing =
+    (* {id| ... |id} — [closing] = "|id}" *)
+    let m = String.length closing in
+    if i >= n then i
+    else if i + m <= n && String.sub src i m = closing then begin
+      for k = i to i + m - 1 do
+        blank k
+      done;
+      i + m
+    end
+    else begin
+      blank i;
+      skip_quoted (i + 1) closing
+    end
+  in
+  let rec skip_comment i depth =
+    if i >= n then i
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      skip_comment (i + 2) (depth + 1)
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1)
+    end
+    else begin
+      blank i;
+      skip_comment (i + 1) depth
+    end
+  in
+  let rec go i =
+    if i < n then
+      match src.[i] with
+      | '(' when i + 1 < n && src.[i + 1] = '*' ->
+        blank i;
+        blank (i + 1);
+        go (skip_comment (i + 2) 1)
+      | '"' ->
+        blank i;
+        go (skip_string (i + 1))
+      | '{' ->
+        (* possible quoted string {id|...|id} *)
+        let j = ref (i + 1) in
+        while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
+          incr j
+        done;
+        if !j < n && src.[!j] = '|' then begin
+          let id = String.sub src (i + 1) (!j - i - 1) in
+          for k = i to !j do
+            blank k
+          done;
+          go (skip_quoted (!j + 1) ("|" ^ id ^ "}"))
+        end
+        else go (i + 1)
+      | '\'' ->
+        (* char literal: '\..' or 'c' with a closing quote; anything else
+           (type variables, label quotes) is left alone *)
+        if i + 1 < n && src.[i + 1] = '\\' then begin
+          let j = ref (i + 2) in
+          while !j < n && src.[!j] <> '\'' do
+            incr j
+          done;
+          for k = i to min (n - 1) !j do
+            blank k
+          done;
+          go (!j + 1)
+        end
+        else if i + 2 < n && src.[i + 2] = '\'' && (i = 0 || not (is_ident_char src.[i - 1]))
+        then begin
+          blank i;
+          blank (i + 1);
+          blank (i + 2);
+          go (i + 3)
+        end
+        else go (i + 1)
+      | _ -> go (i + 1)
+  in
+  go 0;
+  Bytes.to_string out
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas *)
+
+let known_rules =
+  [
+    "random"; "wall-clock"; "poly-compare"; "poly-eq-id"; "hashtbl-iter-mutate"; "missing-mli";
+  ]
+
+(* Returns (line, rule, file_scoped) for every "lint: allow" pragma. *)
+let pragmas_of lines =
+  let out = ref [] in
+  Array.iteri
+    (fun i line ->
+      let key = "lint: allow " in
+      match
+        let rec find from =
+          if from + String.length key > String.length line then None
+          else if String.sub line from (String.length key) = key then Some from
+          else find (from + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some p ->
+        let rest = String.sub line (p + String.length key) (String.length line - p - String.length key) in
+        let words =
+          String.split_on_char ' ' rest |> List.filter (fun w -> w <> "" && w <> "*)" && w <> "*")
+        in
+        (match words with
+        | rule :: tl when List.mem rule known_rules ->
+          out := (i + 1, rule, List.mem "file" tl) :: !out
+        | _ -> ()))
+    lines;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Token helpers *)
+
+let token_at line pos tok =
+  let m = String.length tok in
+  pos + m <= String.length line
+  && String.sub line pos m = tok
+  && (pos = 0 || not (is_ident_char line.[pos - 1]))
+  && (pos + m >= String.length line || not (is_ident_char line.[pos + m]))
+
+let find_tokens line tok =
+  let out = ref [] in
+  for pos = 0 to String.length line - String.length tok do
+    if token_at line pos tok then out := pos :: !out
+  done;
+  List.rev !out
+
+(* identifier path ending at [e] (exclusive): letters, digits, _, ' and
+   module dots — returns (start, path) *)
+let ident_path_before line e =
+  let s = ref e in
+  while !s > 0 && (is_ident_char line.[!s - 1] || line.[!s - 1] = '.') do
+    decr s
+  done;
+  (!s, String.sub line !s (e - !s))
+
+let ident_path_at line s =
+  let n = String.length line in
+  let e = ref s in
+  while !e < n && (is_ident_char line.[!e] || line.[!e] = '.') do
+    incr e
+  done;
+  String.sub line s (!e - s)
+
+let last_segment path =
+  match String.rindex_opt path '.' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* ------------------------------------------------------------------ *)
+(* Rules *)
+
+let id_suffixes = [ "xid"; "lsn"; "gsn"; "page_id" ]
+
+(* contexts under which [tok = ...] reads as a comparison, not a record
+   field, let binding or labelled argument *)
+let comparison_contexts = [ "if"; "when"; "then"; "else"; "begin"; "&&"; "||"; "->"; "("; "=" ]
+
+let prefix_is_comparison_context prefix =
+  let p = String.trim prefix in
+  if p = "" then false
+  else
+    List.exists
+      (fun c ->
+        ends_with ~suffix:c p
+        && ((not (is_ident_char c.[0]))
+           || String.length p = String.length c
+           || not (is_ident_char p.[String.length p - String.length c - 1])))
+      comparison_contexts
+
+let scan_line ~file ~lineno ~defined_compare line findings =
+  let add rule msg = findings := { f_file = file; f_line = lineno; f_rule = rule; f_msg = msg } :: !findings in
+  (* random *)
+  List.iter
+    (fun pos ->
+      if pos + 6 < String.length line && line.[pos + 6] = '.' then
+        add "random" "Stdlib.Random is wall-entropy; use Phoebe_util.Prng (seeded, deterministic)")
+    (find_tokens line "Random");
+  (* wall-clock *)
+  List.iter
+    (fun tok ->
+      List.iter
+        (fun _ -> add "wall-clock" (tok ^ " reads the host clock; virtual time comes from the engine"))
+        (find_tokens line tok))
+    [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ];
+  (* poly-compare *)
+  List.iter
+    (fun pos ->
+      let qualified = pos > 0 && line.[pos - 1] = '.' in
+      if qualified then begin
+        let _, q = ident_path_before line (pos - 1) in
+        if last_segment q = "Stdlib" then
+          add "poly-compare" "Stdlib.compare is structural; use a typed comparator (Int.compare, ...)"
+      end
+      else if not defined_compare then
+        add "poly-compare" "bare polymorphic compare; use a typed comparator (Int.compare, ...)")
+    (find_tokens line "compare");
+  (* poly-eq-id *)
+  let flag_eq_id ~op pos =
+    (* pos = index of the operator *)
+    let e = ref pos in
+    while !e > 0 && line.[!e - 1] = ' ' do
+      decr e
+    done;
+    let lstart, lhs = ident_path_before line !e in
+    let rhs_start = ref (pos + String.length op) in
+    while !rhs_start < String.length line && line.[!rhs_start] = ' ' do
+      incr rhs_start
+    done;
+    let rhs = if !rhs_start < String.length line then ident_path_at line !rhs_start else "" in
+    let idish p = p <> "" && List.exists (fun s -> ends_with ~suffix:s (last_segment p)) id_suffixes in
+    if idish lhs || idish rhs then begin
+      let ok_context =
+        op = "<>" || prefix_is_comparison_context (String.sub line 0 lstart)
+      in
+      if ok_context then
+        add "poly-eq-id"
+          (Printf.sprintf "structural %s on id-like handle (%s); use Int.equal" op
+             (if idish lhs then lhs else rhs))
+    end
+  in
+  String.iteri
+    (fun pos c ->
+      if c = '=' then begin
+        let prev = if pos > 0 then line.[pos - 1] else ' ' in
+        let next = if pos + 1 < String.length line then line.[pos + 1] else ' ' in
+        if
+          prev <> '<' && prev <> '>' && prev <> '!' && prev <> ':' && prev <> '=' && prev <> '+'
+          && prev <> '-' && prev <> '*' && prev <> '/' && next <> '='
+        then flag_eq_id ~op:"=" pos
+      end
+      else if c = '<' && pos + 1 < String.length line && line.[pos + 1] = '>' then
+        flag_eq_id ~op:"<>" pos)
+    line
+
+(* Hashtbl.iter body mutating the iterated table. Works on the whole
+   stripped text: match "Hashtbl.iter", expect a parenthesised closure,
+   find its matching close paren, read the table identifier after it,
+   and look for Hashtbl.remove/replace/add/reset on the same identifier
+   inside the closure body. *)
+let scan_hashtbl_iter ~file text findings =
+  let n = String.length text in
+  let line_of p =
+    let l = ref 1 in
+    for i = 0 to p - 1 do
+      if text.[i] = '\n' then incr l
+    done;
+    !l
+  in
+  let rec skip_ws i = if i < n && (text.[i] = ' ' || text.[i] = '\n' || text.[i] = '\t') then skip_ws (i + 1) else i in
+  let pat = "Hashtbl.iter" in
+  let rec find from =
+    if from + String.length pat > n then ()
+    else if
+      String.sub text from (String.length pat) = pat
+      && (from = 0 || not (is_ident_char text.[from - 1] || text.[from - 1] = '.'))
+      && (from + String.length pat >= n || not (is_ident_char text.[from + String.length pat]))
+    then begin
+      let i = skip_ws (from + String.length pat) in
+      if i < n && text.[i] = '(' then begin
+        (* matching close paren *)
+        let rec close j depth =
+          if j >= n then j
+          else
+            match text.[j] with
+            | '(' -> close (j + 1) (depth + 1)
+            | ')' -> if depth = 1 then j else close (j + 1) (depth - 1)
+            | _ -> close (j + 1) depth
+        in
+        let cp = close i 0 in
+        if cp < n then begin
+          let body = String.sub text i (cp - i) in
+          let tstart = skip_ws (cp + 1) in
+          let table = ident_path_at text tstart in
+          if table <> "" then
+            List.iter
+              (fun op ->
+                List.iter
+                  (fun bline ->
+                    List.iter
+                      (fun pos ->
+                        let after = skip_ws_str bline (pos + String.length op) in
+                        if
+                          after < String.length bline
+                          && ident_path_at bline after = table
+                        then
+                          findings :=
+                            {
+                              f_file = file;
+                              f_line = line_of from;
+                              f_rule = "hashtbl-iter-mutate";
+                              f_msg =
+                                Printf.sprintf
+                                  "Hashtbl.iter over %s mutates it in the loop body (%s); collect then mutate"
+                                  table op;
+                            }
+                            :: !findings)
+                      (find_tokens bline op))
+                  (String.split_on_char '\n' body))
+              [ "Hashtbl.remove"; "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.reset" ]
+        end
+      end;
+      find (from + String.length pat)
+    end
+    else find (from + 1)
+  and skip_ws_str s i =
+    if i < String.length s && (s.[i] = ' ' || s.[i] = '\t') then skip_ws_str s (i + 1) else i
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* File scanning *)
+
+let scan_source ~file ?(has_mli = true) src =
+  let findings = ref [] in
+  let lines = Array.of_list (String.split_on_char '\n' src) in
+  let pragmas = pragmas_of lines in
+  let stripped = strip src in
+  let slines = Array.of_list (String.split_on_char '\n' stripped) in
+  let defined_compare = ref false in
+  Array.iteri
+    (fun i line ->
+      (* a file that defines its own [compare] may use it bare below *)
+      if not !defined_compare then begin
+        let def p =
+          match find_tokens line p with
+          | pos :: _ -> (
+            let rest = pos + String.length p in
+            let rest = ref rest in
+            while !rest < String.length line && line.[!rest] = ' ' do
+              incr rest
+            done;
+            token_at line !rest "compare")
+          | [] -> false
+        in
+        if def "let" || def "and" then defined_compare := true
+      end;
+      scan_line ~file ~lineno:(i + 1) ~defined_compare:!defined_compare line findings)
+    slines;
+  scan_hashtbl_iter ~file stripped findings;
+  if not has_mli then
+    findings :=
+      {
+        f_file = file;
+        f_line = 1;
+        f_rule = "missing-mli";
+        f_msg = "library module without an interface; add one or pragma a deliberate exposure";
+      }
+      :: !findings;
+  (* apply pragmas *)
+  let allowed f =
+    List.exists
+      (fun (pline, rule, file_scoped) ->
+        rule = f.f_rule && (file_scoped || pline = f.f_line || pline = f.f_line - 1))
+      pragmas
+  in
+  List.filter (fun f -> not (allowed f)) (List.rev !findings)
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let has_mli = Sys.file_exists (path ^ "i") in
+  scan_source ~file:path ~has_mli src
+
+let rec collect_ml path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then acc
+           else collect_ml (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+(* ------------------------------------------------------------------ *)
+(* Self test *)
+
+let fixtures : (string * string * string list) list =
+  [
+    ("random", "let roll () = Random.int 6\n", [ "random" ]);
+    ("random-qualified", "let roll () = Stdlib.Random.bits ()\n", [ "random" ]);
+    ( "random-pragma",
+      "(* lint: allow random *)\nlet roll () = Random.int 6\n",
+      [] );
+    ("wall-clock", "let now () = Unix.gettimeofday ()\n", [ "wall-clock" ]);
+    ("wall-clock-2", "let now () = Sys.time ()\n", [ "wall-clock" ]);
+    ("poly-compare", "let sort l = List.sort compare l\n", [ "poly-compare" ]);
+    ("poly-compare-stdlib", "let c a b = Stdlib.compare a b\n", [ "poly-compare" ]);
+    ("typed-compare-ok", "let sort l = List.sort Int.compare l\n", []);
+    ( "own-compare-ok",
+      "let compare a b = Int.compare a.k b.k\nlet equal a b = compare a b = 0\n",
+      [] );
+    ( "poly-eq-id",
+      "let f entry txn = if entry.lock_xid = txn.xid then 1 else 0\n",
+      [ "poly-eq-id" ] );
+    ("poly-eq-id-ne", "let f a b = a.gsn <> b.gsn\n", [ "poly-eq-id" ]);
+    ("record-field-ok", "let w = { next_lsn = 0; flushed_lsn = -1 }\n", []);
+    ("let-binding-ok", "let lsn = w.next_lsn in ignore lsn\n", []);
+    ( "comment-ok",
+      "(* if entry.lock_xid = txn.xid then Random.int 6 *)\nlet x = 1\n",
+      [] );
+    ( "string-ok",
+      "let s = \"compare Random.int lock_xid = 0\"\nlet _ = s\n",
+      [] );
+    ( "hashtbl-iter-mutate",
+      "let f tbl = Hashtbl.iter (fun k _ -> Hashtbl.remove tbl k) tbl\n",
+      [ "hashtbl-iter-mutate" ] );
+    ( "hashtbl-collect-ok",
+      "let f tbl =\n\
+      \  let dead = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in\n\
+      \  Hashtbl.iter (fun _ v -> ignore v) tbl;\n\
+      \  List.iter (Hashtbl.remove tbl) dead\n",
+      [] );
+    ( "file-pragma",
+      "(* lint: allow poly-compare file *)\nlet a = compare 1 2\nlet b = compare 3 4\n",
+      [] );
+  ]
+
+let self_test () =
+  let failures = ref 0 in
+  List.iter
+    (fun (name, src, expect) ->
+      let got =
+        scan_source ~file:("<" ^ name ^ ">") src
+        |> List.map (fun f -> f.f_rule)
+        |> List.sort String.compare
+      in
+      let expect = List.sort String.compare expect in
+      if got <> expect then begin
+        incr failures;
+        Printf.eprintf "self-test %s: expected [%s], got [%s]\n" name (String.concat "," expect)
+          (String.concat "," got)
+      end)
+    fixtures;
+  if !failures = 0 then begin
+    Printf.printf "phoebe_lint self-test: %d fixtures ok\n" (List.length fixtures);
+    exit 0
+  end
+  else exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--self-test" ] -> self_test ()
+  | [] ->
+    prerr_endline "usage: phoebe_lint [--self-test] <dir-or-file>...";
+    exit 2
+  | paths ->
+    let files = List.fold_left (fun acc p -> collect_ml p acc) [] paths |> List.sort String.compare in
+    let findings = List.concat_map scan_file files in
+    List.iter
+      (fun f -> Printf.printf "%s:%d: [%s] %s\n" f.f_file f.f_line f.f_rule f.f_msg)
+      findings;
+    if findings = [] then begin
+      Printf.printf "phoebe_lint: %d files clean\n" (List.length files);
+      exit 0
+    end
+    else begin
+      Printf.printf "phoebe_lint: %d finding(s) in %d files\n" (List.length findings)
+        (List.length files);
+      exit 1
+    end

@@ -54,7 +54,7 @@ let depth t = t.idepth
 
 let cmp_entry k1 r1 k2 r2 =
   let c = String.compare k1 k2 in
-  if c <> 0 then c else compare r1 r2
+  if c <> 0 then c else Int.compare r1 r2
 
 (* First slot in the leaf with entry >= (key, rid). *)
 let leaf_lower_bound l key rid =

@@ -31,6 +31,7 @@ type t = {
   wal_device : Phoebe_io.Device.config;
   block_device : Phoebe_io.Device.config;
   faults : Phoebe_io.Device.fault_config option;
+  sanitize : bool;
 }
 
 let default =
@@ -57,6 +58,7 @@ let default =
     wal_device = Phoebe_io.Device.pm9a3;
     block_device = Phoebe_io.Device.pm9a3;
     faults = None;
+    sanitize = false;
   }
 
 let paper_scale = { default with n_workers = 100; slots_per_worker = 32 }

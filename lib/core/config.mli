@@ -49,6 +49,13 @@ type t = {
           fault machinery: the simulation is bit-identical to a build
           without it. Each device derives its own PRNG stream from
           [fault_seed] (data +0, wal +1, blocks +2). *)
+  sanitize : bool;
+      (** enable the kernel sanitizer plane ({!Phoebe_sanitize.Sanitize}):
+          latch-order race detection, park-while-latched checks, buffer /
+          WAL / undo invariant checkers and the replay digest. Off (the
+          default) the hooks are unreachable and the event schedule is
+          bit-identical to a build without them; on, a detected violation
+          raises [Phoebe_util.Phoebe_error.Bug]. *)
 }
 
 val default : t

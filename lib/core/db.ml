@@ -16,6 +16,7 @@ module Clock = Phoebe_txn.Clock
 module Obs = Phoebe_obs.Obs
 module Trace = Phoebe_obs.Trace
 module Phoebe_error = Phoebe_util.Phoebe_error
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type t = {
   cfg : Config.t;
@@ -96,13 +97,24 @@ let sanitize_page txns ~page_id (p : Pax.t) =
       copy
     end
 
+(* The sanitizer plane is a process-global singleton; the collector
+   exports its per-rule finding counts and the replay digest through
+   this instance's registry ([bench --sanitize --json] reads these). *)
+let export_sanitizer obs =
+  Obs.add_collector obs (fun () ->
+      ("sanitize.replay_digest", Obs.Int (Sanitize.replay_digest ()))
+      :: ("sanitize.findings", Obs.Int (Sanitize.total_findings ()))
+      :: List.map (fun (k, v) -> ("sanitize." ^ k, Obs.Int v)) (Sanitize.finding_counts ()))
+
 let fault_cfg (cfg : Config.t) i =
   Option.map
     (fun (fc : Device.fault_config) -> { fc with Device.fault_seed = fc.Device.fault_seed + i })
     cfg.Config.faults
 
 let create_on eng (cfg : Config.t) =
+  if cfg.Config.sanitize then Sanitize.enable ();
   let obs = Obs.create () in
+  if cfg.Config.sanitize then export_sanitizer obs;
   let sched_cfg =
     {
       Scheduler.model = cfg.Config.model;
@@ -176,9 +188,13 @@ let create cfg = create_on (Engine.create ()) cfg
    restart-after-crash topology used by checkpoint restore. *)
 let create_attached old (cfg : Config.t) =
   let eng = old.eng in
+  (* Enable without reset on restart: the shared WAL store's durable
+     frontiers must keep their cross-crash monotonicity history. *)
+  if cfg.Config.sanitize && not (Sanitize.on ()) then Sanitize.enable ();
   (* Fresh registry for the restarted instance's own components; the
      shared devices keep reporting into the old instance's registry. *)
   let obs = Obs.create () in
+  if cfg.Config.sanitize then export_sanitizer obs;
   let sched_cfg =
     {
       Scheduler.model = cfg.Config.model;

@@ -280,7 +280,7 @@ let check_unique t (txn : txn) ix ~key ~inserting_rid =
           in
           match chain_head_for t ~page_key ~rid with
           | Some h
-            when Clock.is_xid h.Undo.ets && h.Undo.ets <> txn.Txnmgr.xid ->
+            when Clock.is_xid h.Undo.ets && not (Int.equal h.Undo.ets txn.Txnmgr.xid) ->
             raise (Txnmgr.Abort (Txnmgr.Conflict, "unique key held by concurrent deleter"))
           | _ -> ()
         end

@@ -65,7 +65,11 @@ let busy_fraction t =
 let series_bucket_width = 100_000_000
 
 let create ?obs ?faults engine ~name cfg =
-  let heap = Binheap.create ~cmp:(fun (a : int * int) b -> compare a b) in
+  let heap =
+    Binheap.create ~cmp:(fun (a1, a2) (b1, b2) ->
+        let c = Int.compare a1 b1 in
+        if c <> 0 then c else Int.compare a2 b2)
+  in
   for ch = 0 to cfg.channels - 1 do
     Binheap.push heap (0, ch)
   done;

@@ -170,7 +170,7 @@ let rec sync t ~on_complete =
           | Some d when Bytes.equal d.d_bytes content -> acc
           | _ -> (page_id, content) :: acc)
         t.latest []
-      |> List.sort compare
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
     in
     match volatile with
     | [] -> on_complete ()

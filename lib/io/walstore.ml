@@ -5,6 +5,7 @@
    contiguous prefix of [buf]. *)
 
 module Engine = Phoebe_sim.Engine
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type extent = {
   e_len : int;
@@ -20,6 +21,9 @@ type wfile = {
 
 type t = {
   dev : Device.t;
+  sid : int;
+      (** sanitizer scope: file numbers restart per store instance, so
+          WAL monotonicity state is keyed on [(sid, file)] *)
   files : (int, wfile) Hashtbl.t;
   mutable appended : int;
   mutable durable_total : int;
@@ -27,7 +31,16 @@ type t = {
 }
 
 let create dev =
-  { dev; files = Hashtbl.create 64; appended = 0; durable_total = 0; crashes = 0 }
+  {
+    dev;
+    sid = Sanitize.next_uid ();
+    files = Hashtbl.create 64;
+    appended = 0;
+    durable_total = 0;
+    crashes = 0;
+  }
+
+let id t = t.sid
 
 let file_for t file =
   match Hashtbl.find_opt t.files file with
@@ -43,7 +56,7 @@ let file_for t file =
    ack is only delivered after the host's completion-timeout + verify
    pass — until then the writer legitimately believes the flush is
    still in flight. *)
-let advance t f =
+let advance t file f =
   let rec go () =
     match Queue.peek_opt f.extents with
     | Some e when e.e_state = `Done ->
@@ -60,7 +73,9 @@ let advance t f =
       go ()
     | _ -> ()
   in
-  go ()
+  go ();
+  if Sanitize.on () then
+    Sanitize.wal_frontier ~scope:t.sid ~file ~durable:f.durable ~appended:(Buffer.length f.buf)
 
 let append t ~file bytes ~on_durable =
   let f = file_for t file in
@@ -82,7 +97,7 @@ let append t ~file bytes ~on_durable =
       Engine.schedule (Device.engine t.dev) ~delay:Device.fault_recovery_ns (fun () ->
           if t.crashes = epoch then
             Device.submit_writes t.dev ~sizes:[ e.e_len ] ~on_outcome));
-    advance t f
+    advance t file f
   in
   Device.submit_writes t.dev ~sizes:[ Bytes.length bytes ] ~on_outcome
 
@@ -104,8 +119,12 @@ let pending_bytes t ~file =
 
 let crash ?tear t =
   t.crashes <- t.crashes + 1;
+  (* a resumed writer restarts below the LSNs the lost tail had already
+     recorded, so per-file LSN history must not survive the crash; the
+     durable frontier does — it is monotone across power loss *)
+  if Sanitize.on () then Sanitize.wal_crash ~scope:t.sid;
   Hashtbl.fold (fun file f acc -> (file, f) :: acc) t.files []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map (fun (file, f) ->
          (* Only the first unabsorbed extent can contribute bytes past
             the frontier: a torn write keeps its sector prefix, and an
@@ -135,7 +154,7 @@ let crash ?tear t =
          (file, survive, total - survive))
 
 let files t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort Int.compare
 
 let total_appended t = t.appended
 let total_durable t = t.durable_total
@@ -143,6 +162,7 @@ let crash_count t = t.crashes
 let device t = t.dev
 
 let reset t =
+  if Sanitize.on () then Sanitize.wal_detach ~scope:t.sid;
   Hashtbl.reset t.files;
   t.appended <- 0;
   t.durable_total <- 0

@@ -11,6 +11,10 @@ type t
 
 val create : Device.t -> t
 
+val id : t -> int
+(** Process-unique store id — the sanitizer scope under which this
+    store's per-file WAL monotonicity state is tracked. *)
+
 val append : t -> file:int -> Bytes.t -> on_durable:(unit -> unit) -> unit
 (** Queue [bytes] for file [file]; [on_durable] fires when the write —
     and every earlier write to the same file — is confirmed on media,

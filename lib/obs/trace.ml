@@ -5,6 +5,7 @@ type outcome = Committed | Aborted | Cancelled
 
 let n_phases = 4
 let phase_index = function Execute -> 0 | Lock_wait -> 1 | Io_wait -> 2 | Wal_wait -> 3
+let phase_label = function Execute -> "execute" | Lock_wait -> "lock_wait" | Io_wait -> "io_wait" | Wal_wait -> "wal_wait"
 
 (* Export suffixes; index-aligned with [phase_index]. *)
 let phase_suffix = [| "execute_ns"; "lock_wait_ns"; "io_wait_ns"; "wal_flush_wait_ns" |]

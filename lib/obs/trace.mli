@@ -27,6 +27,10 @@ type outcome =
   | Aborted  (** conflict/deadlock/user abort (typically retried) *)
   | Cancelled  (** cut short by a transaction deadline or admission shed *)
 
+val phase_label : phase -> string
+(** Stable lower-snake name of a phase (diagnostics, sanitizer
+    reports). *)
+
 val max_kinds : int
 (** Kind indices are [0 .. max_kinds - 1]; kind 0 is ["other"]. *)
 

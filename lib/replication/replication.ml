@@ -66,8 +66,12 @@ let apply_batch t ops =
   let ordered =
     List.sort
       (fun (a : Record.t) (b : Record.t) ->
-        if a.Record.gsn <> b.Record.gsn then compare a.Record.gsn b.Record.gsn
-        else compare (a.Record.slot, a.Record.lsn) (b.Record.slot, b.Record.lsn))
+        let c = Int.compare a.Record.gsn b.Record.gsn in
+        if c <> 0 then c
+        else begin
+          let c = Int.compare a.Record.slot b.Record.slot in
+          if c <> 0 then c else Int.compare a.Record.lsn b.Record.lsn
+        end)
       (t.parked @ ops)
   in
   t.parked <- [];

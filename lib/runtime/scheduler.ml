@@ -6,6 +6,7 @@ module Binheap = Phoebe_util.Binheap
 module Obs = Phoebe_obs.Obs
 module Trace = Phoebe_obs.Trace
 module Phoebe_error = Phoebe_util.Phoebe_error
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type model = Coroutine | Thread
 type urgency = High | Low
@@ -71,7 +72,6 @@ and t = {
   ctrs : Counters.t;
   mutable workers : worker array;
   global_tasks : task Queue.t;
-  mutable next_fid : int;
   mutable live : int;
   mutable failure : exn option;
   created_at : int;
@@ -114,6 +114,12 @@ type _ Effect.t +=
    every kernel call site. *)
 let cur : fiber option ref = ref None
 
+(* Fiber ids are process-unique (never reused across schedulers): the
+   sanitizer keys per-fiber held-resource state on them, and tests may
+   run many schedulers in one process. Only id *equality* matters to
+   scheduling ([last_fiber]), so the wider numbering changes nothing. *)
+let fid_counter = ref 0
+
 let busy_fraction t =
   let elapsed = Engine.now t.eng - t.created_at in
   if elapsed <= 0 then 0.0
@@ -134,14 +140,14 @@ let create ?obs eng cfg =
       ctrs = Counters.create ?obs ();
       workers = [||];
       global_tasks = Queue.create ();
-      next_fid = 0;
       live = 0;
       failure = None;
       created_at = Engine.now eng;
       trace = None;
       dheap =
         Binheap.create ~cmp:(fun a b ->
-            if a.dtime <> b.dtime then compare a.dtime b.dtime else compare a.dseq b.dseq);
+            if a.dtime <> b.dtime then Int.compare a.dtime b.dtime
+            else Int.compare a.dseq b.dseq);
       next_dseq = 0;
       timer_time = no_deadline;
       n_timeouts = counter "sched.timeouts";
@@ -265,11 +271,11 @@ and pick_next w =
 
 and start_task w task =
   let t = w.wsched in
-  t.next_fid <- t.next_fid + 1;
+  incr fid_counter;
   t.live <- t.live + 1;
   let slot = alloc_slot w in
   {
-    fid = t.next_fid;
+    fid = !fid_counter;
     fworker = w;
     fslot = slot;
     cont = None;
@@ -311,6 +317,7 @@ and resume w f =
   | Ran_to_completion ->
     f.done_ <- true;
     t.live <- t.live - 1;
+    if Sanitize.on () then Sanitize.on_fiber_done ~fiber:f.fid;
     release_slot w f;
     continue_after_carry w
   | Suspended -> continue_after_carry w
@@ -519,7 +526,7 @@ let lock_wait_p95_ns t =
   if n = 0 then 0
   else begin
     let a = Array.sub t.lock_wait_ring 0 n in
-    Array.sort compare a;
+    Array.sort Int.compare a;
     a.(min (n - 1) (n * 95 / 100))
   end
 
@@ -528,6 +535,14 @@ let park ?(deadline = Inherit) ~urgency ~phase register =
   | None -> Phoebe_error.bug ~subsystem:"runtime.scheduler" "park: not inside a fiber"
   | Some f ->
     let t = f.fworker.wsched in
+    (* The sanitizer's park-while-latched rule fires fiber-side, before
+       the effect, so the Bug unwinds this fiber like any kernel
+       exception. Device I/O is exempt: latched holders legitimately
+       suspend on page faults (see latch.mli). *)
+    if Sanitize.on () then
+      Sanitize.on_park ~fiber:f.fid
+        ~io:(match phase with Trace.Io_wait -> true | _ -> false)
+        ~phase:(Trace.phase_label phase);
     let dl = resolve_bound f deadline in
     let t0 = Engine.now t.eng in
     let wref = ref None in
@@ -595,6 +610,8 @@ let current_fiber () =
   match !cur with
   | Some f -> f
   | None -> Phoebe_error.bug ~subsystem:"runtime.scheduler" "current_fiber: not inside a fiber"
+
+let current_fiber_id () = match !cur with Some f -> f.fid | None -> 0
 
 let current_worker () = (current_fiber ()).fworker.wid
 

@@ -158,6 +158,12 @@ val io_wait : ((unit -> unit) -> unit) -> unit
     I/O device calls [resume] on completion. Outside a fiber, [register]
     is called with a no-op continuation (synchronous completion). *)
 
+val current_fiber_id : unit -> int
+(** Process-unique id of the running fiber (ids are never reused, even
+    across scheduler instances), or [0] outside a fiber — the sanitizer
+    keys per-fiber held-resource state on this, with 0 standing for the
+    fiber-less bulk-load context. *)
+
 val current_worker : unit -> int
 (** Worker id of the running fiber.
     @raise Phoebe_util.Phoebe_error.Bug outside a fiber. *)

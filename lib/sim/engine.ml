@@ -1,8 +1,11 @@
+module Sanitize = Phoebe_sanitize.Sanitize
+
 type event = { time : int; seq : int; action : unit -> unit }
 
 type t = { mutable now : int; mutable seq : int; mutable processed : int; heap : event Phoebe_util.Binheap.t }
 
-let compare_event a b = if a.time <> b.time then compare a.time b.time else compare a.seq b.seq
+let compare_event a b =
+  if a.time <> b.time then Int.compare a.time b.time else Int.compare a.seq b.seq
 
 let create () = { now = 0; seq = 0; processed = 0; heap = Phoebe_util.Binheap.create ~cmp:compare_event }
 
@@ -22,6 +25,7 @@ let run t =
     | Some ev ->
       t.now <- ev.time;
       t.processed <- t.processed + 1;
+      if Sanitize.on () then Sanitize.digest_event ev.time ev.seq;
       ev.action ();
       loop ()
   in
@@ -33,6 +37,7 @@ let run_until t ~time =
     | Some ev when ev.time <= time ->
       ignore (Phoebe_util.Binheap.pop t.heap);
       t.now <- ev.time;
+      if Sanitize.on () then Sanitize.digest_event ev.time ev.seq;
       ev.action ();
       loop ()
     | _ -> if t.now < time then t.now <- time

@@ -1,3 +1,6 @@
+(* lint: allow missing-mli file — the AST is a plain variant surface
+   shared by the parser and planner; exposing every constructor is the
+   interface. *)
 (* Abstract syntax for the SQL subset (the paper's future-work item 1:
    "Develop SQL interface to establish PhoebeDB as a standalone server").
 

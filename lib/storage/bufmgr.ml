@@ -5,6 +5,7 @@ module Engine = Phoebe_sim.Engine
 module Pagestore = Phoebe_io.Pagestore
 module Stats = Phoebe_util.Stats
 module Obs = Phoebe_obs.Obs
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type state = Hot | Cooling
 
@@ -62,6 +63,9 @@ type cleaner_stats = {
 type 'p t = {
   engine : Engine.t;
   pstore : Pagestore.t;
+  scope : int;
+      (** sanitizer scope: page ids restart per instance, so the frame
+          state machine keys its residency mirror on [(scope, page_id)] *)
   parts : 'p partition array;
   codec : 'p codec;
   mutable next_page_id : int;
@@ -92,6 +96,7 @@ let create ?obs engine ~store ~partitions ~budget_bytes ~codec =
   {
     engine;
     pstore = store;
+    scope = Sanitize.next_uid ();
     parts =
       Array.init partitions (fun _ ->
           {
@@ -178,8 +183,10 @@ let alloc t ~partition payload =
       fparent = None;
     }
   in
+  Latch.set_tag frame.flatch frame.fpage_id;
   Hashtbl.replace part.frames frame.fpage_id frame;
   part.used_bytes <- part.used_bytes + size;
+  if Sanitize.on () then Sanitize.frame_alloc ~scope:t.scope ~page_id:frame.fpage_id;
   frame
 
 let swip_of frame = { ptr = Swizzled frame }
@@ -267,16 +274,19 @@ let resolve ?(touch = true) t swip =
           fparent = Some swip;
         }
       in
+      Latch.set_tag frame.flatch pid;
       Hashtbl.replace part.frames pid frame;
       part.used_bytes <- part.used_bytes + frame.fsize;
       swip.ptr <- Swizzled frame;
+      if Sanitize.on () then Sanitize.frame_fault_in ~scope:t.scope ~page_id:pid;
       frame)
 
 let drop t frame =
   let part = t.parts.(frame.fpartition) in
   if Hashtbl.mem part.frames frame.fpage_id then begin
     Hashtbl.remove part.frames frame.fpage_id;
-    part.used_bytes <- part.used_bytes - frame.fsize
+    part.used_bytes <- part.used_bytes - frame.fsize;
+    if Sanitize.on () then Sanitize.frame_drop ~scope:t.scope ~page_id:frame.fpage_id
   end;
   frame.fpayload <- None;
   Pagestore.delete t.pstore ~page_id:frame.fpage_id
@@ -312,7 +322,12 @@ let write_back t frame =
   | Some p when frame.fdirty ->
     let raw, stripped = encode_image t ~page_id:frame.fpage_id p in
     Pagestore.write t.pstore ~page_id:frame.fpage_id raw;
-    if not stripped then frame.fdirty <- false
+    if not stripped then begin
+      frame.fdirty <- false;
+      if Sanitize.on () then
+        Sanitize.frame_clean ~scope:t.scope ~page_id:frame.fpage_id
+          ~resident:(frame.fpayload <> None)
+    end
   | _ -> ()
 
 let set_write_sanitizer t f = t.sanitize <- Some f
@@ -376,6 +391,9 @@ let refill_cooling t part =
           && now - f.flast_access >= recency_guard_ns
           && Hashtbl.mem part.frames f.fpage_id
         then begin
+          if Sanitize.on () then
+            Sanitize.frame_demote ~scope:t.scope ~page_id:f.fpage_id ~hot:(f.fstate = Hot)
+              ~pinned:f.fpinned;
           f.fstate <- Cooling;
           Queue.push f part.cooling;
           if f.fdirty then queue_dirty_cooling part f;
@@ -445,6 +463,9 @@ let rec cleaner_service t partition =
             (* a page can turn unsafe during the charge suspension above;
                a stripped capture stays dirty and is requeued below *)
             f.fdirty <- stripped;
+            if (not stripped) && Sanitize.on () then
+              Sanitize.frame_clean ~scope:t.scope ~page_id:f.fpage_id
+                ~resident:(f.fpayload <> None);
             (f.fpage_id, raw))
           batch
       in
@@ -550,7 +571,12 @@ and evict_one t part =
           Obs.Counter.incr t.cl_dirty_fallbacks;
           let raw, stripped = encode_image t ~page_id:f.fpage_id p in
           Pagestore.write t.pstore ~page_id:f.fpage_id raw;
-          if not stripped then f.fdirty <- false
+          if not stripped then begin
+            f.fdirty <- false;
+            if Sanitize.on () then
+              Sanitize.frame_clean ~scope:t.scope ~page_id:f.fpage_id
+                ~resident:(f.fpayload <> None)
+          end
         end
       end
       else Obs.Counter.incr t.cl_clean_evicts;
@@ -562,6 +588,9 @@ and evict_one t part =
         (not f.fdirty) && f.fstate = Cooling && f.fpinned = 0
         && Engine.now t.engine - f.flast_access >= recency_guard_ns
       then begin
+        if Sanitize.on () then
+          Sanitize.frame_evict ~scope:t.scope ~page_id:f.fpage_id ~dirty:f.fdirty
+            ~pinned:f.fpinned ~cooling:(f.fstate = Cooling);
         (match f.fparent with
         | Some swip -> swip.ptr <- Unswizzled f.fpage_id
         | None -> ());
@@ -579,6 +608,7 @@ and evict_one t part =
       | Some swip when Pagestore.mem t.pstore ~page_id:f.fpage_id ->
         swip.ptr <- Unswizzled f.fpage_id
       | _ -> ());
+      if Sanitize.on () then Sanitize.frame_drop ~scope:t.scope ~page_id:f.fpage_id;
       Hashtbl.remove part.frames f.fpage_id;
       part.used_bytes <- part.used_bytes - f.fsize;
       f.fsize <- 0;
@@ -656,6 +686,8 @@ let snapshot_chunk t chunk =
     (fun f ->
       let raw, stripped = encode_image t ~page_id:f.fpage_id (payload f) in
       f.fdirty <- stripped;
+      if (not stripped) && Sanitize.on () then
+        Sanitize.frame_clean ~scope:t.scope ~page_id:f.fpage_id ~resident:(f.fpayload <> None);
       (f.fpage_id, raw))
     chunk
 
@@ -681,7 +713,7 @@ let flush_all_dirty t ~on_done =
            Hashtbl.fold
              (fun _ f acc -> if f.fdirty && f.fpayload <> None then f :: acc else acc)
              part.frames []
-           |> List.sort (fun a b -> compare a.fpage_id b.fpage_id)
+           |> List.sort (fun a b -> Int.compare a.fpage_id b.fpage_id)
            |> chunked batch_pages)
   in
   match chunks with

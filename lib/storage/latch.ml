@@ -1,14 +1,23 @@
 module Scheduler = Phoebe_runtime.Scheduler
 module Component = Phoebe_sim.Component
 module Cost = Phoebe_sim.Cost
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type mode = Free | Shared of int | Exclusive
 
-type t = { mutable lversion : int; mutable mode : mode }
+(* [uid] is process-unique (the sanitizer's order-graph node); [tag] is
+   a display label — buffer-frame latches carry their page id, anything
+   else a negative unique. Allocating the uid eagerly keeps [create]
+   branch-free; a counter bump is pure and schedule-neutral. *)
+type t = { mutable lversion : int; mutable mode : mode; uid : int; mutable tag : int }
 
 exception Timeout
 
-let create () = { lversion = 0; mode = Free }
+let create () =
+  let uid = Sanitize.next_uid () in
+  { lversion = 0; mode = Free; uid; tag = -uid }
+
+let set_tag t tag = t.tag <- tag
 
 let version t = t.lversion
 let is_exclusive t = t.mode = Exclusive
@@ -52,7 +61,7 @@ let rec optimistic_read t f =
 (* State transitions happen before any charge: a charge suspends the
    fiber in virtual time, and the acquisition must be atomic w.r.t.
    fibers interleaving on other simulated cores. *)
-let rec acquire_shared t =
+let rec raw_acquire_shared t =
   match t.mode with
   | Free ->
     t.mode <- Shared 1;
@@ -62,27 +71,55 @@ let rec acquire_shared t =
     Scheduler.charge Component.Latch (costs ()).Cost.latch_acquire
   | Exclusive ->
     spin ();
-    acquire_shared t
+    raw_acquire_shared t
 
-let release_shared t =
-  match t.mode with
-  | Shared 1 -> t.mode <- Free
-  | Shared n when n > 1 -> t.mode <- Shared (n - 1)
-  | _ -> invalid_arg "Latch.release_shared: not share-latched"
-
-let rec acquire_exclusive t =
+let rec raw_acquire_exclusive t =
   match t.mode with
   | Free ->
     t.mode <- Exclusive;
     Scheduler.charge Component.Latch (costs ()).Cost.latch_acquire
   | Shared _ | Exclusive ->
     spin ();
-    acquire_exclusive t
+    raw_acquire_exclusive t
+
+(* Sanitizer instrumentation around an acquisition. Wait intent is
+   declared before the first spin turn, so an order inversion is
+   reported even when the acquisition would spin forever; the wait
+   marker is cleared on success AND on {!Timeout}, so a deadline abort
+   never leaves phantom wait state behind. The held stack is pushed
+   only on success — a timed-out waiter holds nothing. *)
+let sanitized t ~exclusive raw =
+  let fiber = Scheduler.current_fiber_id () in
+  Sanitize.latch_wait ~fiber ~uid:t.uid ~tag:t.tag ~exclusive;
+  (match raw t with
+  | () -> Sanitize.latch_wait_done ~fiber
+  | exception e ->
+    Sanitize.latch_wait_done ~fiber;
+    raise e);
+  Sanitize.latch_acquired ~fiber ~uid:t.uid ~tag:t.tag ~exclusive
+
+let acquire_shared t =
+  if Sanitize.on () then sanitized t ~exclusive:false raw_acquire_shared
+  else raw_acquire_shared t
+
+let acquire_exclusive t =
+  if Sanitize.on () then sanitized t ~exclusive:true raw_acquire_exclusive
+  else raw_acquire_exclusive t
+
+let release_shared t =
+  (match t.mode with
+  | Shared 1 -> t.mode <- Free
+  | Shared n when n > 1 -> t.mode <- Shared (n - 1)
+  | _ -> invalid_arg "Latch.release_shared: not share-latched");
+  if Sanitize.on () then
+    Sanitize.latch_released ~fiber:(Scheduler.current_fiber_id ()) ~uid:t.uid
 
 let release_exclusive t =
   if t.mode <> Exclusive then invalid_arg "Latch.release_exclusive: not exclusively latched";
   t.lversion <- t.lversion + 1;
-  t.mode <- Free
+  t.mode <- Free;
+  if Sanitize.on () then
+    Sanitize.latch_released ~fiber:(Scheduler.current_fiber_id ()) ~uid:t.uid
 
 let with_shared t f =
   acquire_shared t;

@@ -22,6 +22,11 @@ exception Timeout
 
 val create : unit -> t
 
+val set_tag : t -> int -> unit
+(** Label the latch for sanitizer reports (the buffer manager tags frame
+    latches with their page id). Purely cosmetic; no effect when the
+    sanitizer is off. *)
+
 val version : t -> int
 val is_exclusive : t -> bool
 

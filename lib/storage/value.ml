@@ -16,11 +16,11 @@ let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | Str _ -> 3 | Bool _ 
 let compare a b =
   match (a, b) with
   | Null, Null -> 0
-  | Int x, Int y -> Stdlib.compare x y
-  | Float x, Float y -> Stdlib.compare x y
-  | Str x, Str y -> Stdlib.compare x y
-  | Bool x, Bool y -> Stdlib.compare x y
-  | _ -> Stdlib.compare (rank a) (rank b)
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
 

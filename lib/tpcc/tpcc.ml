@@ -306,7 +306,13 @@ let customer_by_name t txn ~w ~d ~last =
     (fun rid row ->
       hits := (sv row.(c_first), rid, row) :: !hits;
       true);
-  match List.sort compare !hits with
+  match
+    List.sort
+      (fun (f1, r1, _) (f2, r2, _) ->
+        let c = String.compare f1 f2 in
+        if c <> 0 then c else Int.compare r1 r2)
+      !hits
+  with
   | [] -> None
   | sorted ->
     let n = List.length sorted in
@@ -696,7 +702,7 @@ let consistency_checks t =
           Table.index_prefix t.neworder txn ~index:"neworder_pk" ~prefix:[ vi w; vi d ] (fun _ row ->
               no_ids := iv row.(no_o_id) :: !no_ids;
               true);
-          (match List.sort compare !no_ids with
+          (match List.sort Int.compare !no_ids with
           | [] -> ()
           | ids ->
             let lo = List.hd ids and hi = List.nth ids (List.length ids - 1) in

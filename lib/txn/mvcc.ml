@@ -15,7 +15,7 @@ let visible_version ~xid ~snapshot ~current ~deleted_in_page ~head =
        the globally visible version (Algorithm 1 lines 1-4) *)
     if deleted_in_page then None else Some current
   | Some header ->
-    if header.Undo.ets <= snapshot || header.Undo.ets = xid then
+    if header.Undo.ets <= snapshot || Int.equal header.Undo.ets xid then
       (* the newest version was committed before our snapshot, or is our
          own write: the in-page state is what we see *)
       if deleted_in_page then None else Some current
@@ -55,7 +55,7 @@ let check_write ~xid ~snapshot ~head =
   match head with
   | None -> Write_ok
   | Some (header : Undo.t) ->
-    if header.Undo.ets = xid then Write_ok
+    if Int.equal header.Undo.ets xid then Write_ok
     else if Clock.is_xid header.Undo.ets then Write_wait header.Undo.ets
     else if header.Undo.ets > snapshot then Write_conflict header.Undo.ets
     else Write_ok

@@ -15,10 +15,10 @@ let exclusive_holder t = t.x_holder
 
 let is_free_for t mode ~xid =
   match mode with
-  | Shared -> t.x_holder = 0 || t.x_holder = xid
+  | Shared -> Int.equal t.x_holder 0 || Int.equal t.x_holder xid
   | Exclusive ->
-    (t.x_holder = 0 || t.x_holder = xid)
-    && Hashtbl.fold (fun holder () ok -> ok && holder = xid) t.shared true
+    (Int.equal t.x_holder 0 || Int.equal t.x_holder xid)
+    && Hashtbl.fold (fun holder () ok -> ok && Int.equal holder xid) t.shared true
 
 let add_holder t mode ~xid =
   match mode with
@@ -28,12 +28,12 @@ let add_holder t mode ~xid =
     Hashtbl.remove t.shared xid
 
 let remove_holder t ~xid =
-  if t.x_holder = xid then t.x_holder <- 0;
+  if Int.equal t.x_holder xid then t.x_holder <- 0;
   Hashtbl.remove t.shared xid;
   Waitq.signal_all t.q
 
 let held_by t ~xid =
-  if t.x_holder = xid then Some Exclusive
+  if Int.equal t.x_holder xid then Some Exclusive
   else if Hashtbl.mem t.shared xid then Some Shared
   else None
 

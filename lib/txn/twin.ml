@@ -35,7 +35,7 @@ let chain_head entry =
 let sweep t =
   let dead =
     Hashtbl.fold
-      (fun rid e acc -> if chain_head e = None && e.lock_xid = 0 then rid :: acc else acc)
+      (fun rid e acc -> if chain_head e = None && Int.equal e.lock_xid 0 then rid :: acc else acc)
       t.entries []
   in
   List.iter (Hashtbl.remove t.entries) dead

@@ -9,6 +9,7 @@ module Resource = Phoebe_sim.Resource
 module Engine = Phoebe_sim.Engine
 module Obs = Phoebe_obs.Obs
 module Trace = Phoebe_obs.Trace
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type isolation = Read_committed | Repeatable_read
 type state = Active | Committed | Aborted
@@ -183,6 +184,7 @@ let finish t txn final_state =
   Hashtbl.remove t.active txn.xid;
   List.iter (fun tl -> Tablelock.remove_holder tl ~xid:txn.xid) txn.held_table_locks;
   txn.held_table_locks <- [];
+  if Sanitize.on () then Sanitize.locks_released_all ~fiber:(Scheduler.current_fiber_id ());
   Waitq.signal_all txn.waiters
 
 let commit t txn =
@@ -195,6 +197,38 @@ let commit t txn =
   Undo.iter_txn txn.undo_newest (fun u ->
       Scheduler.charge Component.Mvcc c.Cost.commit_stamp_per_undo;
       u.Undo.ets <- cts);
+  (* Undo-chain well-formedness at the commit boundary: every entry of
+     the just-stamped chain must carry this commit's cts, start before
+     it, and still be live; the chain length must agree with the
+     incremental count. Pure reads — no charges, no schedule effect. *)
+  if Sanitize.on () then begin
+    let n = ref 0 in
+    Undo.iter_txn txn.undo_newest (fun u ->
+        incr n;
+        if u.Undo.reclaimed then
+          Sanitize.violation Sanitize.Undo_chain
+            "xid %d: committing an undo entry already reclaimed (table %d rid %d)" txn.xid
+            u.Undo.table_id u.Undo.rid;
+        if not (Int.equal u.Undo.ets cts) then
+          Sanitize.violation Sanitize.Undo_chain
+            "xid %d: undo entry carries ets %d after commit stamping at cts %d" txn.xid u.Undo.ets
+            cts;
+        (* [sts] is the displaced version's timestamp: a commit ts when
+           that version was committed, this transaction's xid when it
+           chains onto an earlier write of its own, 0 for Created. *)
+        if Clock.is_xid u.Undo.sts then begin
+          if not (Int.equal u.Undo.sts txn.xid) then
+            Sanitize.violation Sanitize.Undo_chain
+              "xid %d: undo entry displaces an uncommitted version of foreign xid %d" txn.xid
+              u.Undo.sts
+        end
+        else if u.Undo.sts >= cts then
+          Sanitize.violation Sanitize.Undo_chain "xid %d: undo start ts %d not before commit ts %d"
+            txn.xid u.Undo.sts cts);
+    if !n <> txn.undo_count then
+      Sanitize.violation Sanitize.Undo_chain
+        "xid %d: undo chain length %d disagrees with undo_count %d" txn.xid !n txn.undo_count
+  end;
   if txn.wrote then begin
     let gsn = Wal.next_gsn t.twal ~slot:txn.slot ~page_gsn:0 in
     let lsn = Wal.append t.twal ~slot:txn.slot (Record.Commit { xid = txn.xid; cts }) ~gsn in
@@ -212,6 +246,9 @@ let commit t txn =
      never reaches the device. With sync_commit off the wait is a no-op
      and the watermark advances eagerly: relaxed durability is that
      configuration's contract. *)
+  if Sanitize.on () && cts < t.slot_durable_cts.(txn.slot) then
+    Sanitize.violation Sanitize.Undo_chain "slot %d: commit ts %d below the durable watermark %d"
+      txn.slot cts t.slot_durable_cts.(txn.slot);
   if cts > t.slot_durable_cts.(txn.slot) then t.slot_durable_cts.(txn.slot) <- cts;
   (* bundle joins the slot's GC queue in commit order *)
   if txn.undo_newest <> None then
@@ -250,7 +287,7 @@ let active_count t = Hashtbl.length t.active
 let would_deadlock t ~requester ~holder_xid =
   let rec walk xid depth =
     if depth > 64 then false
-    else if xid = requester.xid then true
+    else if Int.equal xid requester.xid then true
     else
       match Hashtbl.find_opt t.active xid with
       | None -> false
@@ -311,7 +348,11 @@ let lock_tuple t txn (entry : Twin.entry) =
   | _ -> ());
   Scheduler.charge Component.Lock c.Cost.tuple_lock;
   let rec acquire () =
-    if entry.Twin.lock_xid = 0 || entry.Twin.lock_xid = txn.xid then entry.Twin.lock_xid <- txn.xid
+    if Int.equal entry.Twin.lock_xid 0 || Int.equal entry.Twin.lock_xid txn.xid then begin
+      if Int.equal entry.Twin.lock_xid 0 && Sanitize.on () then
+        Sanitize.lock_acquired ~fiber:(Scheduler.current_fiber_id ()) ~table:false;
+      entry.Twin.lock_xid <- txn.xid
+    end
     else begin
       (match Hashtbl.find_opt t.active entry.Twin.lock_xid with
       | Some _ when would_deadlock t ~requester:txn ~holder_xid:entry.Twin.lock_xid ->
@@ -331,8 +372,10 @@ let lock_tuple t txn (entry : Twin.entry) =
   acquire ()
 
 let unlock_tuple _t txn (entry : Twin.entry) =
-  if entry.Twin.lock_xid = txn.xid then begin
+  if Int.equal entry.Twin.lock_xid txn.xid then begin
     entry.Twin.lock_xid <- 0;
+    if Sanitize.on () then
+      Sanitize.lock_released ~fiber:(Scheduler.current_fiber_id ()) ~table:false;
     Waitq.signal_all entry.Twin.lock_waiters
   end
 
@@ -348,8 +391,11 @@ let lock_table t txn tl ~mode =
     let rec acquire () =
       Scheduler.charge Component.Lock c.Cost.tuple_lock;
       if Tablelock.is_free_for tl mode ~xid:txn.xid then begin
-        if Tablelock.held_by tl ~xid:txn.xid = None then
+        if Tablelock.held_by tl ~xid:txn.xid = None then begin
           txn.held_table_locks <- tl :: txn.held_table_locks;
+          if Sanitize.on () then
+            Sanitize.lock_acquired ~fiber:(Scheduler.current_fiber_id ()) ~table:true
+        end;
         Tablelock.add_holder tl mode ~xid:txn.xid
       end
       else begin

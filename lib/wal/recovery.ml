@@ -58,7 +58,7 @@ let replay ?(after = fun _ -> -1) store apply =
          corruption — so refuse loudly instead. *)
       List.iter
         (fun (r : Record.t) ->
-          if r.Record.lsn = after r.Record.slot then
+          if Int.equal r.Record.lsn (after r.Record.slot) then
             match r.Record.op with
             | Record.Commit _ | Record.Abort _ -> ()
             | _ ->
@@ -111,14 +111,17 @@ let replay ?(after = fun _ -> -1) store apply =
         match (a.Record.op, b.Record.op) with
         | Record.Insert { table = ta; rid = ra; _ }, Record.Insert { table = tb; rid = rb; _ }
           ->
-          if ta <> tb then compare ta tb else compare ra rb
+          if ta <> tb then Int.compare ta tb else Int.compare ra rb
         | _ -> 0)
       inserts
     @ List.sort
         (fun (a : Record.t) (b : Record.t) ->
-          if a.gsn <> b.gsn then compare a.gsn b.gsn
-          else if a.slot <> b.slot then compare a.slot b.slot
-          else compare a.lsn b.lsn)
+          let c = Int.compare a.gsn b.gsn in
+          if c <> 0 then c
+          else begin
+            let c = Int.compare a.slot b.slot in
+            if c <> 0 then c else Int.compare a.lsn b.lsn
+          end)
         others
   in
   List.iter
@@ -147,4 +150,4 @@ let committed_transactions store =
         match r.Record.op with Record.Commit { xid; cts } -> Some (xid, cts) | _ -> None)
       (read_all store)
   in
-  List.sort (fun (_, a) (_, b) -> compare a b) commits
+  List.sort (fun (_, a) (_, b) -> Int.compare a b) commits

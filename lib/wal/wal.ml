@@ -5,6 +5,7 @@ module Scheduler = Phoebe_runtime.Scheduler
 module Walstore = Phoebe_io.Walstore
 module Obs = Phoebe_obs.Obs
 module Trace = Phoebe_obs.Trace
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type config = {
   group_flush_bytes : int;
@@ -179,6 +180,7 @@ let append t ~slot op ~gsn =
   let w = t.writers.(slot) in
   let lsn = w.next_lsn in
   w.next_lsn <- lsn + 1;
+  if Sanitize.on () then Sanitize.wal_append ~scope:(Walstore.id t.wstore) ~file:slot ~lsn;
   let record = { Record.slot; lsn; gsn; op } in
   let before = Buffer.length w.buf in
   Record.encode w.buf record;
@@ -272,7 +274,7 @@ let flush_all t ~on_done =
 let dump_writers t =
   Array.to_list t.writers
   |> List.filter_map (fun w ->
-         if w.next_lsn = 0 then None
+         if Int.equal w.next_lsn 0 then None
          else
            Some
              (w.wslot, Buffer.length w.buf, Queue.length w.pending, w.inflight, w.flushed_lsn,

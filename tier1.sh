@@ -14,21 +14,36 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== lint (phoebe_lint self-test + lib scan)"
+dune exec bin/phoebe_lint.exe -- --self-test
+dune exec bin/phoebe_lint.exe -- lib
+
 echo "== bench smoke (5 virtual seconds of exp1 at W=2, --json)"
 json_tmp="$(mktemp /tmp/phoebe-smoke-XXXXXX.json)"
 trap 'rm -f "$json_tmp"' EXIT
 dune exec bench/main.exe -- smoke --json "$json_tmp"
 dune exec bench/main.exe -- --check-json "$json_tmp"
 
+echo "== determinism (fixed-seed double run under --sanitize, byte-identical json + digest)"
+det_a="$(mktemp /tmp/phoebe-det-a-XXXXXX.json)"
+det_b="$(mktemp /tmp/phoebe-det-b-XXXXXX.json)"
+trap 'rm -f "$json_tmp" "$det_a" "$det_b"' EXIT
+dune exec bench/main.exe -- smoke --sanitize --seed 42 --json "$det_a" > /dev/null
+dune exec bench/main.exe -- smoke --sanitize --seed 42 --json "$det_b" > /dev/null
+cmp "$det_a" "$det_b"
+grep -q '"sanitize.replay_digest"' "$det_a"
+grep -q '"sanitize.findings": 0' "$det_a"
+echo "   double run byte-identical, replay digest present, zero findings"
+
 echo "== overload smoke (offered-load sweep, admission on vs off, --json)"
 overload_tmp="$(mktemp /tmp/phoebe-overload-XXXXXX.json)"
-trap 'rm -f "$json_tmp" "$overload_tmp"' EXIT
+trap 'rm -f "$json_tmp" "$det_a" "$det_b" "$overload_tmp"' EXIT
 dune exec bench/main.exe -- overload --json "$overload_tmp"
 dune exec bench/main.exe -- --check-json "$overload_tmp"
 
 echo "== recovery smoke (fixed-seed crash + replay vs checkpoint cadence, --json)"
 recovery_tmp="$(mktemp /tmp/phoebe-recovery-XXXXXX.json)"
-trap 'rm -f "$json_tmp" "$overload_tmp" "$recovery_tmp"' EXIT
+trap 'rm -f "$json_tmp" "$det_a" "$det_b" "$overload_tmp" "$recovery_tmp"' EXIT
 dune exec bench/main.exe -- --experiment recovery --seed 42 --json "$recovery_tmp"
 dune exec bench/main.exe -- --check-json "$recovery_tmp"
 
