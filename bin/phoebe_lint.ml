@@ -15,11 +15,21 @@
      hashtbl-iter-mutate  [Hashtbl.iter] whose body mutates the iterated
                           table (undefined traversal; collect then mutate)
      missing-mli          library module without an interface file
+     hot-alloc            allocation primitives (Buffer.create, Bytes.create,
+                          Array.make, Printf.sprintf, closure-capturing
+                          List.map) in files tagged [(* lint: hot-path *)] —
+                          hot-path code reuses scratch buffers and slabs
+                          (DESIGN.md section 4h)
 
    Escape hatches, in a comment on the offending line or the line above:
        (* lint: allow <rule> *)
    or, anywhere in the file, covering the whole file:
        (* lint: allow <rule> file *)
+
+   The hot-alloc rule only fires in files that opt in with a
+       (* lint: hot-path *)
+   tag anywhere in the file; cold paths inside such a file (setup,
+   recovery, export) carry per-line [lint: allow hot-alloc] pragmas.
 
    Pure Stdlib; no dependencies. Scans the directories/files given on the
    command line (the dune runtest rule passes [lib]); [--self-test] runs
@@ -150,6 +160,7 @@ let strip src =
 let known_rules =
   [
     "random"; "wall-clock"; "poly-compare"; "poly-eq-id"; "hashtbl-iter-mutate"; "missing-mli";
+    "hot-alloc";
   ]
 
 (* Returns (line, rule, file_scoped) for every "lint: allow" pragma. *)
@@ -243,7 +254,7 @@ let prefix_is_comparison_context prefix =
            || not (is_ident_char p.[String.length p - String.length c - 1])))
       comparison_contexts
 
-let scan_line ~file ~lineno ~defined_compare line findings =
+let scan_line ~file ~lineno ~defined_compare ~hot_path line findings =
   let add rule msg = findings := { f_file = file; f_line = lineno; f_rule = rule; f_msg = msg } :: !findings in
   (* random *)
   List.iter
@@ -270,6 +281,27 @@ let scan_line ~file ~lineno ~defined_compare line findings =
       else if not defined_compare then
         add "poly-compare" "bare polymorphic compare; use a typed comparator (Int.compare, ...)")
     (find_tokens line "compare");
+  (* hot-alloc: only in files tagged (* lint: hot-path *) *)
+  if hot_path then begin
+    List.iter
+      (fun tok ->
+        List.iter
+          (fun _ ->
+            add "hot-alloc"
+              (tok ^ " allocates on a hot path; reuse a scratch buffer/slab (DESIGN.md 4h)"))
+          (find_tokens line tok))
+      [ "Buffer.create"; "Bytes.create"; "Array.make"; "Printf.sprintf" ];
+    List.iter
+      (fun pos ->
+        let after = ref (pos + String.length "List.map") in
+        while !after < String.length line && line.[!after] = ' ' do
+          incr after
+        done;
+        if !after + 4 <= String.length line && String.sub line !after 4 = "(fun" then
+          add "hot-alloc"
+            "closure-capturing List.map on a hot path; iterate with a preallocated accumulator")
+      (find_tokens line "List.map")
+  end;
   (* poly-eq-id *)
   let flag_eq_id ~op pos =
     (* pos = index of the operator *)
@@ -390,6 +422,13 @@ let scan_source ~file ?(has_mli = true) src =
   let findings = ref [] in
   let lines = Array.of_list (String.split_on_char '\n' src) in
   let pragmas = pragmas_of lines in
+  (* the hot-path tag lives in a comment, so look at the raw source *)
+  let hot_path =
+    let tag = "lint: hot-path" in
+    let n = String.length src and m = String.length tag in
+    let rec at i = i + m <= n && (String.sub src i m = tag || at (i + 1)) in
+    at 0
+  in
   let stripped = strip src in
   let slines = Array.of_list (String.split_on_char '\n' stripped) in
   let defined_compare = ref false in
@@ -410,7 +449,7 @@ let scan_source ~file ?(has_mli = true) src =
         in
         if def "let" || def "and" then defined_compare := true
       end;
-      scan_line ~file ~lineno:(i + 1) ~defined_compare:!defined_compare line findings)
+      scan_line ~file ~lineno:(i + 1) ~defined_compare:!defined_compare ~hot_path line findings)
     slines;
   scan_hashtbl_iter ~file stripped findings;
   if not has_mli then
@@ -491,6 +530,29 @@ let fixtures : (string * string * string list) list =
       [] );
     ( "file-pragma",
       "(* lint: allow poly-compare file *)\nlet a = compare 1 2\nlet b = compare 3 4\n",
+      [] );
+    ( "hot-alloc-buffer",
+      "(* lint: hot-path *)\nlet f () = Buffer.create 64\n",
+      [ "hot-alloc" ] );
+    ("hot-alloc-untagged-ok", "let f () = Buffer.create 64\n", []);
+    ( "hot-alloc-bytes",
+      "(* lint: hot-path *)\nlet f () = Bytes.create 8\n",
+      [ "hot-alloc" ] );
+    ( "hot-alloc-array",
+      "(* lint: hot-path *)\nlet f n = Array.make n 0\n",
+      [ "hot-alloc" ] );
+    ( "hot-alloc-sprintf",
+      "(* lint: hot-path *)\nlet f x = Printf.sprintf \"%d\" x\n",
+      [ "hot-alloc" ] );
+    ( "hot-alloc-listmap",
+      "(* lint: hot-path *)\nlet f l = List.map (fun x -> x + 1) l\n",
+      [ "hot-alloc" ] );
+    ( "hot-alloc-listmap-named-ok",
+      "(* lint: hot-path *)\nlet f l = List.map succ l\n",
+      [] );
+    ( "hot-alloc-pragma",
+      "(* lint: hot-path *)\nlet f () =\n  (* lint: allow hot-alloc — cold setup *)\n\
+      \  Buffer.create 64\n",
       [] );
   ]
 

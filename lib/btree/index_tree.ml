@@ -1,3 +1,4 @@
+(* lint: hot-path *)
 module Latch = Phoebe_storage.Latch
 module Value = Phoebe_storage.Value
 module Scheduler = Phoebe_runtime.Scheduler
@@ -42,7 +43,7 @@ let charge_search () = Scheduler.charge Component.Effective (costs ()).Cost.btre
 let charge_leaf_op () = Scheduler.charge Component.Effective (costs ()).Cost.btree_leaf_op
 
 let new_leaf fanout =
-  { keys = Array.make fanout ""; rids = Array.make fanout 0; ln = 0; llatch = Latch.create () }
+  { keys = Array.make fanout ""; rids = Array.make fanout 0; ln = 0; llatch = Latch.create () } (* lint: allow hot-alloc — node construction on split, amortized *)
 
 let create ~name ?(fanout = 64) ~unique () =
   { iname = name; fanout; unique; root = Leaf (new_leaf fanout); entries = 0; idepth = 1 }
@@ -90,9 +91,9 @@ let split_inner t inner =
   let half = inner.inn / 2 in
   let right =
     {
-      sep_keys = Array.make t.fanout "";
-      sep_rids = Array.make t.fanout 0;
-      kids = Array.make t.fanout inner.kids.(0);
+      sep_keys = Array.make t.fanout ""; (* lint: allow hot-alloc — split, amortized *)
+      sep_rids = Array.make t.fanout 0; (* lint: allow hot-alloc — split, amortized *)
+      kids = Array.make t.fanout inner.kids.(0); (* lint: allow hot-alloc — split, amortized *)
       inn = inner.inn - half;
       platch = Latch.create ();
     }
@@ -138,9 +139,9 @@ let insert t ~key ~rid =
       let old = t.root in
       let fresh =
         {
-          sep_keys = Array.make t.fanout "";
-          sep_rids = Array.make t.fanout 0;
-          kids = Array.make t.fanout old;
+          sep_keys = Array.make t.fanout ""; (* lint: allow hot-alloc — root growth, rare *)
+          sep_rids = Array.make t.fanout 0; (* lint: allow hot-alloc — root growth, rare *)
+          kids = Array.make t.fanout old; (* lint: allow hot-alloc — root growth, rare *)
           inn = 1;
           platch = Latch.create ();
         }
@@ -244,6 +245,15 @@ let lookup t ~key =
          else false));
   List.rev !acc
 
+let iter_key t ~key f =
+  ignore
+    (iter_from t.root key min_int (fun k rid ->
+         if k = key then begin
+           f rid;
+           true
+         end
+         else false))
+
 let lookup_first t ~key =
   let result = ref None in
   ignore
@@ -268,13 +278,22 @@ let prefix_upper_bound p =
   in
   go (String.length p - 1)
 
+(* [String.sub]-free prefix test: [prefix] runs once per visited entry
+   on the scan path, so carving a fresh substring per key would allocate
+   all through stock-level and by-name scans. *)
+let has_prefix k p =
+  let n = String.length p in
+  String.length k >= n
+  &&
+  let rec go i = i >= n || (String.unsafe_get k i = String.unsafe_get p i && go (i + 1)) in
+  go 0
+
 let prefix t ~prefix:p f =
   ignore
     (iter_from t.root p min_int (fun k rid ->
-         if String.length k >= String.length p && String.sub k 0 (String.length p) = p then f k rid
-         else String.compare k p < 0))
+         if has_prefix k p then f k rid else String.compare k p < 0))
 
 let encode_key values =
-  let buf = Buffer.create 32 in
+  let buf = Buffer.create 32 in (* lint: allow hot-alloc — convenience key builder for cold callers *)
   List.iter (Value.encode_key buf) values;
   Buffer.contents buf

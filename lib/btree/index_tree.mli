@@ -25,6 +25,10 @@ val delete : t -> key:string -> rid:int -> bool
 val lookup : t -> key:string -> int list
 (** All row ids for [key] (at most one on a unique index), ascending. *)
 
+val iter_key : t -> key:string -> (int -> unit) -> unit
+(** Visit every row id for [key] in ascending order without building a
+    list — the execute path's allocation-free variant of {!lookup}. *)
+
 val lookup_first : t -> key:string -> int option
 
 val range : t -> lo:string -> hi:string -> (string -> int -> bool) -> unit

@@ -1,3 +1,4 @@
+(* lint: hot-path *)
 module Pax = Phoebe_storage.Pax
 module Frozen = Phoebe_storage.Frozen
 module Bufmgr = Phoebe_storage.Bufmgr
@@ -40,6 +41,16 @@ type t = {
   block_id_alloc : unit -> int;
   mutable live_tuples : int;
   mutable nleaves : int;
+  (* Swizzled-leaf fence cache (off by default, Config.leaf_fence_cache):
+     the last leaf a point lookup descended to, with its row-id fences.
+     A hit skips the per-level descent and the buffer-manager resolve.
+     Safe because hot rows never migrate between leaves: the only row
+     movement is freezing, which both drops the leaf's frame (making the
+     swip non-resident, a miss) and advances [max_frozen] past its rids. *)
+  mutable fc_on : bool;
+  mutable fc_swip : leaf_swip;
+  mutable fc_lo : int;  (** cache valid iff [fc_lo <= fc_hi] *)
+  mutable fc_hi : int;
 }
 
 let costs () =
@@ -48,7 +59,7 @@ let costs () =
 let charge_effective n = Scheduler.charge Component.Effective n
 
 let new_inner child key =
-  { keys = Array.make inner_fanout key; children = Array.make inner_fanout child; n = 1; ilatch = Latch.create () }
+  { keys = Array.make inner_fanout key; children = Array.make inner_fanout child; n = 1; ilatch = Latch.create () } (* lint: allow hot-alloc — inner-node construction on split, amortized *)
 
 (* New leaves are allocated into the appending worker's buffer partition
    (paper: each worker manages its own buffer pool partition). *)
@@ -86,7 +97,16 @@ let create ~name ~schema ~buf ~block_store ?block_id_alloc ?(leaf_capacity = 256
     block_id_alloc;
     live_tuples = 0;
     nleaves = 1;
+    fc_on = false;
+    fc_swip = swip;
+    fc_lo = 1;
+    fc_hi = 0;
   }
+
+let set_fence_cache t on =
+  t.fc_on <- on;
+  t.fc_lo <- 1;
+  t.fc_hi <- 0
 
 let name t = t.tname
 let schema t = t.tschema
@@ -221,6 +241,21 @@ let rec descend_to_leaf t node rid =
       descend_to_leaf t child rid
     end
 
+let locate_descend ~touch t ~row_id =
+  match descend_to_leaf t t.root row_id with
+  | None -> None
+  | Some swip -> (
+    let frame = Bufmgr.resolve ~touch t.buf swip in
+    let page = Bufmgr.payload frame in
+    if t.fc_on then begin
+      t.fc_swip <- swip;
+      t.fc_lo <- Pax.min_row_id page;
+      t.fc_hi <- Pax.max_row_id page
+    end;
+    match Pax.find page ~row_id with
+    | Some slot -> Some (In_page (frame, slot))
+    | None -> None)
+
 let locate ?(touch = true) t ~row_id =
   if row_id <= 0 || row_id >= t.next_rid then None
   else if row_id <= t.max_frozen then
@@ -229,15 +264,19 @@ let locate ?(touch = true) t ~row_id =
       Scheduler.charge Component.Effective (costs ()).Cost.frozen_decode_per_tuple;
       Some (In_frozen b)
     | None -> None
-  else
-    match descend_to_leaf t t.root row_id with
-    | None -> None
-    | Some swip -> (
-      let frame = Bufmgr.resolve ~touch t.buf swip in
+  else if t.fc_on && row_id >= t.fc_lo && row_id <= t.fc_hi then begin
+    match Bufmgr.resident_frame_of_swip t.fc_swip with
+    | Some frame -> (
+      (* fence hit: one probe charge replaces the per-level descent and
+         the buffer-manager resolve *)
+      charge_effective (costs ()).Cost.btree_search_per_level;
       let page = Bufmgr.payload frame in
       match Pax.find page ~row_id with
       | Some slot -> Some (In_page (frame, slot))
       | None -> None)
+    | None -> locate_descend ~touch t ~row_id
+  end
+  else locate_descend ~touch t ~row_id
 
 let read ?(touch = true) t ~row_id =
   let c = costs () in
@@ -582,6 +621,10 @@ let restore ~name ~schema ~buf ~block_store ~block_id_alloc ?(leaf_capacity = 25
         block_id_alloc;
         live_tuples = 0;
         nleaves = 1;
+        fc_on = false;
+        fc_swip = first_swip;
+        fc_lo = 1;
+        fc_hi = 0;
       }
     in
     List.iter
@@ -593,7 +636,7 @@ let restore ~name ~schema ~buf ~block_store ~block_id_alloc ?(leaf_capacity = 25
       rest;
     t.blocks <-
       Array.of_list
-        (List.map (fun bid -> Frozen.decode (Pagestore.read block_store ~page_id:bid)) block_ids);
+        (List.map (fun bid -> Frozen.decode (Pagestore.read block_store ~page_id:bid)) block_ids); (* lint: allow hot-alloc — checkpoint restore, cold *)
     t.block_ids <- Array.of_list block_ids;
     let live = ref 0 in
     Array.iter (fun b -> live := !live + Frozen.live_count b) t.blocks;

@@ -270,6 +270,7 @@ let create_table t ~name ~schema =
       ~block_store:t.block_store ~block_id_alloc ~txnmgr:t.txns ~wal:t.walmgr
       ~leaf_capacity:t.cfg.Config.leaf_capacity
   in
+  if t.cfg.Config.leaf_fence_cache then Phoebe_btree.Table_tree.set_fence_cache (Table.tree table) true;
   t.table_list <- table :: t.table_list;
   Hashtbl.replace t.by_name name table;
   Hashtbl.replace t.by_id (Table.id table) table;
@@ -289,6 +290,7 @@ let restore_table t ~name ~schema ~leaves ~block_ids ~next_rid ~max_frozen =
       ~block_store:t.block_store ~block_id_alloc ~txnmgr:t.txns ~wal:t.walmgr
       ~leaf_capacity:t.cfg.Config.leaf_capacity ~leaves ~block_ids ~next_rid ~max_frozen
   in
+  if t.cfg.Config.leaf_fence_cache then Phoebe_btree.Table_tree.set_fence_cache (Table.tree table) true;
   t.table_list <- table :: t.table_list;
   Hashtbl.replace t.by_name name table;
   Hashtbl.replace t.by_id (Table.id table) table;
@@ -374,7 +376,7 @@ let housekeeping_task t worker () =
     ignore (Txnmgr.gc_slot t.txns ~slot:s ~watermark ~on_reclaim:reclaim)
   done;
   (* the twin-table sweep walks every page's table: one sweeper suffices *)
-  if worker = 0 then ignore (Txnmgr.gc_twins t.txns);
+  if worker = 0 then ignore (Txnmgr.gc_twins t.txns ~watermark);
   if Bufmgr.needs_maintenance t.buf ~partition:worker then Bufmgr.maintain t.buf ~partition:worker;
   t.gc_pending.(worker) <- false
 
@@ -493,7 +495,7 @@ let gc t =
   for s = 0 to (t.cfg.Config.n_workers * t.cfg.Config.slots_per_worker) - 1 do
     n := !n + Txnmgr.gc_slot t.txns ~slot:s ~watermark ~on_reclaim:reclaim
   done;
-  ignore (Txnmgr.gc_twins t.txns);
+  ignore (Txnmgr.gc_twins t.txns ~watermark);
   !n
 
 let freeze_tables t =

@@ -1,6 +1,8 @@
+(* lint: hot-path *)
 module Value = Phoebe_storage.Value
 module Pax = Phoebe_storage.Pax
 module Frozen = Phoebe_storage.Frozen
+module Tupbuf = Phoebe_storage.Tupbuf
 module Bufmgr = Phoebe_storage.Bufmgr
 module Table_tree = Phoebe_btree.Table_tree
 module Index_tree = Phoebe_btree.Index_tree
@@ -33,6 +35,11 @@ type t = {
   (* per-frozen-block OLTP read counters, keyed by first_row_id (§5.2) *)
   frozen_read_counts : (int, int ref) Hashtbl.t;
   mutable frozen_reads_total : int;
+  (* reusable per-slot row buffers for the execute path (DESIGN.md §4h) *)
+  scratch : Tupbuf.t;
+  (* reusable key-encode buffer; each use is confined to one
+     charge-free stretch, so fibers can never interleave inside it *)
+  key_scratch : Buffer.t;
 }
 
 let id t = t.tid
@@ -55,6 +62,8 @@ let create ~id ~name ~schema ~buf ~block_store ~block_id_alloc ~txnmgr ~wal ~lea
     tlock = Tablelock.create ();
     frozen_read_counts = Hashtbl.create 16;
     frozen_reads_total = 0;
+    scratch = Tupbuf.create ~arity:(Value.Schema.arity schema);
+    key_scratch = Buffer.create 64; (* lint: allow hot-alloc — table construction, cold *)
   }
 
 let restore ~id ~name ~schema ~buf ~block_store ~block_id_alloc ~txnmgr ~wal ~leaf_capacity
@@ -72,10 +81,14 @@ let restore ~id ~name ~schema ~buf ~block_store ~block_id_alloc ~txnmgr ~wal ~le
     tlock = Tablelock.create ();
     frozen_read_counts = Hashtbl.create 16;
     frozen_reads_total = 0;
+    scratch = Tupbuf.create ~arity:(Value.Schema.arity schema);
+    key_scratch = Buffer.create 64; (* lint: allow hot-alloc — table construction, cold *)
   }
 
 let key_of_row index (row : Value.t array) =
-  Index_tree.encode_key (Array.to_list (Array.map (fun c -> row.(c)) index.key_cols))
+  let buf = Buffer.create 32 in (* lint: allow hot-alloc — checkpoint restore, cold *)
+  Array.iter (fun c -> Value.encode_key buf row.(c)) index.key_cols;
+  Buffer.contents buf
 
 let add_index t ~name ~cols ~unique =
   if List.exists (fun ix -> ix.ix_name = name) t.indexes then
@@ -90,7 +103,7 @@ let add_index t ~name ~cols ~unique =
       Index_tree.insert index.ix ~key:(key_of_row index row) ~rid);
   t.indexes <- index :: t.indexes
 
-let index_names t = List.map (fun ix -> ix.ix_name) t.indexes
+let index_names t = List.map (fun ix -> ix.ix_name) t.indexes (* lint: allow hot-alloc — DDL introspection, cold *)
 
 let index_is_unique t name =
   match List.find_opt (fun ix -> ix.ix_name = name) t.indexes with
@@ -177,26 +190,33 @@ let count_frozen_read t block =
   | Some r -> incr r
   | None -> Hashtbl.add t.frozen_read_counts key (ref 1)
 
+(* Reads decode into a per-slot scratch ring instead of allocating a
+   fresh array per tuple; {!Mvcc.visible_version} assembles before-image
+   deltas into the same buffer in place. The returned row obeys the
+   {!Tupbuf} ownership rule: valid until this slot reads a few more rows
+   of this table; paths that retain a row copy it. *)
 let visible_at t (txn : txn) ~rid =
   match Table_tree.locate t.ttree ~row_id:rid with
   | None -> None
   | Some (Table_tree.In_page (frame, slot)) ->
     let page = Bufmgr.payload frame in
     Scheduler.charge Component.Effective (costs ()).Cost.pax_read;
-    let current = Pax.get page ~slot in
+    let current = Tupbuf.take t.scratch ~slot:txn.Txnmgr.slot in
+    Pax.get_into page ~slot current;
     let deleted = Pax.is_deleted page ~slot in
     let head = chain_head_for t ~page_key:(Bufmgr.page_id frame) ~rid in
     Mvcc.visible_version ~xid:txn.Txnmgr.xid ~snapshot:txn.Txnmgr.snapshot ~current
       ~deleted_in_page:deleted ~head
-  | Some (Table_tree.In_frozen block) -> (
+  | Some (Table_tree.In_frozen block) ->
     count_frozen_read t block;
-    match Frozen.get_raw block ~row_id:rid with
-    | None -> None
-    | Some current ->
+    let current = Tupbuf.take t.scratch ~slot:txn.Txnmgr.slot in
+    if not (Frozen.get_raw_into block ~row_id:rid current) then None
+    else begin
       let deleted = Frozen.is_deleted block ~row_id:rid in
       let head = chain_head_for t ~page_key:(frozen_twin_key t rid) ~rid in
       Mvcc.visible_version ~xid:txn.Txnmgr.xid ~snapshot:txn.Txnmgr.snapshot ~current
-        ~deleted_in_page:deleted ~head)
+        ~deleted_in_page:deleted ~head
+    end
 
 let get t txn ~rid =
   statement_begin t txn;
@@ -259,7 +279,7 @@ let sts_for entry =
    very transaction. An uncommitted deletion by another transaction
    conservatively conflicts (it may yet abort and resurrect the row). *)
 let check_unique t (txn : txn) ix ~key ~inserting_rid =
-  List.iter
+  Index_tree.iter_key ix.ix ~key
     (fun rid ->
       if rid <> inserting_rid then begin
         let live =
@@ -285,7 +305,6 @@ let check_unique t (txn : txn) ix ~key ~inserting_rid =
           | _ -> ()
         end
       end)
-    (Index_tree.lookup ix.ix ~key)
 
 (* ------------------------------------------------------------------ *)
 (* Insert *)
@@ -341,13 +360,23 @@ let update_in_page t (txn : txn) ~page_key ~rid compute =
       ~finally:(fun () -> Txnmgr.unlock_tuple t.txnmgr txn entry)
       (fun () ->
         (* the closure sees the row as of lock grant: read-modify-write
-           is atomic with respect to other writers *)
-        let cols_idx = compute (Pax.get page ~slot) in
+           is atomic with respect to other writers. It is decoded into a
+           scratch ring row (valid for the duration of the closure); the
+           undo before-image is freshly allocated because it outlives
+           the statement. *)
+        let cur = Tupbuf.take t.scratch ~slot:txn.Txnmgr.slot in
+        Pax.get_into page ~slot cur;
+        let cols_idx = compute cur in
         let before =
-          Array.of_list (List.map (fun (col, _) -> (col, Pax.get_col page ~slot ~col)) cols_idx)
+          Array.of_list (List.map (fun (col, _) -> (col, Pax.get_col page ~slot ~col)) cols_idx) (* lint: allow hot-alloc — before-image is retained by the undo log; allocation inherent *)
         in
         let old_row_for_index =
-          match changed_indexes t cols_idx with [] -> None | _ -> Some (Pax.get page ~slot)
+          match changed_indexes t cols_idx with
+          | [] -> None
+          | _ ->
+            let r = Tupbuf.take t.scratch ~slot:txn.Txnmgr.slot in
+            Pax.get_into page ~slot r;
+            Some r
         in
         let undo =
           Undo.make ~table_id:t.tid ~rid ~kind:(Undo.Updated before) ~sts:(sts_for entry)
@@ -369,7 +398,8 @@ let update_in_page t (txn : txn) ~page_key ~rid compute =
         (match old_row_for_index with
         | None -> ()
         | Some old_row ->
-          let new_row = Pax.get page ~slot in
+          let new_row = Tupbuf.take t.scratch ~slot:txn.Txnmgr.slot in
+          Pax.get_into page ~slot new_row;
           List.iter
             (fun ix ->
               let old_key = key_of_row ix old_row and new_key = key_of_row ix new_row in
@@ -410,7 +440,7 @@ let update_frozen t (txn : txn) block ~rid compute =
     end
 
 let cols_to_idx t cols =
-  List.map (fun (name, v) -> (Value.Schema.column_index t.tschema name, v)) cols
+  List.map (fun (name, v) -> (Value.Schema.column_index t.tschema name, v)) cols (* lint: allow hot-alloc — name-to-index resolution of the column-list API *)
 
 let update_general t txn ~rid compute =
   statement_begin t txn;
@@ -489,21 +519,62 @@ let delete t (txn : txn) ~rid =
 (* ------------------------------------------------------------------ *)
 (* Index access *)
 
-let key_matches index (row : Value.t array) key_bytes = key_of_row index row = key_bytes
+(* Candidate filtering compares the row's key columns to the probe
+   values directly: re-encoding a key per candidate ([key_of_row]) would
+   allocate a buffer and a string on every index probe. Equivalent to
+   comparing encoded keys — [Value.encode_key] is pure, injective and
+   self-delimiting (order-preserving concatenation requires it). *)
+let rec key_matches_vals (cols : int array) i (row : Value.t array) = function
+  | [] -> i = Array.length cols
+  | v :: tl ->
+    i < Array.length cols && Value.equal row.(cols.(i)) v && key_matches_vals cols (i + 1) row tl
+
+(* Prefix-scan candidate check: encode the row's key into the table's
+   scratch buffer and compare against the tree key in place. *)
+let row_key_equals t ix (row : Value.t array) key =
+  let buf = t.key_scratch in
+  Buffer.clear buf;
+  Array.iter (fun c -> Value.encode_key buf row.(c)) ix.key_cols;
+  Buffer.length buf = String.length key
+  &&
+  let n = String.length key in
+  let rec go i = i >= n || (Buffer.nth buf i = String.unsafe_get key i && go (i + 1)) in
+  go 0
 
 let index_lookup t txn ~index ~key =
   statement_begin t txn;
   let ix = find_index t index in
   let key_bytes = Index_tree.encode_key key in
-  List.filter_map
-    (fun rid ->
+  let acc = ref [] in
+  Index_tree.iter_key ix.ix ~key:key_bytes (fun rid ->
       match visible_at t txn ~rid with
-      | Some row when key_matches ix row key_bytes -> Some (rid, row)
-      | _ -> None)
-    (Index_tree.lookup ix.ix ~key:key_bytes)
+      (* the result list is retained by the caller: copy out of scratch *)
+      | Some row when key_matches_vals ix.key_cols 0 row key ->
+        acc := (rid, Array.copy row) :: !acc
+      | _ -> ());
+  List.rev !acc
 
+(* Point-lookup fast path: every candidate rid is still probed (the
+   visibility work is identical to {!index_lookup}, keeping the charge
+   schedule unchanged), but the first hit is blitted into the slot's
+   dedicated result buffer instead of copied — so the returned row stays
+   valid across later ring takes, clobbered only by this transaction's
+   next [index_lookup_first] on the same table. *)
 let index_lookup_first t txn ~index ~key =
-  match index_lookup t txn ~index ~key with [] -> None | hit :: _ -> Some hit
+  statement_begin t txn;
+  let ix = find_index t index in
+  let key_bytes = Index_tree.encode_key key in
+  let res = Tupbuf.result t.scratch ~slot:txn.Txnmgr.slot in
+  let hit = ref (-1) in
+  Index_tree.iter_key ix.ix ~key:key_bytes (fun rid ->
+      match visible_at t txn ~rid with
+      | Some row when key_matches_vals ix.key_cols 0 row key ->
+        if !hit < 0 then begin
+          hit := rid;
+          Array.blit row 0 res 0 (Array.length row)
+        end
+      | _ -> ());
+  if !hit < 0 then None else Some (!hit, res)
 
 let index_prefix t txn ~index ~prefix f =
   statement_begin t txn;
@@ -511,7 +582,7 @@ let index_prefix t txn ~index ~prefix f =
   let prefix_bytes = Index_tree.encode_key prefix in
   Index_tree.prefix ix.ix ~prefix:prefix_bytes (fun key rid ->
       match visible_at t txn ~rid with
-      | Some row when key_of_row ix row = key -> f rid row
+      | Some row when row_key_equals t ix row key -> f rid row
       | _ -> true)
 
 let scan t txn f =

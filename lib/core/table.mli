@@ -95,7 +95,11 @@ val update_with :
 val delete : t -> txn -> rid:int -> bool
 
 val get : t -> txn -> rid:int -> Phoebe_storage.Value.t array option
-(** The version visible to the transaction's snapshot (Algorithm 1). *)
+(** The version visible to the transaction's snapshot (Algorithm 1).
+
+    Ownership (DESIGN.md §4h): the row is decoded into a per-slot
+    scratch ring and stays valid only until this transaction reads a
+    few ([Tupbuf.ring]) more rows of this table; copy to retain. *)
 
 val get_col : t -> txn -> rid:int -> col:string -> Phoebe_storage.Value.t option
 
@@ -105,20 +109,28 @@ val index_lookup :
   t -> txn -> index:string -> key:Phoebe_storage.Value.t list ->
   (int * Phoebe_storage.Value.t array) list
 (** Visible rows whose indexed columns still equal [key] (stale entries
-    from in-flight key updates are filtered by re-checking the key). *)
+    from in-flight key updates are filtered by re-checking the key).
+    Rows in the returned list are caller-owned copies. *)
 
 val index_lookup_first :
   t -> txn -> index:string -> key:Phoebe_storage.Value.t list ->
   (int * Phoebe_storage.Value.t array) option
+(** First visible match. The row lives in the slot's dedicated result
+    buffer: it survives subsequent reads and updates, and is only
+    overwritten by this transaction's next [index_lookup_first] on the
+    same table; copy to retain beyond that. *)
 
 val index_prefix :
   t -> txn -> index:string -> prefix:Phoebe_storage.Value.t list ->
   (int -> Phoebe_storage.Value.t array -> bool) -> unit
 (** Visit visible rows with the given key prefix in key order; callback
-    returns false to stop. *)
+    returns false to stop. The row argument is scratch, valid only for
+    the duration of the callback; copy to retain. *)
 
 val scan : t -> txn -> (int -> Phoebe_storage.Value.t array -> unit) -> unit
-(** Full-table scan of visible rows (does not warm pages, §5.2). *)
+(** Full-table scan of visible rows (does not warm pages, §5.2). The
+    row argument is scratch, valid only for the duration of the
+    callback; copy to retain. *)
 
 (** {1 Engine hooks (used by Db, not applications)} *)
 

@@ -58,6 +58,17 @@ val suspend : t -> slot:int -> phase -> now:int -> unit
 val resume : t -> slot:int -> now:int -> unit
 (** Back to [Execute]; no-op if already executing. *)
 
+val cpu_on : t -> slot:int -> unit
+(** The slot's fiber was just dispatched onto the CPU. Snapshots
+    [Gc.minor_words] so the span's allocation count covers only words
+    this fiber allocates itself — the counter is process-global, and
+    fibers interleave on one OS thread. *)
+
+val cpu_off : t -> slot:int -> unit
+(** The slot's fiber just left the CPU (park, yield, or a coalesced
+    instruction charge); closes the allocation segment opened by
+    {!cpu_on}. *)
+
 val end_span : t -> slot:int -> now:int -> outcome:outcome -> unit
 
 (** {2 Aggregates} — for tests and harnesses. *)
@@ -66,6 +77,16 @@ val finished : t -> kind:int -> int
 val committed : t -> kind:int -> int
 val aborted : t -> kind:int -> int
 val cancelled : t -> kind:int -> int
+
+val minor_words_per_txn : t -> kind:int -> float
+(** Mean minor-heap words allocated per finished span of [kind]
+    (sampled from [Gc.minor_words] over the span's on-CPU segments —
+    deterministic for a fixed seed, DESIGN.md §4h). Exported per kind
+    as ["trace.txn.<kind>.alloc.minor_words_per_txn"] and overall as
+    ["txn.alloc.minor_words_per_txn"]. *)
+
+val minor_words_per_txn_all : t -> float
+(** Mean minor-heap words per finished span across all kinds. *)
 
 val phase_ns : t -> kind:int -> phase -> float
 (** Total nanoseconds spent in [phase] across finished spans of [kind]. *)

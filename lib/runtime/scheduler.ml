@@ -48,6 +48,7 @@ type fiber = {
   mutable done_ : bool;
   mutable pending_instr : int;  (** charged instructions not yet turned into time *)
   mutable fdeadline : int;  (** transaction deadline inherited by waits; [no_deadline] = none *)
+  mutable fwaiter : waiter option;  (** waiter of the in-progress park, for the return path *)
 }
 
 and worker = {
@@ -79,6 +80,8 @@ and t = {
   dheap : dentry Binheap.t;  (** parked waiters with deadlines, by expiry *)
   mutable next_dseq : int;  (** FIFO tie-break for same-instant expiries *)
   mutable timer_time : int;  (** earliest armed engine timer; [no_deadline] = unarmed *)
+  mutable waiter_free : waiter option;  (** recycled waiter nodes, linked via [wnext] *)
+  mutable waiter_free_len : int;
   n_timeouts : Obs.Counter.t;
   lock_wait_ring : int array;  (** recent lock-wait durations (ns), for admission *)
   mutable lock_wait_n : int;
@@ -86,14 +89,29 @@ and t = {
 
 and wstate = Parked | Woken of reason
 
+(* Waiter nodes are recycled through a per-scheduler freelist
+   (DESIGN.md §4h): a lock wait per statement would otherwise allocate a
+   node, a queue cell and a ref every time. A node may be released only
+   when nothing can reach it any more: its park has returned ([wdone]),
+   no wait queue links it ([winq] — a timed-out waiter stays queued
+   until the next [signal_all] drains it), and no deadline-heap entry
+   references it ([wheap] — woken entries are popped lazily at expiry).
+   [wgen] guards the lazy heap pops: a dentry only acts on its waiter if
+   the generation still matches, so an entry surviving past its
+   waiter's recycling can never touch the node's next life. *)
 and waiter = {
-  wfiber : fiber;
-  wurgency : urgency;
-  wdeadline : int;
+  mutable wfiber : fiber;
+  mutable wurgency : urgency;
+  mutable wdeadline : int;
   mutable wstate : wstate;
+  mutable wgen : int;
+  mutable wnext : waiter option;  (** intrusive wait-queue / freelist link *)
+  mutable winq : bool;
+  mutable wheap : bool;
+  mutable wdone : bool;
 }
 
-and dentry = { dtime : int; dseq : int; dwaiter : waiter }
+and dentry = { dtime : int; dseq : int; dwaiter : waiter; dgen : int }
 
 (* The wait core's park request: everything the scheduler needs to
    suspend the current fiber as a cancellable waiter. *)
@@ -150,6 +168,8 @@ let create ?obs eng cfg =
             else Int.compare a.dseq b.dseq);
       next_dseq = 0;
       timer_time = no_deadline;
+      waiter_free = None;
+      waiter_free_len = 0;
       n_timeouts = counter "sched.timeouts";
       lock_wait_ring = Array.make lock_wait_window 0;
       lock_wait_n = 0;
@@ -241,6 +261,62 @@ let probe_resume t f =
   | Some tr -> Trace.resume tr ~slot:(global_slot f) ~now:(Engine.now t.eng)
   | None -> ()
 
+(* Allocation attribution brackets: [Gc.minor_words] is process-global,
+   so a span may only count words allocated while its own fiber holds
+   the CPU (charge suspensions and parks hand the thread to other
+   fibers). See trace.mli. *)
+let probe_cpu_on t f =
+  match t.trace with Some tr -> Trace.cpu_on tr ~slot:(global_slot f) | None -> ()
+
+let probe_cpu_off t f =
+  match t.trace with Some tr -> Trace.cpu_off tr ~slot:(global_slot f) | None -> ()
+
+let waiter_free_cap = 1024
+
+let alloc_waiter t f ~urgency ~deadline =
+  match t.waiter_free with
+  | Some wt ->
+    t.waiter_free <- wt.wnext;
+    t.waiter_free_len <- t.waiter_free_len - 1;
+    (* the generation bump invalidates any stale deadline-heap entry *)
+    wt.wgen <- wt.wgen + 1;
+    wt.wfiber <- f;
+    wt.wurgency <- urgency;
+    wt.wdeadline <- deadline;
+    wt.wstate <- Parked;
+    wt.wnext <- None;
+    wt.winq <- false;
+    wt.wheap <- false;
+    wt.wdone <- false;
+    wt
+  | None ->
+    {
+      wfiber = f;
+      wurgency = urgency;
+      wdeadline = deadline;
+      wstate = Parked;
+      wgen = 0;
+      wnext = None;
+      winq = false;
+      wheap = false;
+      wdone = false;
+    }
+
+(* Release is attempted wherever a reference is dropped (park return,
+   wait-queue drain, deadline-heap pop); the flags make exactly the last
+   dropper recycle the node. Clearing [wdone] on release makes a
+   spurious second attempt a no-op. *)
+let try_release_waiter t wt =
+  if wt.wdone && (not wt.winq) && not wt.wheap then begin
+    wt.wdone <- false;
+    if t.waiter_free_len < waiter_free_cap then begin
+      wt.wnext <- t.waiter_free;
+      t.waiter_free <- Some wt;
+      t.waiter_free_len <- t.waiter_free_len + 1
+    end
+    else wt.wnext <- None
+  end
+
 let rec worker_loop w =
   let t = w.wsched in
   match pick_next w with
@@ -284,12 +360,14 @@ and start_task w task =
     done_ = false;
     pending_instr = 0;
     fdeadline = no_deadline;
+    fwaiter = None;
   }
 
 and resume w f =
   let t = w.wsched in
   w.disposition <- Ran_to_completion;
   probe_resume t f;
+  probe_cpu_on t f;
   cur := Some f;
   (match f.cont with
   | Some k ->
@@ -302,6 +380,7 @@ and resume w f =
     | Some main ->
       f.main <- None;
       run_fiber w f main));
+  probe_cpu_off t f;
   cur := None;
   w.last_fiber <- f.fid;
   (* Residual un-flushed charge time rides on the worker's next dispatch
@@ -374,9 +453,8 @@ and run_fiber w f main =
                 w.disposition <- Suspended;
                 f.cont <- Some k;
                 probe_suspend t f spec.pphase;
-                let wt =
-                  { wfiber = f; wurgency = spec.purgency; wdeadline = spec.pdeadline; wstate = Parked }
-                in
+                let wt = alloc_waiter t f ~urgency:spec.purgency ~deadline:spec.pdeadline in
+                f.fwaiter <- Some wt;
                 if spec.pdeadline < no_deadline then add_deadline t wt;
                 spec.pregister wt)
           | _ -> None);
@@ -426,7 +504,13 @@ and fire_deadline_timer t time =
       match Binheap.peek t.dheap with
       | Some e when e.dtime <= now ->
         ignore (Binheap.pop t.dheap);
-        ignore (wake_waiter e.dwaiter Timed_out);
+        (* a generation mismatch means the waiter was recycled into a
+           later park: this entry must not touch it *)
+        if e.dgen = e.dwaiter.wgen then begin
+          e.dwaiter.wheap <- false;
+          ignore (wake_waiter e.dwaiter Timed_out);
+          try_release_waiter t e.dwaiter
+        end;
         drain ()
       | _ -> ()
     in
@@ -436,7 +520,8 @@ and fire_deadline_timer t time =
 
 and add_deadline t wt =
   t.next_dseq <- t.next_dseq + 1;
-  Binheap.push t.dheap { dtime = wt.wdeadline; dseq = t.next_dseq; dwaiter = wt };
+  wt.wheap <- true;
+  Binheap.push t.dheap { dtime = wt.wdeadline; dseq = t.next_dseq; dwaiter = wt; dgen = wt.wgen };
   arm_deadline_timer t
 
 let kick_any t =
@@ -545,21 +630,14 @@ let park ?(deadline = Inherit) ~urgency ~phase register =
         ~phase:(Trace.phase_label phase);
     let dl = resolve_bound f deadline in
     let t0 = Engine.now t.eng in
-    let wref = ref None in
-    Effect.perform
-      (E_park
-         {
-           purgency = urgency;
-           pdeadline = dl;
-           pphase = phase;
-           pregister =
-             (fun wt ->
-               wref := Some wt;
-               register wt);
-         });
+    Effect.perform (E_park { purgency = urgency; pdeadline = dl; pphase = phase; pregister = register });
     let r =
-      match !wref with
-      | Some { wstate = Woken r; _ } -> r
+      match f.fwaiter with
+      | Some ({ wstate = Woken r; _ } as wt) ->
+        f.fwaiter <- None;
+        wt.wdone <- true;
+        try_release_waiter t wt;
+        r
       | _ ->
         Phoebe_error.bug ~subsystem:"runtime.scheduler" "park: fiber %d resumed while still parked"
           f.fid
@@ -669,24 +747,49 @@ let remove_local pred =
   f.locals <- List.filter (fun l -> not (pred l)) f.locals
 
 module Waitq = struct
-  type q = waiter Queue.t
+  (* FIFO, intrusively linked through the waiters' [wnext] field: a wait
+     enqueues no cells and a drain frees the nodes for reuse. A waiter
+     woken by timeout/cancel stays linked (lazy deletion, exactly like
+     the deadline heap) until the next [signal_all] unlinks it. *)
+  type q = { mutable qhead : waiter option; mutable qtail : waiter option }
 
-  let create () : q = Queue.create ()
+  let create () : q = { qhead = None; qtail = None }
 
-  let wait_r ?deadline q = park ?deadline ~urgency:Low ~phase:Trace.Lock_wait (fun wt -> Queue.push wt q)
+  let enqueue q wt =
+    wt.wnext <- None;
+    wt.winq <- true;
+    (match q.qtail with None -> q.qhead <- Some wt | Some tl -> tl.wnext <- Some wt);
+    q.qtail <- Some wt
+
+  let wait_r ?deadline q = park ?deadline ~urgency:Low ~phase:Trace.Lock_wait (fun wt -> enqueue q wt)
 
   let wait q = ignore (wait_r ~deadline:Never q)
 
   let signal_all q =
     let rec drain () =
-      match Queue.take_opt q with
+      match q.qhead with
       | None -> ()
       | Some wt ->
-        ignore (wake_waiter wt Signalled);
+        q.qhead <- wt.wnext;
+        if q.qhead = None then q.qtail <- None;
+        wt.wnext <- None;
+        wt.winq <- false;
+        (match wt.wstate with
+        | Parked -> ignore (wake_waiter wt Signalled)
+        | Woken _ ->
+          (* stale timed-out/cancelled entry: dropping the queue link
+             may be the last reference *)
+          try_release_waiter wt.wfiber.fworker.wsched wt);
         drain ()
     in
     drain ()
 
-  let length q = Queue.fold (fun n wt -> match wt.wstate with Parked -> n + 1 | Woken _ -> n) 0 q
+  let length q =
+    let rec go n = function
+      | None -> n
+      | Some wt -> go (match wt.wstate with Parked -> n + 1 | Woken _ -> n) wt.wnext
+    in
+    go 0 q.qhead
+
   let is_empty q = length q = 0
 end

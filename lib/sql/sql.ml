@@ -106,7 +106,8 @@ let matching_rows s txn table (where : predicate list) ~limit_hint =
   let count = ref 0 in
   let consider rid row =
     if matches_all schema row where then begin
-      acc := (rid, row) :: !acc;
+      (* scan/index_prefix rows are scratch: copy before retaining *)
+      acc := (rid, Array.copy row) :: !acc;
       incr count
     end;
     match limit_hint with Some l -> !count < l | None -> true

@@ -182,6 +182,19 @@ let get_raw t ~row_id =
   | None -> None
   | Some idx -> Some (Array.init (Value.Schema.arity t.fschema) (fun col -> cell t ~idx ~col))
 
+(* Allocation-free variant for the execute path: decode into the prefix
+   of a caller-owned buffer (DESIGN.md §4h). *)
+let get_raw_into t ~row_id dst =
+  match find t row_id with
+  | None -> false
+  | Some idx ->
+    let n = Value.Schema.arity t.fschema in
+    if Array.length dst < n then invalid_arg "Frozen.get_raw_into: buffer too small";
+    for col = 0 to n - 1 do
+      dst.(col) <- cell t ~idx ~col
+    done;
+    true
+
 let materialise_columns t =
   let n = count t in
   Array.map
@@ -276,8 +289,15 @@ let compressed_bytes t =
 
 let uncompressed_bytes t = t.raw_bytes
 
+(* Module-level scratch, same discipline as [Pax.encode]: block encodes
+   run on the freeze/eviction path and never interleave (single domain,
+   no suspension points inside encode). *)
+let encode_scratch = Buffer.create 4096
+let encode_out_scratch = Buffer.create 4096
+
 let encode t =
-  let buf = Buffer.create 4096 in
+  let buf = encode_scratch in
+  Buffer.clear buf;
   let n = count t in
   Varint.write_uint buf n;
   let ncols = Value.Schema.arity t.fschema in
@@ -323,7 +343,8 @@ let encode t =
     t.cols;
   let body = Buffer.to_bytes buf in
   let crc = Crc32.bytes body ~pos:0 ~len:(Bytes.length body) in
-  let out = Buffer.create (Bytes.length body + 5) in
+  let out = encode_out_scratch in
+  Buffer.clear out;
   Varint.write_uint out crc;
   Buffer.add_bytes out body;
   Buffer.to_bytes out

@@ -34,6 +34,11 @@ val get_raw : t -> row_id:int -> Value.t array option
 (** Decompress a tuple regardless of its delete mark (MVCC version
     reconstruction needs the content under the mark). *)
 
+val get_raw_into : t -> row_id:int -> Value.t array -> bool
+(** Like {!get_raw}, but decode into the prefix of a caller-owned
+    buffer; [false] if the row id is not in this block. Allocation-free
+    variant for the execute path. *)
+
 val iter_live : t -> (int -> Value.t array -> unit) -> unit
 
 val iter_all : t -> (int -> deleted:bool -> Value.t array -> unit) -> unit

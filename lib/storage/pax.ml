@@ -137,6 +137,14 @@ let get t ~slot =
   if slot < 0 || slot >= t.n then invalid_arg "Pax.get: bad slot";
   Array.init (Value.Schema.arity t.pschema) (fun col -> store_get t ~slot ~col)
 
+let get_into t ~slot dst =
+  if slot < 0 || slot >= t.n then invalid_arg "Pax.get_into: bad slot";
+  let arity = Value.Schema.arity t.pschema in
+  if Array.length dst < arity then invalid_arg "Pax.get_into: dst too small";
+  for col = 0 to arity - 1 do
+    dst.(col) <- store_get t ~slot ~col
+  done
+
 let get_col t ~slot ~col =
   if slot < 0 || slot >= t.n then invalid_arg "Pax.get_col: bad slot";
   store_get t ~slot ~col
@@ -184,8 +192,16 @@ let size_bytes t =
   in
   (t.pcapacity * per_row) + t.str_bytes + 64
 
+(* [encode] runs on the cleaner/eviction path for every dirtied page;
+   the two intermediate buffers are module-level scratch so repeated
+   encodes do not rebuild them. Single-domain kernel: no concurrent
+   encode can interleave (fibers cannot suspend inside encode). *)
+let encode_scratch = Buffer.create 4096
+let encode_out_scratch = Buffer.create 4096
+
 let encode t =
-  let buf = Buffer.create 1024 in
+  let buf = encode_scratch in
+  Buffer.clear buf;
   Varint.write_uint buf t.pcapacity;
   Varint.write_uint buf t.n;
   let ncols = Value.Schema.arity t.pschema in
@@ -212,7 +228,8 @@ let encode t =
   done;
   let body = Buffer.to_bytes buf in
   let crc = Crc32.bytes body ~pos:0 ~len:(Bytes.length body) in
-  let out = Buffer.create (Bytes.length body + 5) in
+  let out = encode_out_scratch in
+  Buffer.clear out;
   Varint.write_uint out crc;
   Buffer.add_bytes out body;
   Buffer.to_bytes out

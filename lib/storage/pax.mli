@@ -42,6 +42,13 @@ val find : t -> row_id:int -> int option
 (** Slot of [row_id] (even if delete-marked); [None] if absent. *)
 
 val get : t -> slot:int -> Value.t array
+
+val get_into : t -> slot:int -> Value.t array -> unit
+(** [get_into t ~slot dst] decodes the tuple at [slot] into the first
+    [arity] cells of the caller-owned [dst] — the allocation-free
+    variant of {!get} for the execute hot path (typically paired with a
+    {!Tupbuf} pool). @raise Invalid_argument if [dst] is too small. *)
+
 val get_col : t -> slot:int -> col:int -> Value.t
 val set_col : t -> slot:int -> col:int -> Value.t -> unit
 val row_id_at : t -> slot:int -> int

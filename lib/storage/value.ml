@@ -24,10 +24,19 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Shortest decimal form that round-trips exactly: "%.15g" loses bits on
+   roughly one double in ten thousand (e.g. 0.1 +. 0.2), so fall back to
+   "%.17g" — always exact — when re-parsing disagrees. *)
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e16 then Printf.sprintf "%.1f" v
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
 let to_string = function
   | Null -> "NULL"
   | Int v -> string_of_int v
-  | Float v -> Printf.sprintf "%g" v
+  | Float v -> float_to_string v
   | Str v -> v
   | Bool v -> string_of_bool v
 

@@ -304,7 +304,8 @@ let customer_by_name t txn ~w ~d ~last =
   let hits = ref [] in
   Table.index_prefix t.customer txn ~index:"customer_by_name" ~prefix:[ vi w; vi d; vs last ]
     (fun rid row ->
-      hits := (sv row.(c_first), rid, row) :: !hits;
+      (* index_prefix rows are scratch: copy the retained candidates *)
+      hits := (sv row.(c_first), rid, Array.copy row) :: !hits;
       true);
   match
     List.sort
@@ -470,12 +471,12 @@ let order_status t txn rng ~w_id =
     let last_order = ref None in
     Table.index_prefix t.orders txn ~index:"orders_by_customer" ~prefix:[ vi w_id; vi d; vi cid ]
       (fun _ row ->
-        last_order := Some row;
+        (* the prefix row is scratch: keep only the order id *)
+        last_order := Some (iv row.(o_id));
         true);
     (match !last_order with
     | None -> ()
-    | Some orow ->
-      let oid = iv orow.(o_id) in
+    | Some oid ->
       Table.index_prefix t.orderline txn ~index:"orderline_pk" ~prefix:[ vi w_id; vi d; vi oid ]
         (fun _ olrow ->
           ignore (iv olrow.(ol_quantity));

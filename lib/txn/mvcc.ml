@@ -20,8 +20,12 @@ let visible_version ~xid ~snapshot ~current ~deleted_in_page ~head =
          own write: the in-page state is what we see *)
       if deleted_in_page then None else Some current
     else begin
-      (* walk the chain, assembling before-image deltas (lines 5-9) *)
-      let tuple = Array.copy current in
+      (* walk the chain, assembling before-image deltas (lines 5-9)
+         directly into [current]: the caller owns the buffer (a Tupbuf
+         scratch row or a fresh decode) and the in-page tuple is never
+         page-backed storage, so mutating in place is safe and saves a
+         per-read copy (DESIGN.md §4h) *)
+      let tuple = current in
       let exists = ref true in
       let rec walk cur =
         match cur with

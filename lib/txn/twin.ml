@@ -32,10 +32,19 @@ let chain_head entry =
   | Some u when not u.Undo.reclaimed -> Some u
   | _ -> None
 
-let sweep t =
+let sweep ?on_dead t =
   let dead =
     Hashtbl.fold
       (fun rid e acc -> if chain_head e = None && Int.equal e.lock_xid 0 then rid :: acc else acc)
       t.entries []
   in
-  List.iter (Hashtbl.remove t.entries) dead
+  List.iter
+    (fun rid ->
+      (match on_dead with
+      | Some f -> (
+        match (Hashtbl.find t.entries rid).head with
+        | Some u when u.Undo.reclaimed -> f u
+        | _ -> ())
+      | None -> ());
+      Hashtbl.remove t.entries rid)
+    dead

@@ -34,9 +34,13 @@ val note_modifier : t -> xid:int -> unit
 
 val entry_count : t -> int
 
-val sweep : t -> unit
+val sweep : ?on_dead:(Undo.t -> unit) -> t -> unit
 (** Drop entries whose chain head has been reclaimed (or is empty) and
-    whose tuple lock is free. *)
+    whose tuple lock is free. [on_dead] receives the head of each
+    dropped entry's fully-reclaimed version chain (commit-order
+    reclamation guarantees a reclaimed head has only reclaimed
+    successors), so the caller can recycle the entries once nothing can
+    reach them. *)
 
 val chain_head : entry -> Undo.t option
 (** The head, filtered through the reclaimed flag: reclaimed heads read

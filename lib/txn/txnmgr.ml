@@ -64,6 +64,12 @@ type t = {
       (** highest commit timestamp per slot whose commit record is known
           durable — the write-back sanitizer's watermark *)
   twins : (int, Twin.t) Hashtbl.t;
+  mutable undo_limbo : (int * Undo.t) list;
+      (** unreachable undo batches awaiting freelist release, newest
+          first; each is (stamp, head linked via [next_in_txn]). A batch
+          may be recycled only once every transaction active at [stamp]
+          has finished — a reader suspended mid-chain-walk at a
+          charge-granule boundary may hold a pointer into it. *)
   live_undo_bytes : Obs.Counter.t;
   n_committed : Obs.Counter.t;
   n_aborted : Obs.Counter.t;
@@ -86,6 +92,7 @@ let create ?obs ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention
     slot_last_reclaimed_xid = Array.make n_slots 0;
     slot_durable_cts = Array.make n_slots 0;
     twins = Hashtbl.create 1024;
+    undo_limbo = [];
     live_undo_bytes = counter "txn.undo_bytes";
     n_committed = counter "txn.committed";
     n_aborted = counter "txn.aborted";
@@ -269,6 +276,14 @@ let abort ?(reason = User) t txn ~rollback =
     let gsn = Wal.next_gsn t.twal ~slot:txn.slot ~page_gsn:0 in
     ignore (Wal.append t.twal ~slot:txn.slot (Record.Abort { xid = txn.xid }) ~gsn)
   end;
+  (* The rolled-back entries were popped from their version chains (each
+     was its chain's head under the tuple-lock protocol), so nothing new
+     can reach them; readers that captured a pointer before the pop are
+     covered by the limbo grace period. The batch stays linked through
+     [next_in_txn]. *)
+  (match txn.undo_newest with
+  | Some head -> t.undo_limbo <- (Clock.current t.tclock, head) :: t.undo_limbo
+  | None -> ());
   Obs.Counter.incr t.n_aborted;
   Obs.Counter.incr t.abort_by_reason.(reason_index reason);
   (* spans distinguish cancellations (deadline/shed) from ordinary
@@ -446,20 +461,57 @@ let gc_slot t ~slot ~watermark ~on_reclaim =
   go ();
   !reclaimed
 
-let gc_twins t =
+(* Release limbo batches whose grace period has elapsed: [watermark] is
+   {!min_active_start_ts}, so [stamp < watermark] means every
+   transaction that was active when the batch became unreachable has
+   finished — no suspended reader can still hold a pointer into it.
+   Pure memory management: no charges, no schedule effect. *)
+let drain_limbo t ~watermark =
+  if t.undo_limbo <> [] then begin
+    let ready, keep = List.partition (fun (stamp, _) -> stamp < watermark) t.undo_limbo in
+    t.undo_limbo <- keep;
+    List.iter
+      (fun (_, head) ->
+        let rec go = function
+          | None -> ()
+          | Some (u : Undo.t) ->
+            let nxt = u.Undo.next_in_txn in
+            Undo.release u;
+            go nxt
+        in
+        go (Some head))
+      ready
+  end
+
+let gc_twins t ~watermark =
+  drain_limbo t ~watermark;
+  let stamp = Clock.current t.tclock in
   let frozen = max_frozen_xid t in
   let removed = ref 0 in
   let dead_tables = ref [] in
+  (* A swept entry's chain is fully reclaimed; relink it through
+     [next_in_txn] (its bundle is long gone) and park it in limbo. *)
+  let on_dead head =
+    let rec relink (u : Undo.t) =
+      u.Undo.next_in_txn <-
+        (match u.Undo.next with Some nxt when nxt.Undo.reclaimed -> Some nxt | _ -> None);
+      match u.Undo.next_in_txn with Some nxt -> relink nxt | None -> ()
+    in
+    relink head;
+    t.undo_limbo <- (stamp, head) :: t.undo_limbo
+  in
   Hashtbl.iter
     (fun page_id tw ->
       let before = Twin.entry_count tw in
-      Twin.sweep tw;
+      Twin.sweep ~on_dead tw;
       removed := !removed + before - Twin.entry_count tw;
       if Twin.entry_count tw = 0 && Twin.max_modifier_xid tw <= frozen then
         dead_tables := page_id :: !dead_tables)
     t.twins;
   List.iter (Hashtbl.remove t.twins) !dead_tables;
   !removed
+
+let limbo_length t = List.length t.undo_limbo
 
 let dump_active t =
   Hashtbl.fold (fun _ txn acc -> (txn.xid, txn.slot, txn.waiting_on) :: acc) t.active []

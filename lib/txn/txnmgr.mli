@@ -164,10 +164,19 @@ val gc_slot : t -> slot:int -> watermark:int -> on_reclaim:(Undo.t -> unit) -> i
     strip index entries of deleted tuples, drop stale index entries of
     key updates. Returns the number of UNDO logs reclaimed. *)
 
-val gc_twins : t -> int
+val gc_twins : t -> watermark:int -> int
 (** Sweep twin tables: drop reclaimed entries, drop tables whose max
     modifier XID is at or below the frozen watermark. Returns entries
-    removed. *)
+    removed. Swept version chains (and earlier aborted-transaction
+    batches) are parked in a limbo list and recycled onto the
+    {!Undo.release} freelist once their grace period has elapsed:
+    [watermark] is {!min_active_start_ts}, and a batch is released only
+    when it was parked strictly before every still-active transaction
+    started — a reader suspended mid-chain-walk can therefore never see
+    a recycled entry (DESIGN.md §4h). *)
+
+val limbo_length : t -> int
+(** Number of undo batches awaiting their recycling grace period. *)
 
 val undo_bytes : t -> int
 (** Live UNDO memory (decreases as GC reclaims). *)

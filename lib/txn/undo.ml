@@ -1,21 +1,76 @@
+(* lint: hot-path *)
 module Value = Phoebe_storage.Value
 
 type kind = Created | Updated of (int * Value.t) array | Deleted of Value.t array
 
 type t = {
-  table_id : int;
-  rid : int;
-  kind : kind;
-  sts : int;
+  mutable table_id : int;
+  mutable rid : int;
+  mutable kind : kind;
+  mutable sts : int;
   mutable ets : int;
-  slot : int;
+  mutable slot : int;
   mutable next : t option;
   mutable next_in_txn : t option;
   mutable reclaimed : bool;
 }
 
+(* Slab reuse (DESIGN.md §4h): released entries are kept on an intrusive
+   freelist threaded through [next]. An entry may only be released once
+   nothing can still reach it — chains, bundles, or a reader suspended
+   mid-walk at a charge-granule boundary — which Txnmgr guarantees with
+   a grace period keyed on the oldest active start timestamp. Every
+   header field is re-stamped on reuse ([ets], [next], [next_in_txn],
+   [reclaimed] in particular: a stale [ets] would corrupt visibility,
+   a stale [reclaimed] would make a live write invisible, and the
+   commit-path undo-chain checker flags exactly that). *)
+let freelist : t option ref = ref None
+let freelist_len = ref 0
+let freelist_cap = 4096
+
 let make ~table_id ~rid ~kind ~sts ~xid ~slot ~prev =
-  { table_id; rid; kind; sts; ets = xid; slot; next = prev; next_in_txn = None; reclaimed = false }
+  match !freelist with
+  | Some u ->
+    freelist := u.next;
+    decr freelist_len;
+    u.table_id <- table_id;
+    u.rid <- rid;
+    u.kind <- kind;
+    u.sts <- sts;
+    u.ets <- xid;
+    u.slot <- slot;
+    u.next <- prev;
+    u.next_in_txn <- None;
+    u.reclaimed <- false;
+    u
+  | None ->
+    (* lint: allow hot-alloc — cold start / freelist empty *)
+    {
+      table_id;
+      rid;
+      kind;
+      sts;
+      ets = xid;
+      slot;
+      next = prev;
+      next_in_txn = None;
+      reclaimed = false;
+    }
+
+let release u =
+  if !freelist_len < freelist_cap then begin
+    u.kind <- Created (* drop the before-image payload so the GC can take it *);
+    u.next_in_txn <- None;
+    u.next <- !freelist;
+    freelist := Some u;
+    incr freelist_len
+  end
+  else begin
+    u.next <- None;
+    u.next_in_txn <- None
+  end
+
+let freelist_length () = !freelist_len
 
 let is_committed t = not (Clock.is_xid t.ets)
 

@@ -18,20 +18,36 @@ type kind =
   | Deleted of Phoebe_storage.Value.t array  (** full before image *)
 
 type t = {
-  table_id : int;
-  rid : int;
-  kind : kind;
-  sts : int;
+  mutable table_id : int;
+  mutable rid : int;
+  mutable kind : kind;
+  mutable sts : int;
   mutable ets : int;
-  slot : int;
+  mutable slot : int;
   mutable next : t option;  (** version chain, newest first *)
   mutable next_in_txn : t option;
   mutable reclaimed : bool;
 }
+(** All header fields are mutable so released entries can be recycled
+    from a slab freelist; outside {!make}/{!release} only [ets], [next],
+    [next_in_txn] and [reclaimed] are ever reassigned. *)
 
 val make :
   table_id:int -> rid:int -> kind:kind -> sts:int -> xid:int -> slot:int -> prev:t option -> t
-(** New chain head: [ets] starts as [xid], [next] points at [prev]. *)
+(** New chain head: [ets] starts as [xid], [next] points at [prev].
+    Pops the freelist when possible; every header field (including
+    [ets], [next_in_txn] and [reclaimed]) is re-stamped on reuse. *)
+
+val release : t -> unit
+(** Return an entry to the freelist. The caller must guarantee nothing
+    can still reach it: no version chain links to it, its transaction's
+    bundle was reclaimed, and every fiber that could hold a mid-walk
+    pointer has finished (Txnmgr's limbo grace period enforces this).
+    The before-image payload is dropped; the freelist is capped, extra
+    releases fall through to the ordinary GC. *)
+
+val freelist_length : unit -> int
+(** Current freelist occupancy (tests, obs). *)
 
 val is_committed : t -> bool
 (** True once [ets] holds a commit timestamp rather than an XID. *)

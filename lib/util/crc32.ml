@@ -7,12 +7,14 @@ let table =
          done;
          !c))
 
+(* Tail-recursive with the accumulator as a parameter: a [ref] would be
+   a minor allocation per call, and this runs once per WAL record. *)
+let rec crc_loop table b i stop crc =
+  if i >= stop then crc
+  else crc_loop table b (i + 1) stop (table.((crc lxor Char.code (Bytes.get b i)) land 0xff) lxor (crc lsr 8))
+
 let bytes b ~pos ~len =
   let table = Lazy.force table in
-  let crc = ref 0xFFFFFFFF in
-  for i = pos to pos + len - 1 do
-    crc := table.((!crc lxor Char.code (Bytes.get b i)) land 0xff) lxor (!crc lsr 8)
-  done;
-  !crc lxor 0xFFFFFFFF
+  crc_loop table b pos (pos + len) 0xFFFFFFFF lxor 0xFFFFFFFF
 
 let string s = bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

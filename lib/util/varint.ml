@@ -1,40 +1,38 @@
+(* The write loops are module-level recursive functions rather than
+   inner [let rec go] closures: a closure capturing [buf] is a minor
+   allocation per call, and these run once per encoded field on the WAL
+   hot path. *)
+let rec write_uint_loop buf v =
+  if v < 0x80 then Buffer.add_char buf (Char.chr v)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+    write_uint_loop buf (v lsr 7)
+  end
+
 let write_uint buf v =
   assert (v >= 0);
-  let rec go v =
-    if v < 0x80 then Buffer.add_char buf (Char.chr v)
-    else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
-      go (v lsr 7)
-    end
-  in
-  go v
+  write_uint_loop buf v
 
 let zigzag v = (v lsl 1) lxor (v asr 62)
 let unzigzag v = (v lsr 1) lxor (-(v land 1))
 
 (* Writes the full native word as an unsigned quantity; zigzagged values
    may have the top bit set, which plain [write_uint] rejects. *)
-let write_uint_word buf v =
-  let rec go v =
-    if v land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr v)
-    else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
-      go (v lsr 7)
-    end
-  in
-  go v
+let rec write_uint_word buf v =
+  if v land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr v)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+    write_uint_word buf (v lsr 7)
+  end
 
 let write_int buf v = write_uint_word buf (zigzag v)
 
-let write_uint64 buf v =
-  let rec go v =
-    if Int64.unsigned_compare v 0x80L < 0 then Buffer.add_char buf (Char.chr (Int64.to_int v))
-    else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (Int64.to_int v land 0x7f)));
-      go (Int64.shift_right_logical v 7)
-    end
-  in
-  go v
+let rec write_uint64 buf v =
+  if Int64.unsigned_compare v 0x80L < 0 then Buffer.add_char buf (Char.chr (Int64.to_int v))
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (Int64.to_int v land 0x7f)));
+    write_uint64 buf (Int64.shift_right_logical v 7)
+  end
 
 let write_int64 buf v =
   write_uint64 buf (Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63))

@@ -1,3 +1,4 @@
+(* lint: hot-path *)
 module Varint = Phoebe_util.Varint
 module Crc32 = Phoebe_util.Crc32
 module Value = Phoebe_storage.Value
@@ -21,17 +22,21 @@ let encode_body buf t =
     Varint.write_uint buf table;
     Varint.write_uint buf rid;
     Varint.write_uint buf (Array.length row);
-    Array.iter (Value.encode buf) row
+    (* indexed loop: a partial application of [Value.encode buf] is a
+       per-record closure allocation *)
+    for i = 0 to Array.length row - 1 do
+      Value.encode buf row.(i)
+    done
   | Update { table; rid; cols } ->
     Buffer.add_char buf 'U';
     Varint.write_uint buf table;
     Varint.write_uint buf rid;
     Varint.write_uint buf (Array.length cols);
-    Array.iter
-      (fun (c, v) ->
-        Varint.write_uint buf c;
-        Value.encode buf v)
-      cols
+    for i = 0 to Array.length cols - 1 do
+      let c, v = cols.(i) in
+      Varint.write_uint buf c;
+      Value.encode buf v
+    done
   | Delete { table; rid } ->
     Buffer.add_char buf 'D';
     Varint.write_uint buf table;
@@ -44,13 +49,23 @@ let encode_body buf t =
     Buffer.add_char buf 'A';
     Varint.write_int buf xid
 
+(* Encoding scratch: the body is staged once so its length and CRC can
+   prefix it, but through module-level reusable storage instead of a
+   fresh [Buffer.create 64] per record — [encode] runs once per tuple
+   write on the execute hot path. Safe because the kernel is single-
+   domain and nothing inside [encode_body] can suspend a fiber. *)
+let body_scratch = Buffer.create 256 (* lint: allow hot-alloc — module scratch, one-time *)
+let crc_scratch = ref (Bytes.create 256) (* lint: allow hot-alloc — module scratch, one-time *)
+
 let encode buf t =
-  let body = Buffer.create 64 in
-  encode_body body t;
-  let body = Buffer.to_bytes body in
-  Varint.write_uint buf (Bytes.length body);
-  Varint.write_uint buf (Crc32.bytes body ~pos:0 ~len:(Bytes.length body));
-  Buffer.add_bytes buf body
+  Buffer.clear body_scratch;
+  encode_body body_scratch t;
+  let len = Buffer.length body_scratch in
+  if Bytes.length !crc_scratch < len then crc_scratch := Bytes.create (2 * len); (* lint: allow hot-alloc — scratch growth, amortized *)
+  Buffer.blit body_scratch 0 !crc_scratch 0 len;
+  Varint.write_uint buf len;
+  Varint.write_uint buf (Crc32.bytes !crc_scratch ~pos:0 ~len);
+  Buffer.add_subbytes buf !crc_scratch 0 len
 
 let decode b off =
   let len, off = Varint.read_uint b off in
@@ -133,20 +148,22 @@ let decode_all b ~slot:_ =
   in
   go 0 []
 
+let size_scratch = Buffer.create 256 (* lint: allow hot-alloc — module scratch, one-time *)
+
 let size_bytes t =
-  let buf = Buffer.create 64 in
-  encode buf t;
-  Buffer.length buf
+  Buffer.clear size_scratch;
+  encode size_scratch t;
+  Buffer.length size_scratch
 
 let is_commit t = match t.op with Commit _ -> true | _ -> false
 
 let pp fmt t =
   let kind =
     match t.op with
-    | Insert { table; rid; _ } -> Printf.sprintf "INSERT t%d r%d" table rid
-    | Update { table; rid; cols } -> Printf.sprintf "UPDATE t%d r%d (%d cols)" table rid (Array.length cols)
-    | Delete { table; rid } -> Printf.sprintf "DELETE t%d r%d" table rid
-    | Commit { xid; cts } -> Printf.sprintf "COMMIT xid=%d cts=%d" xid cts
-    | Abort { xid } -> Printf.sprintf "ABORT xid=%d" xid
+    | Insert { table; rid; _ } -> Printf.sprintf "INSERT t%d r%d" table rid (* lint: allow hot-alloc — debug printer *)
+    | Update { table; rid; cols } -> Printf.sprintf "UPDATE t%d r%d (%d cols)" table rid (Array.length cols) (* lint: allow hot-alloc — debug printer *)
+    | Delete { table; rid } -> Printf.sprintf "DELETE t%d r%d" table rid (* lint: allow hot-alloc — debug printer *)
+    | Commit { xid; cts } -> Printf.sprintf "COMMIT xid=%d cts=%d" xid cts (* lint: allow hot-alloc — debug printer *)
+    | Abort { xid } -> Printf.sprintf "ABORT xid=%d" xid (* lint: allow hot-alloc — debug printer *)
   in
   Format.fprintf fmt "[slot=%d lsn=%d gsn=%d %s]" t.slot t.lsn t.gsn kind

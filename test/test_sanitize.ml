@@ -221,6 +221,39 @@ let tiny_scale =
     initial_orders_per_district = 10;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Commit-path undo-chain checker vs slab recycling: seed exactly the
+   bug the freelist grace period prevents — an undo entry whose previous
+   life was reclaimed turning up, [reclaimed] bit still set, in a
+   committing transaction's chain — and require the sanitizer to name
+   it at the commit boundary. *)
+
+let test_recycled_undo_in_commit_chain_caught () =
+  Fun.protect ~finally:(fun () -> Sanitize.disable ()) @@ fun () ->
+  let cfg =
+    { Config.default with Config.n_workers = 1; slots_per_worker = 2; sanitize = true }
+  in
+  let db = Db.create cfg in
+  let t =
+    Db.create_table db ~name:"kv"
+      ~schema:[ ("k", Phoebe_storage.Value.T_int); ("v", Phoebe_storage.Value.T_int) ]
+  in
+  let rid =
+    Db.with_txn db (fun txn ->
+        Table.insert t txn [| Phoebe_storage.Value.Int 1; Phoebe_storage.Value.Int 0 |])
+  in
+  check_int "clean before the seeded fault" 0 (Sanitize.total_findings ());
+  expect_bug "sanitize.undo_chain" (fun () ->
+      Db.with_txn db (fun txn ->
+          ignore (Table.update t txn ~rid [ ("v", Phoebe_storage.Value.Int 1) ]);
+          match txn.Phoebe_txn.Txnmgr.undo_newest with
+          | Some u -> u.Phoebe_txn.Undo.reclaimed <- true
+          | None -> Alcotest.fail "update left no undo entry"));
+  match Sanitize.findings () with
+  | [ (Sanitize.Undo_chain, msg) ] ->
+    check_bool "report names the recycled entry" true (contains msg "reclaimed")
+  | fs -> Alcotest.failf "expected exactly one undo_chain finding, got %d" (List.length fs)
+
 let test_tpcc_clean () =
   Fun.protect ~finally:(fun () -> Sanitize.disable ()) @@ fun () ->
   let cfg =
@@ -247,6 +280,8 @@ let () =
           Alcotest.test_case "illegal frame transitions caught" `Quick test_frame_violations;
           Alcotest.test_case "forged non-monotone LSNs caught" `Quick test_wal_violations;
           Alcotest.test_case "replay digest determinism" `Quick test_digest_determinism;
+          Alcotest.test_case "recycled undo entry in commit chain caught" `Quick
+            test_recycled_undo_in_commit_chain_caught;
           Alcotest.test_case "clean tpcc run, zero findings" `Quick test_tpcc_clean;
         ] );
     ]

@@ -31,6 +31,24 @@ let test_value_roundtrip () =
       Alcotest.check value_eq "roundtrip" v got)
     [ Value.Null; Value.Int 42; Value.Int (-7); Value.Float 3.25; Value.Str "hello"; Value.Bool true ]
 
+(* Value.to_string on floats must print a form that reparses to the exact
+   same double ("%g" truncates to 6 significant digits). *)
+let test_float_to_string_roundtrip () =
+  let check v =
+    let s = Value.to_string (Value.Float v) in
+    let got = float_of_string s in
+    if not (Int64.equal (Int64.bits_of_float got) (Int64.bits_of_float v)) then
+      Alcotest.failf "float %h printed as %S reparsed as %h" v s got
+  in
+  List.iter check
+    [ 0.1 +. 0.2; 0.1; 1.0; -0.0; 0.0; 1e-300; 1.5e300; 4.0 *. atan 1.0;
+      9007199254740993.1; 1.0 /. 3.0; infinity; neg_infinity ]
+
+let prop_float_to_string_roundtrip =
+  QCheck.Test.make ~name:"float to_string roundtrips exactly" ~count:1000 QCheck.float (fun f ->
+      let s = Value.to_string (Value.Float f) in
+      Int64.equal (Int64.bits_of_float (float_of_string s)) (Int64.bits_of_float f))
+
 let value_gen =
   QCheck.Gen.(
     oneof
@@ -517,6 +535,92 @@ let test_buf_cleaner_coalesces_inflight_redirty () =
   Alcotest.check value_eq "second write survived coalescing" (Value.Str "modified-in-flight")
     (Pax.get_col (Bufmgr.payload f') ~slot:0 ~col:1)
 
+(* ------------------------------------------------------------------ *)
+(* Scratch reuse (DESIGN.md §4h): reading through one reused row buffer
+   must be indistinguishable from a fresh [get] — in value AND in the
+   bytes the row encodes to — no matter what the previous probe left in
+   the buffer. *)
+
+let mixed_schema =
+  Value.Schema.make
+    [ ("id", Value.T_int); ("name", Value.T_str); ("score", Value.T_float); ("ok", Value.T_bool) ]
+
+let random_row rng i =
+  [|
+    Value.Int i;
+    (match Phoebe_util.Prng.int rng 4 with
+    | 0 -> Value.Null
+    | _ -> Value.Str (String.make (Phoebe_util.Prng.int rng 24) (Char.chr (97 + Phoebe_util.Prng.int rng 26))));
+    Value.Float (float_of_int (Phoebe_util.Prng.int rng 1_000_000) /. 128.0);
+    Value.Bool (Phoebe_util.Prng.bool rng);
+  |]
+
+let row_bytes row =
+  let buf = Buffer.create 64 in
+  Array.iter (Value.encode buf) row;
+  Buffer.contents buf
+
+let test_scratch_reuse_pax_frozen () =
+  let rng = Phoebe_util.Prng.create ~seed:97 in
+  let n = 200 in
+  let page = Pax.create mixed_schema ~capacity:n in
+  let rows = Array.init n (fun i -> random_row rng (i + 1)) in
+  Array.iteri (fun i row -> ignore (Pax.append page ~row_id:(i + 1) row)) rows;
+  let scratch = Array.make (Value.Schema.arity mixed_schema) Value.Null in
+  for _ = 1 to 1000 do
+    let slot = Phoebe_util.Prng.int rng n in
+    Pax.get_into page ~slot scratch;
+    let fresh = Pax.get page ~slot in
+    Alcotest.(check string)
+      "pax reused scratch is byte-identical to a fresh get" (row_bytes fresh) (row_bytes scratch)
+  done;
+  let block = Frozen.freeze [ page ] in
+  for _ = 1 to 1000 do
+    let rid = 1 + Phoebe_util.Prng.int rng n in
+    match Frozen.get_raw block ~row_id:rid with
+    | None -> Alcotest.failf "frozen row %d vanished" rid
+    | Some fresh ->
+      Alcotest.(check bool)
+        "frozen get_raw_into hits" true
+        (Frozen.get_raw_into block ~row_id:rid scratch);
+      Alcotest.(check string)
+        "frozen reused scratch is byte-identical to a fresh get" (row_bytes fresh)
+        (row_bytes scratch)
+  done
+
+(* Columnar reads re-box one [Value.t] constructor per column — that
+   allocation is inherent. What scratch reuse removes is the fresh row
+   array per probe: [get_into] must allocate strictly less than [get]
+   over the same probe sequence, by at least the row-array footprint,
+   and stay under a small per-probe constant (boxing only). *)
+let measure_minor_words f =
+  f () (* warm up: buffer growth, lazy tables *);
+  let w0 = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. w0
+
+let test_get_into_alloc_savings () =
+  let rng = Phoebe_util.Prng.create ~seed:98 in
+  let n = 64 and probes = 1000 in
+  let page = Pax.create mixed_schema ~capacity:n in
+  for i = 1 to n do
+    ignore (Pax.append page ~row_id:i (random_row rng i))
+  done;
+  let slots = Array.init probes (fun _ -> Phoebe_util.Prng.int rng n) in
+  let scratch = Array.make (Value.Schema.arity mixed_schema) Value.Null in
+  let into () = Array.iter (fun slot -> Pax.get_into page ~slot scratch) slots in
+  let fresh () =
+    Array.iter (fun slot -> ignore (Sys.opaque_identity (Pax.get page ~slot))) slots
+  in
+  let dw_into = measure_minor_words into and dw_fresh = measure_minor_words fresh in
+  let arity = Value.Schema.arity mixed_schema in
+  if dw_fresh -. dw_into < float_of_int (probes * (arity + 1)) then
+    Alcotest.failf "get_into saved only %.0f minor words over %d probes (fresh %.0f, into %.0f)"
+      (dw_fresh -. dw_into) probes dw_fresh dw_into;
+  if dw_into > float_of_int (probes * 12 * arity) then
+    Alcotest.failf "get_into allocated %.0f minor words over %d probes — more than boxing alone"
+      dw_into probes
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -526,7 +630,8 @@ let () =
         Alcotest.test_case "compare" `Quick test_value_compare
         :: Alcotest.test_case "roundtrip examples" `Quick test_value_roundtrip
         :: Alcotest.test_case "schema" `Quick test_schema
-        :: qsuite [ prop_value_roundtrip; prop_key_encoding_order ] );
+        :: Alcotest.test_case "float to_string exact" `Quick test_float_to_string_roundtrip
+        :: qsuite [ prop_value_roundtrip; prop_float_to_string_roundtrip; prop_key_encoding_order ] );
       ( "pax",
         Alcotest.test_case "append/get" `Quick test_pax_append_get
         :: Alcotest.test_case "ordering enforced" `Quick test_pax_ordering_enforced
@@ -543,6 +648,11 @@ let () =
         :: Alcotest.test_case "compression" `Quick test_frozen_compresses_repetitive_data
         :: Alcotest.test_case "codec roundtrip" `Quick test_frozen_codec_roundtrip
         :: qsuite [ prop_frozen_roundtrip ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "pax/frozen reuse byte-identical" `Quick test_scratch_reuse_pax_frozen;
+          Alcotest.test_case "get_into saves the row allocation" `Quick test_get_into_alloc_savings;
+        ] );
       ( "latch",
         [
           Alcotest.test_case "modes" `Quick test_latch_modes;

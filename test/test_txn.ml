@@ -61,6 +61,34 @@ let test_undo_committed_flag () =
   u.Undo.ets <- 42;
   check_bool "committed" true (Undo.is_committed u)
 
+(* Slab reuse: [make] popping the freelist must re-stamp EVERY header
+   field — one stale [ets], link or [reclaimed] bit from the entry's
+   previous life would corrupt visibility or trip the commit checker. *)
+let test_undo_freelist_recycle_clears_fields () =
+  let dead =
+    Undo.make ~table_id:7 ~rid:9
+      ~kind:(Undo.Deleted [| Value.Str "old-life" |])
+      ~sts:5 ~xid:(Clock.xid_of_start_ts 11) ~slot:3 ~prev:None
+  in
+  dead.Undo.ets <- 1234 (* pretend it committed... *);
+  dead.Undo.next_in_txn <-
+    Some (Undo.make ~table_id:7 ~rid:10 ~kind:Undo.Created ~sts:0 ~xid:1 ~slot:3 ~prev:None);
+  dead.Undo.reclaimed <- true (* ...and was reclaimed by the GC *);
+  Undo.release dead;
+  check_bool "released entry is on the freelist" true (Undo.freelist_length () >= 1);
+  let xid = Clock.xid_of_start_ts 99 in
+  let fresh = Undo.make ~table_id:1 ~rid:2 ~kind:Undo.Created ~sts:0 ~xid ~slot:0 ~prev:None in
+  check_bool "freelist head was recycled" true (fresh == dead);
+  check_int "table_id re-stamped" 1 fresh.Undo.table_id;
+  check_int "rid re-stamped" 2 fresh.Undo.rid;
+  check_bool "kind re-stamped" true (fresh.Undo.kind = Undo.Created);
+  check_int "sts re-stamped" 0 fresh.Undo.sts;
+  check_int "ets restarts as the new xid" xid fresh.Undo.ets;
+  check_int "slot re-stamped" 0 fresh.Undo.slot;
+  check_bool "version link cleared" true (fresh.Undo.next = None);
+  check_bool "txn link cleared" true (fresh.Undo.next_in_txn = None);
+  check_bool "reclaimed bit cleared" false fresh.Undo.reclaimed
+
 (* ------------------------------------------------------------------ *)
 (* Twin *)
 
@@ -259,12 +287,13 @@ let prop_visibility_oracle =
       let n = List.length commit_times in
       let head = build_history commit_times ~deleted_at_end in
       let current_value = string_of_int n in
-      let current = str current_value in
       let reader = Clock.xid_of_start_ts 77 in
       List.for_all
         (fun s ->
+          (* visible_version assembles into [current] in place: each
+             probe needs its own buffer *)
           let got =
-            Mvcc.visible_version ~xid:reader ~snapshot:s ~current
+            Mvcc.visible_version ~xid:reader ~snapshot:s ~current:(str current_value)
               ~deleted_in_page:deleted_at_end ~head
           in
           let want = oracle commit_times ~deleted_at_end s in
@@ -379,6 +408,55 @@ let test_record_fuzz_roundtrip () =
     check_int "count" (List.length records) (List.length decoded);
     List.iter2 (fun a b -> check_bool "exact roundtrip" true (record_eq a b)) records decoded
   done
+
+(* The module-level encode scratch must be invisible: encoding a record
+   is byte-identical no matter what was encoded through the scratch in
+   between, and the bytes still decode back to the record. *)
+let test_record_scratch_reuse () =
+  let rng = Prng.create ~seed:41 in
+  let encode_one r =
+    let buf = Buffer.create 128 in
+    Record.encode buf r;
+    Buffer.contents buf
+  in
+  for _ = 1 to 1000 do
+    let r = random_record rng in
+    let first = encode_one r in
+    (* dirty the scratch with unrelated records of different shapes/sizes *)
+    for _ = 1 to 1 + Prng.int rng 3 do
+      ignore (encode_one (random_record rng))
+    done;
+    let again = encode_one r in
+    Alcotest.(check string) "byte-identical under scratch reuse" first again;
+    let decoded, _ = Record.decode (Bytes.of_string again) 0 in
+    check_bool "still decodes to the record" true (record_eq r decoded)
+  done
+
+(* Steady-state encode must not allocate per record: the body and CRC
+   scratch are reused, varint/CRC arithmetic is unboxed. A small slack
+   absorbs one-off lazy initialization. *)
+let test_record_encode_alloc_free () =
+  let r =
+    {
+      Record.slot = 1;
+      lsn = 12;
+      gsn = 34;
+      op = Record.Update { table = 3; rid = 99; cols = [| (0, Value.Int 7); (1, Value.Int 8) |] };
+    }
+  in
+  let buf = Buffer.create 256 in
+  let loop () =
+    for _ = 1 to 1000 do
+      Buffer.clear buf;
+      Record.encode buf r
+    done
+  in
+  loop () (* warm up: scratch growth, CRC table *);
+  let w0 = Gc.minor_words () in
+  loop ();
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 256.0 then
+    Alcotest.failf "1000 encodes allocated %.0f minor words (budget 256)" dw
 
 (* Cutting the encoding at EVERY byte offset must decode an exact record
    prefix: no phantom records, no exceptions, boundary cuts read as Eof
@@ -657,6 +735,8 @@ let () =
         [
           Alcotest.test_case "txn chain" `Quick test_undo_txn_chain;
           Alcotest.test_case "committed flag" `Quick test_undo_committed_flag;
+          Alcotest.test_case "freelist recycle clears fields" `Quick
+            test_undo_freelist_recycle_clears_fields;
         ] );
       ( "twin",
         [
@@ -680,6 +760,8 @@ let () =
           Alcotest.test_case "torn tail" `Quick test_record_torn_tail_tolerated;
           Alcotest.test_case "corruption" `Quick test_record_corruption_detected;
           Alcotest.test_case "fuzz roundtrip" `Quick test_record_fuzz_roundtrip;
+          Alcotest.test_case "scratch reuse byte-identical" `Quick test_record_scratch_reuse;
+          Alcotest.test_case "encode allocation-free" `Quick test_record_encode_alloc_free;
           Alcotest.test_case "fuzz truncation" `Quick test_record_fuzz_truncation;
           Alcotest.test_case "fuzz bit flips" `Quick test_record_fuzz_bitflips;
         ] );

@@ -24,6 +24,23 @@ trap 'rm -f "$json_tmp"' EXIT
 dune exec bench/main.exe -- smoke --json "$json_tmp"
 dune exec bench/main.exe -- --check-json "$json_tmp"
 
+echo "== allocation regression gate (txn.alloc.minor_words_per_txn)"
+# Checked-in budget: the seed-42 smoke measured 9,225 minor words per
+# transaction after the zero-allocation hot-path work (EXPERIMENTS.md);
+# the budget leaves ~14% headroom. If this trips, something put fresh
+# allocation back on the execute path — see DESIGN.md section 4h.
+alloc_budget=10500
+alloc_measured="$(sed -n 's/.*"txn\.alloc\.minor_words_per_txn": *\([0-9.]*\).*/\1/p' "$json_tmp" | head -n 1)"
+if [ -z "$alloc_measured" ]; then
+  echo "   FAIL: txn.alloc.minor_words_per_txn missing from smoke --json output" >&2
+  exit 1
+fi
+if awk -v m="$alloc_measured" -v b="$alloc_budget" 'BEGIN { exit !(m > b) }'; then
+  echo "   FAIL: $alloc_measured minor words/txn exceeds the checked-in budget of $alloc_budget" >&2
+  exit 1
+fi
+echo "   $alloc_measured minor words/txn (budget $alloc_budget)"
+
 echo "== determinism (fixed-seed double run under --sanitize, byte-identical json + digest)"
 det_a="$(mktemp /tmp/phoebe-det-a-XXXXXX.json)"
 det_b="$(mktemp /tmp/phoebe-det-b-XXXXXX.json)"
