@@ -503,14 +503,14 @@ let freeze_tables t =
     (fun acc table -> acc + Table.maybe_freeze table ~max_access:t.cfg.Config.freeze_max_access)
     0 (tables t)
 
-let replay_wal ?after t ~from =
+let replay_wal ?after ?decide_in_doubt t ~from =
   let table_for id =
     match Hashtbl.find_opt t.by_id id with
     | Some tbl -> tbl
     | None -> Phoebe_error.bug ~subsystem:"core.db" "replay_wal: unknown table id %d" id
   in
   let report =
-    Recovery.replay ?after from
+    Recovery.replay ?after ?decide_in_doubt from
       {
         Recovery.insert = (fun ~table ~rid row -> Table.raw_insert (table_for table) ~rid row);
         update = (fun ~table ~rid cols -> Table.raw_update (table_for table) ~rid cols);

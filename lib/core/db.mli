@@ -179,12 +179,20 @@ val freeze_tables : t -> int
 (** Run the §5.2 freeze policy over every table; returns tuples frozen. *)
 
 val replay_wal :
-  ?after:(int -> int) -> t -> from:Phoebe_io.Walstore.t -> Phoebe_wal.Recovery.report
+  ?after:(int -> int) ->
+  ?decide_in_doubt:(Phoebe_wal.Recovery.in_doubt -> bool) ->
+  t ->
+  from:Phoebe_io.Walstore.t ->
+  Phoebe_wal.Recovery.report
 (** Crash recovery: replay committed operations from another instance's
     WAL store into this (freshly created, same-DDL) instance. Table ids
     are matched by creation order, so recreate tables in the same order.
     [after] is the per-slot LSN frontier of a checkpoint (skip records
-    already reflected in the restored image). *)
+    already reflected in the restored image). Prepared-but-undecided
+    branch transactions are resolved through [decide_in_doubt] — the
+    cluster layer answers from the coordinator shard's log; the default
+    is presumed abort — and are listed in the report's [in_doubt]
+    either way. *)
 
 (** {1 Statistics} *)
 

@@ -180,3 +180,6 @@ let value_to_json = function
   | Series pts -> Json.List (List.map (fun (time, v) -> Json.List [ Json.Int time; Json.Float v ]) pts)
 
 let to_json t = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot t))
+
+let to_json_prefixed t ~prefix =
+  List.map (fun (name, v) -> (prefix ^ name, value_to_json v)) (snapshot t)

@@ -103,3 +103,8 @@ val value_to_json : value -> Phoebe_util.Json.t
 
 val to_json : t -> Phoebe_util.Json.t
 (** Flat object keyed by dotted metric name, keys sorted. *)
+
+val to_json_prefixed : t -> prefix:string -> (string * Phoebe_util.Json.t) list
+(** The registry flattened as [(prefix ^ name, json)] pairs, keys
+    sorted — for aggregating several registries (e.g. one per shard
+    under ["shard.<k>."]) into one enclosing object. *)

@@ -60,7 +60,7 @@ let apply_op t (r : Record.t) =
       Table.raw_delete (table_of t table) ~rid:srid;
       true
     | None -> false)
-  | Record.Commit _ | Record.Abort _ -> true
+  | Record.Commit _ | Record.Abort _ | Record.Prepare _ -> true
 
 let apply_batch t ops =
   let ordered =
@@ -97,6 +97,10 @@ let consume_file t bytes_ ~from_off completed =
         Hashtbl.replace t.pending slot [];
         t.applied <- t.applied + 1
       | Record.Abort _ -> Hashtbl.replace t.pending slot []
+      | Record.Prepare _ ->
+        (* a prepared run stays withheld until its decision record
+           ships — the streaming analogue of the in-doubt rule *)
+        ()
       | _ -> Hashtbl.replace t.pending slot (r :: run))
     | exception Failure _ -> continue := false
   done;
@@ -161,6 +165,12 @@ let attach ~primary ~standby ?(link = default_link) () =
       apply_after = 0;
     }
   in
+  (* standby lag on the primary's registry so --json captures it *)
+  let obs = Db.obs primary in
+  Phoebe_obs.Obs.int_fn obs "repl.shipped_bytes" (fun () -> t.shipped);
+  Phoebe_obs.Obs.int_fn obs "repl.applied_txns" (fun () -> t.applied);
+  Phoebe_obs.Obs.int_fn obs "repl.lag_records" (fun () ->
+      Wal.total_records (Db.wal t.prim) - t.records_seen);
   schedule_poll t;
   t
 

@@ -36,7 +36,11 @@ val promote : t -> Phoebe_core.Db.t
     acknowledged on the primary before the last shipped batch are
     guaranteed present. *)
 
-(** {1 Introspection} *)
+(** {1 Introspection}
+
+    [attach] also registers these on the *primary's* obs registry as
+    [repl.shipped_bytes] / [repl.applied_txns] / [repl.lag_records],
+    so bench [--json] captures standby lag. *)
 
 val shipped_bytes : t -> int
 val applied_txns : t -> int

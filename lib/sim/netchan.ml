@@ -1,0 +1,52 @@
+type t = {
+  eng : Engine.t;
+  nodes : int;
+  latency_ns : int;
+  ns_per_byte : float;
+  next_free : int array;  (* per directed link: earliest ns the NIC can start serializing *)
+  busy_ns : int array;  (* per directed link: total serialization time charged *)
+  created_at : int;
+  mutable msgs : int;
+  mutable bytes : int;
+}
+
+let create eng ~nodes ~latency_ns ~gbps =
+  if nodes <= 0 then invalid_arg "Netchan.create: nodes must be positive";
+  if gbps <= 0.0 then invalid_arg "Netchan.create: gbps must be positive";
+  {
+    eng;
+    nodes;
+    latency_ns = max 0 latency_ns;
+    (* gbps is the usual marketing gigabits/s: bytes/ns = gbps / 8 *)
+    ns_per_byte = 8.0 /. gbps;
+    next_free = Array.make (nodes * nodes) 0;
+    busy_ns = Array.make (nodes * nodes) 0;
+    created_at = Engine.now eng;
+    msgs = 0;
+    bytes = 0;
+  }
+
+let send t ~src ~dst ~bytes f =
+  if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes then
+    invalid_arg "Netchan.send: node id out of range";
+  let link = (src * t.nodes) + dst in
+  let now = Engine.now t.eng in
+  let ser_ns = max 1 (int_of_float (float_of_int bytes *. t.ns_per_byte)) in
+  let start = max now t.next_free.(link) in
+  let depart = start + ser_ns in
+  t.next_free.(link) <- depart;
+  t.busy_ns.(link) <- t.busy_ns.(link) + ser_ns;
+  t.msgs <- t.msgs + 1;
+  t.bytes <- t.bytes + bytes;
+  Engine.schedule_at t.eng ~time:(depart + t.latency_ns) f
+
+let msgs t = t.msgs
+let bytes t = t.bytes
+let total_busy_ns t = Array.fold_left ( + ) 0 t.busy_ns
+
+let utilization t =
+  let elapsed = Engine.now t.eng - t.created_at in
+  if elapsed <= 0 then 0.0
+  else
+    let hottest = Array.fold_left max 0 t.busy_ns in
+    float_of_int hottest /. float_of_int elapsed

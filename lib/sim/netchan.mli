@@ -1,0 +1,34 @@
+(** Simulated point-to-point network fabric between [nodes] peers on
+    one discrete-event engine.
+
+    Every ordered (src, dst) pair is an independent full-duplex link
+    with one-way propagation latency and finite bandwidth. A message
+    occupies its link for its serialization time (bytes at the link
+    rate) — back-to-back sends on the same link queue behind each
+    other, so a saturated link shows up as delivery delay — and then
+    arrives [latency_ns] later. Delivery order per link is FIFO;
+    everything is deterministic virtual time. Message loss and
+    partitions are a policy of the layer above (see
+    [Phoebe_shard.Net]), not of the fabric. *)
+
+type t
+
+val create : Engine.t -> nodes:int -> latency_ns:int -> gbps:float -> t
+(** [gbps] is link bandwidth in gigabits per second. *)
+
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** Charge [bytes] of serialization on the (src, dst) link and schedule
+    the delivery callback at the arrival instant. *)
+
+(** {1 Introspection} *)
+
+val msgs : t -> int
+val bytes : t -> int
+
+val total_busy_ns : t -> int
+(** Serialization nanoseconds summed over every link. *)
+
+val utilization : t -> float
+(** Busy fraction of the *hottest* directed link since creation — the
+    number that says "the network is the bottleneck" when it
+    approaches 1. *)

@@ -1,0 +1,390 @@
+module Db = Phoebe_core.Db
+module Table = Phoebe_core.Table
+module Value = Phoebe_storage.Value
+module Txnmgr = Phoebe_txn.Txnmgr
+module Engine = Phoebe_sim.Engine
+module Prng = Phoebe_util.Prng
+module Zipf = Phoebe_util.Zipf
+module Stats = Phoebe_util.Stats
+module Cluster = Phoebe_shard.Cluster
+module Open_loop = Phoebe_workload.Open_loop
+
+(* Column positions, mirrored from {!Tpcc}'s schema layouts (the remote
+   procedures reach the tables by name through [Db.table], so the
+   positions must stay in lock step with tpcc.ml). *)
+let w_tax, w_ytd = (2, 3)
+let d_tax, d_ytd, d_next_o_id = (3, 4, 5)
+let c_discount, c_balance, c_ytd_payment, c_payment_cnt = (6, 7, 8, 9)
+let i_price = 3
+let s_quantity, s_dist, s_ytd, s_order_cnt, s_remote_cnt = (2, 3, 4, 5, 6)
+
+let vi v = Value.Int v
+let vf v = Value.Float v
+let vs v = Value.Str v
+let iv = function Value.Int v -> v | v -> Fmt.failwith "expected int, got %s" (Value.to_string v)
+
+let fv = function
+  | Value.Float v -> v
+  | Value.Int v -> float_of_int v
+  | v -> Fmt.failwith "expected float, got %s" (Value.to_string v)
+
+let sv = function Value.Str v -> v | v -> Value.to_string v
+
+type t = {
+  cl : Cluster.t;
+  parts : Tpcc.t array;
+  wps : int;
+  sc : Tpcc.scale;
+  proc_stock : int;
+  proc_payment : int;
+  (* driver-side NURand constants (one set for the whole cluster, like
+     one client park driving every warehouse) *)
+  dc_cid : int;
+  dc_olid : int;
+  mutable cross_offered : int;
+}
+
+let cluster t = t.cl
+let part t k = t.parts.(k)
+let warehouses_per_shard t = t.wps
+let total_warehouses t = t.wps * Cluster.shards t.cl
+
+(* global warehouse id (1-based) → (shard, shard-local warehouse id) *)
+let locate t g = ((g - 1) / t.wps, ((g - 1) mod t.wps) + 1)
+
+let ddl ~warehouses_per_shard ~scale ~seed k db =
+  ignore (Tpcc.load db ~load_data:false ~warehouses:warehouses_per_shard ~scale ~seed:(seed + k) ())
+
+(* ------------------------------------------------------------------ *)
+(* Remote procedures (the participant half of the cross-shard paths) *)
+
+(* args: [w_local; i_id; qty] → [s_dist] — the remote stock decrement of
+   a NewOrder line whose supply warehouse lives on another shard. *)
+let stock_update_proc ~shard:_ db txn args =
+  let w_local = iv args.(0) and iid = iv args.(1) and qty = iv args.(2) in
+  let stock = Db.table db "stock" in
+  match Table.index_lookup_first stock txn ~index:"stock_pk" ~key:[ vi w_local; vi iid ] with
+  | None -> raise (Txnmgr.Abort (Txnmgr.User, "sharded stock_update: missing stock row"))
+  | Some (srid, srow) ->
+    let dist = sv srow.(s_dist) in
+    ignore
+      (Table.update_with stock txn ~rid:srid (fun row ->
+           let s_qty = iv row.(s_quantity) in
+           let new_qty = if s_qty >= qty + 10 then s_qty - qty else s_qty - qty + 91 in
+           [
+             ("s_quantity", vi new_qty);
+             ("s_ytd", vi (iv row.(s_ytd) + qty));
+             ("s_order_cnt", vi (iv row.(s_order_cnt) + 1));
+             ("s_remote_cnt", vi (iv row.(s_remote_cnt) + 1));
+           ]));
+    [| vs dist |]
+
+(* args: [c_w_local; c_d; c_id; amount; h_d; h_w_global] → [] — the
+   remote-customer half of Payment: balance update plus the history row,
+   both on the customer's shard. Remote selection is always by customer
+   id (the by-last-name path stays a home-shard-only concern). *)
+let payment_remote_proc ~shard:_ db txn args =
+  let c_w = iv args.(0) and c_d = iv args.(1) and cid = iv args.(2) in
+  let amount = fv args.(3) in
+  let h_d = iv args.(4) and h_w = iv args.(5) in
+  let customer = Db.table db "customer" in
+  (match Table.index_lookup_first customer txn ~index:"customer_pk" ~key:[ vi c_w; vi c_d; vi cid ] with
+  | None -> ()
+  | Some (crid, _) ->
+    ignore
+      (Table.update_with customer txn ~rid:crid (fun row ->
+           [
+             ("c_balance", vf (fv row.(c_balance) -. amount));
+             ("c_ytd_payment", vf (fv row.(c_ytd_payment) +. amount));
+             ("c_payment_cnt", vi (iv row.(c_payment_cnt) + 1));
+           ]));
+    ignore
+      (Table.insert (Db.table db "history") txn
+         [| vi cid; vi c_d; vi c_w; vi h_d; vi h_w; vi (Db.now db); vf amount; vs "payment-2pc" |]));
+  [||]
+
+let create cl ?(scale = Tpcc.default_scale) ~warehouses_per_shard ~seed () =
+  if warehouses_per_shard <= 0 then invalid_arg "Tpcc_sharded.create: need at least one warehouse";
+  let parts =
+    Array.init (Cluster.shards cl) (fun k ->
+        Tpcc.load (Cluster.shard cl k) ~warehouses:warehouses_per_shard ~scale ~seed:(seed + k) ())
+  in
+  let rng = Prng.create ~seed:(seed lxor 0x5bd1e995) in
+  let t =
+    {
+      cl;
+      parts;
+      wps = warehouses_per_shard;
+      sc = scale;
+      proc_stock = Cluster.register_proc cl stock_update_proc;
+      proc_payment = Cluster.register_proc cl payment_remote_proc;
+      dc_cid = Prng.int rng 1024;
+      dc_olid = Prng.int rng 8192;
+      cross_offered = 0;
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator-side transaction bodies.
+
+   These mirror {!Tpcc.new_order} / {!Tpcc.payment} with one change:
+   the remote-warehouse branches (1%-per-order-line supply warehouse,
+   15% remote Payment customer — the spec's own cross-warehouse rates,
+   which compose to roughly 10% of NewOrders touching another
+   warehouse) route through {!Cluster.remote_exec} whenever the chosen
+   warehouse lives on another shard. A remote warehouse on the *same*
+   shard stays a plain local access, exactly like unsharded TPC-C. *)
+
+let pick_remote_warehouse t rng ~home_g =
+  let total = total_warehouses t in
+  1 + ((home_g + Prng.int rng (total - 1)) mod total)
+
+let new_order t dtx rng ~home_g =
+  let sc = t.sc in
+  let home_shard, w_id = locate t home_g in
+  let part = t.parts.(home_shard) in
+  let db = Tpcc.db part in
+  let txn = Cluster.dtxn_txn dtx in
+  let warehouse = Db.table db "warehouse" and district = Db.table db "district" in
+  let customer = Db.table db "customer" and item = Db.table db "item" in
+  let stock = Db.table db "stock" in
+  let orders = Db.table db "orders" and neworder = Db.table db "neworder" in
+  let orderline = Db.table db "orderline" in
+  let d = Prng.int_incl rng 1 sc.Tpcc.districts_per_warehouse in
+  let cid = 1 + Zipf.nurand rng ~a:1023 ~c:t.dc_cid ~x:0 ~y:(sc.Tpcc.customers_per_district - 1) in
+  let ol_cnt = Prng.int_incl rng 5 15 in
+  let rollback_last = Prng.int rng 100 = 0 in
+  let wrow =
+    match Table.index_lookup_first warehouse txn ~index:"warehouse_pk" ~key:[ vi w_id ] with
+    | Some (_, row) -> row
+    | None -> Fmt.failwith "tpcc_sharded: missing warehouse %d on shard %d" w_id home_shard
+  in
+  let w_tax_v = fv wrow.(w_tax) in
+  let drid, drow =
+    match Table.index_lookup_first district txn ~index:"district_pk" ~key:[ vi w_id; vi d ] with
+    | Some hit -> hit
+    | None -> Fmt.failwith "tpcc_sharded: missing district"
+  in
+  let next_o = ref 0 in
+  ignore
+    (Table.update_with district txn ~rid:drid (fun row ->
+         next_o := iv row.(d_next_o_id);
+         [ ("d_next_o_id", vi (!next_o + 1)) ]));
+  let next_o = !next_o in
+  let c_disc =
+    match Table.index_lookup_first customer txn ~index:"customer_pk" ~key:[ vi w_id; vi d; vi cid ] with
+    | Some (_, crow) -> fv crow.(c_discount)
+    | None -> 0.0
+  in
+  let all_local = ref 1 in
+  ignore
+    (Table.insert orders txn
+       [| vi next_o; vi d; vi w_id; vi cid; vi (Db.now db); vi 0; vi ol_cnt; vi 1 |]);
+  ignore (Table.insert neworder txn [| vi next_o; vi d; vi w_id |]);
+  let total = ref 0.0 in
+  for line = 1 to ol_cnt do
+    let invalid = rollback_last && line = ol_cnt in
+    let iid =
+      if invalid then sc.Tpcc.items + 1
+      else 1 + Zipf.nurand rng ~a:8191 ~c:t.dc_olid ~x:0 ~y:(sc.Tpcc.items - 1)
+    in
+    let supply_g =
+      if total_warehouses t > 1 && Prng.int rng 100 = 0 then begin
+        all_local := 0;
+        pick_remote_warehouse t rng ~home_g
+      end
+      else home_g
+    in
+    (match Table.index_lookup_first item txn ~index:"item_pk" ~key:[ vi iid ] with
+    | None ->
+      (* the spec's 1% invalid-item rollback; surfaced as a user abort so
+         the runner neither retries nor counts it as an MVCC conflict *)
+      raise (Txnmgr.Abort (Txnmgr.User, "user-initiated rollback"))
+    | Some (_, irow) ->
+      let price = fv irow.(i_price) in
+      let qty = Prng.int_incl rng 1 10 in
+      let supply_shard, supply_local = locate t supply_g in
+      let dist_info =
+        if supply_shard <> home_shard then begin
+          t.cross_offered <- t.cross_offered + 1;
+          let reply =
+            Cluster.remote_exec t.cl dtx ~shard:supply_shard ~proc:t.proc_stock
+              ~args:[| vi supply_local; vi iid; vi qty |]
+          in
+          sv reply.(0)
+        end
+        else begin
+          match Table.index_lookup_first stock txn ~index:"stock_pk" ~key:[ vi supply_local; vi iid ] with
+          | None -> Fmt.failwith "tpcc_sharded: missing stock row"
+          | Some (srid, srow) ->
+            let dist = sv srow.(s_dist) in
+            ignore
+              (Table.update_with stock txn ~rid:srid (fun row ->
+                   let s_qty = iv row.(s_quantity) in
+                   let new_qty = if s_qty >= qty + 10 then s_qty - qty else s_qty - qty + 91 in
+                   [
+                     ("s_quantity", vi new_qty);
+                     ("s_ytd", vi (iv row.(s_ytd) + qty));
+                     ("s_order_cnt", vi (iv row.(s_order_cnt) + 1));
+                     ("s_remote_cnt", vi (iv row.(s_remote_cnt) + if supply_g <> home_g then 1 else 0));
+                   ]));
+            dist
+        end
+      in
+      let amount = float_of_int qty *. price in
+      total := !total +. amount;
+      ignore
+        (Table.insert orderline txn
+           [|
+             vi next_o; vi d; vi w_id; vi line; vi iid; vi supply_g; vi 0; vi qty; vf amount;
+             vs dist_info;
+           |]))
+  done;
+  ignore (!total *. (1.0 +. w_tax_v +. fv drow.(d_tax)) *. (1.0 -. c_disc))
+
+let payment t dtx rng ~home_g =
+  let sc = t.sc in
+  let home_shard, w_id = locate t home_g in
+  let db = Tpcc.db t.parts.(home_shard) in
+  let txn = Cluster.dtxn_txn dtx in
+  let warehouse = Db.table db "warehouse" and district = Db.table db "district" in
+  let customer = Db.table db "customer" in
+  let d = Prng.int_incl rng 1 sc.Tpcc.districts_per_warehouse in
+  let amount = float_of_int (Prng.int_incl rng 100 500_000) /. 100.0 in
+  (match Table.index_lookup_first warehouse txn ~index:"warehouse_pk" ~key:[ vi w_id ] with
+  | Some (wrid, _) ->
+    ignore
+      (Table.update_with warehouse txn ~rid:wrid (fun row ->
+           [ ("w_ytd", vf (fv row.(w_ytd) +. amount)) ]))
+  | None -> ());
+  (match Table.index_lookup_first district txn ~index:"district_pk" ~key:[ vi w_id; vi d ] with
+  | Some (drid, _) ->
+    ignore
+      (Table.update_with district txn ~rid:drid (fun row ->
+           [ ("d_ytd", vf (fv row.(d_ytd) +. amount)) ]))
+  | None -> ());
+  let cid = 1 + Zipf.nurand rng ~a:1023 ~c:t.dc_cid ~x:0 ~y:(sc.Tpcc.customers_per_district - 1) in
+  let remote = total_warehouses t > 1 && Prng.int rng 100 < 15 in
+  let c_g = if remote then pick_remote_warehouse t rng ~home_g else home_g in
+  let c_d = if remote then Prng.int_incl rng 1 sc.Tpcc.districts_per_warehouse else d in
+  let c_shard, c_local = locate t c_g in
+  if c_shard <> home_shard then begin
+    t.cross_offered <- t.cross_offered + 1;
+    ignore
+      (Cluster.remote_exec t.cl dtx ~shard:c_shard ~proc:t.proc_payment
+         ~args:[| vi c_local; vi c_d; vi cid; vf amount; vi d; vi home_g |])
+  end
+  else begin
+    match Table.index_lookup_first customer txn ~index:"customer_pk" ~key:[ vi c_local; vi c_d; vi cid ] with
+    | None -> ()
+    | Some (crid, _) ->
+      ignore
+        (Table.update_with customer txn ~rid:crid (fun row ->
+             [
+               ("c_balance", vf (fv row.(c_balance) -. amount));
+               ("c_ytd_payment", vf (fv row.(c_ytd_payment) +. amount));
+               ("c_payment_cnt", vi (iv row.(c_payment_cnt) + 1));
+             ]));
+      ignore
+        (Table.insert (Db.table db "history") txn
+           [| vi cid; vi c_d; vi c_local; vi d; vi w_id; vi (Db.now db); vf amount; vs "payment" |])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop driver *)
+
+type results = {
+  duration_s : float;
+  offered : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  committed : int;
+  new_orders : int;
+  tpmc : float;
+  cross_shard_started : int;
+  cross_shard_committed : int;
+  cross_shard_aborted : int;
+  prepare_timeouts : int;
+  exec_timeouts : int;
+  latency_p50_us : float;
+  latency_p99_us : float;
+}
+
+let run_open t ?(mix = Tpcc.standard_mix) ?(theta = 0.6) ~shape ~duration_ns ~seed () =
+  let eng = Cluster.engine t.cl in
+  let start = Engine.now eng in
+  let zipf = Zipf.create ~theta ~n:(total_warehouses t) () in
+  let latency = Stats.Histogram.create () in
+  let committed = ref 0 in
+  let new_orders = ref 0 in
+  let s0 = Cluster.stats t.cl in
+  let pick_kind rng =
+    let r = Prng.float rng 1.0 in
+    let rec go acc = function
+      | [] -> Tpcc.New_order
+      | (k, p) :: rest -> if r < acc +. p then k else go (acc +. p) rest
+    in
+    go 0.0 mix
+  in
+  let gen =
+    Open_loop.start eng ~shape ~duration_ns ~seed ~submit:(fun ~rng ~on_done ->
+        let home_g = 1 + Zipf.sample zipf rng in
+        let home_shard, w_local = locate t home_g in
+        let kind = pick_kind rng in
+        let began = Engine.now eng in
+        let finish ok is_new_order =
+          Stats.Histogram.add latency (Engine.now eng - began);
+          if ok then begin
+            incr committed;
+            if is_new_order then incr new_orders
+          end;
+          on_done ()
+        in
+        match kind with
+        | Tpcc.New_order ->
+          Cluster.submit_dtxn t.cl ~home:home_shard
+            ~on_done:(fun ~committed:ok -> finish ok true)
+            (fun dtx -> new_order t dtx rng ~home_g)
+        | Tpcc.Payment ->
+          Cluster.submit_dtxn t.cl ~home:home_shard
+            ~on_done:(fun ~committed:ok -> finish ok false)
+            (fun dtx -> payment t dtx rng ~home_g)
+        | kind ->
+          let ok = ref false in
+          Cluster.submit_local t.cl ~shard:home_shard
+            ~on_done:(fun () -> finish !ok false)
+            (fun txn ->
+              (try
+                 match kind with
+                 | Tpcc.Order_status -> Tpcc.order_status t.parts.(home_shard) txn rng ~w_id:w_local
+                 | Tpcc.Delivery -> Tpcc.delivery t.parts.(home_shard) txn rng ~w_id:w_local
+                 | _ -> Tpcc.stock_level t.parts.(home_shard) txn rng ~w_id:w_local
+               with Tpcc.Rollback ->
+                 raise (Txnmgr.Abort (Txnmgr.User, "user-initiated rollback")));
+              ok := true))
+  in
+  Cluster.run t.cl;
+  let s1 = Cluster.stats t.cl in
+  let elapsed_s = float_of_int (Engine.now eng - start) /. 1e9 in
+  let minutes = elapsed_s /. 60.0 in
+  {
+    duration_s = elapsed_s;
+    offered = Open_loop.offered gen;
+    admitted = Open_loop.admitted gen;
+    shed = Open_loop.shed gen;
+    completed = Open_loop.completed gen;
+    committed = !committed;
+    new_orders = !new_orders;
+    tpmc = (if minutes > 0.0 then float_of_int !new_orders /. minutes else 0.0);
+    cross_shard_started = s1.Cluster.started - s0.Cluster.started;
+    cross_shard_committed = s1.Cluster.committed - s0.Cluster.committed;
+    cross_shard_aborted = s1.Cluster.aborted - s0.Cluster.aborted;
+    prepare_timeouts = s1.Cluster.prepare_timeouts - s0.Cluster.prepare_timeouts;
+    exec_timeouts = s1.Cluster.exec_timeouts - s0.Cluster.exec_timeouts;
+    latency_p50_us = Stats.Histogram.percentile latency 0.5 /. 1e3;
+    latency_p99_us = Stats.Histogram.percentile latency 0.99 /. 1e3;
+  }
+
+let cross_shard_statements t = t.cross_offered

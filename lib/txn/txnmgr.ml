@@ -12,7 +12,7 @@ module Trace = Phoebe_obs.Trace
 module Sanitize = Phoebe_sanitize.Sanitize
 
 type isolation = Read_committed | Repeatable_read
-type state = Active | Committed | Aborted
+type state = Active | Prepared | Committed | Aborted
 type snapshot_mode = O1_timestamp | Scan_active
 
 type contention = {
@@ -194,8 +194,35 @@ let finish t txn final_state =
   if Sanitize.on () then Sanitize.locks_released_all ~fiber:(Scheduler.current_fiber_id ());
   Waitq.signal_all txn.waiters
 
+(* Two-phase commit, participant side: force a Prepare record (same
+   durability rule as a commit record) and park the transaction in
+   [Prepared]. Everything else is deliberately left alone — the undo
+   chain stays stamped with the xid (the after-images remain invisible
+   to readers and the write-back sanitizer still treats them as
+   uncommitted), locks stay held, and the txn stays in the active table
+   so deadlock walks and snapshot watermarks keep seeing it. The
+   decision arrives later as a plain {!commit} or {!abort}. *)
+let prepare t txn ~gxid ~coord =
+  if txn.state <> Active then invalid_arg "Txnmgr.prepare: transaction not active";
+  let c = costs () in
+  Scheduler.charge Component.Effective c.Cost.txn_finalize;
+  if txn.wrote then begin
+    let gsn = Wal.next_gsn t.twal ~slot:txn.slot ~page_gsn:0 in
+    let lsn =
+      Wal.append t.twal ~slot:txn.slot (Record.Prepare { xid = txn.xid; gxid; coord }) ~gsn
+    in
+    let needs_remote, remote_gsn =
+      if (Wal.config t.twal).Wal.rfa then (txn.needs_remote, txn.remote_gsn)
+      else (true, gsn - 1)
+    in
+    Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn
+  end;
+  txn.state <- Prepared
+
 let commit t txn =
-  if txn.state <> Active then invalid_arg "Txnmgr.commit: transaction not active";
+  (match txn.state with
+  | Active | Prepared -> ()
+  | Committed | Aborted -> invalid_arg "Txnmgr.commit: transaction not active");
   let c = costs () in
   Scheduler.charge Component.Effective c.Cost.txn_finalize;
   let cts = Clock.next t.tclock in
@@ -265,7 +292,9 @@ let commit t txn =
   finish t txn Committed
 
 let abort ?(reason = User) t txn ~rollback =
-  if txn.state <> Active then invalid_arg "Txnmgr.abort: transaction not active";
+  (match txn.state with
+  | Active | Prepared -> ()
+  | Committed | Aborted -> invalid_arg "Txnmgr.abort: transaction not active");
   let c = costs () in
   Scheduler.charge Component.Effective c.Cost.txn_finalize;
   Undo.iter_txn txn.undo_newest (fun u ->

@@ -14,7 +14,14 @@
 
 type isolation = Read_committed | Repeatable_read
 
-type state = Active | Committed | Aborted
+type state =
+  | Active
+  | Prepared
+      (** two-phase commit: the branch forced its Prepare record and now
+          awaits the coordinator's decision, locks held, writes still
+          invisible *)
+  | Committed
+  | Aborted
 
 type snapshot_mode =
   | O1_timestamp  (** PhoebeDB: one clock read *)
@@ -99,9 +106,20 @@ val refresh_snapshot : t -> txn -> unit
 val add_undo : t -> txn -> Undo.t -> unit
 (** Register a freshly created UNDO log with its transaction. *)
 
+val prepare : t -> txn -> gxid:int -> coord:int -> unit
+(** Two-phase commit, phase one (participant branch of global
+    transaction [gxid] coordinated by shard [coord]): force a Prepare
+    record under the same RFA durability rule as a commit record and
+    move the transaction to {!Prepared}. The undo chain is *not*
+    commit-stamped — the branch's writes stay invisible and
+    sanitizer-protected — and locks stay held until the decision
+    arrives as {!commit} or {!abort}. A read-only branch writes
+    nothing and prepares instantly. *)
+
 val commit : t -> txn -> unit
 (** Assign cts, stamp the UNDO logs, log + await durability (RFA), wake
-    ID-lock waiters, and queue the UNDO bundle for GC. *)
+    ID-lock waiters, and queue the UNDO bundle for GC. Accepts both
+    [Active] and [Prepared] transactions. *)
 
 val abort : ?reason:abort_reason -> t -> txn -> rollback:(Undo.t -> unit) -> unit
 (** Roll back newest-to-oldest via [rollback], log an abort record, wake

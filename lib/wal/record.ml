@@ -9,6 +9,7 @@ type op =
   | Delete of { table : int; rid : int }
   | Commit of { xid : int; cts : int }
   | Abort of { xid : int }
+  | Prepare of { xid : int; gxid : int; coord : int }
 
 type t = { slot : int; lsn : int; gsn : int; op : op }
 
@@ -48,6 +49,11 @@ let encode_body buf t =
   | Abort { xid } ->
     Buffer.add_char buf 'A';
     Varint.write_int buf xid
+  | Prepare { xid; gxid; coord } ->
+    Buffer.add_char buf 'P';
+    Varint.write_int buf xid;
+    Varint.write_int buf gxid;
+    Varint.write_uint buf coord
 
 (* Encoding scratch: the body is staged once so its length and CRC can
    prefix it, but through module-level reusable storage instead of a
@@ -116,6 +122,11 @@ let decode b off =
     | 'A' ->
       let xid, _ = Varint.read_int b off in
       Abort { xid }
+    | 'P' ->
+      let xid, off = Varint.read_int b off in
+      let gxid, off = Varint.read_int b off in
+      let coord, _ = Varint.read_uint b off in
+      Prepare { xid; gxid; coord }
     | c -> Fmt.failwith "Record.decode: bad tag %C" c
   in
   ({ slot; lsn; gsn; op = record }, endpos)
@@ -165,5 +176,6 @@ let pp fmt t =
     | Delete { table; rid } -> Printf.sprintf "DELETE t%d r%d" table rid (* lint: allow hot-alloc — debug printer *)
     | Commit { xid; cts } -> Printf.sprintf "COMMIT xid=%d cts=%d" xid cts (* lint: allow hot-alloc — debug printer *)
     | Abort { xid } -> Printf.sprintf "ABORT xid=%d" xid (* lint: allow hot-alloc — debug printer *)
+    | Prepare { xid; gxid; coord } -> Printf.sprintf "PREPARE xid=%d gxid=%d coord=%d" xid gxid coord (* lint: allow hot-alloc — debug printer *)
   in
   Format.fprintf fmt "[slot=%d lsn=%d gsn=%d %s]" t.slot t.lsn t.gsn kind

@@ -15,6 +15,14 @@ type op =
   | Abort of { xid : int }
       (** written at rollback so recovery does not attribute the
           transaction's earlier records to the slot's next commit *)
+  | Prepare of { xid : int; gxid : int; coord : int }
+      (** two-phase-commit prepare point for a participant branch of a
+          distributed transaction: [gxid] is the global transaction id
+          (the coordinator's local xid) and [coord] the coordinator's
+          shard id. A slot run that ends [ops…][Prepare] without a
+          Commit/Abort is *in doubt* at recovery — its fate is decided
+          by looking the gxid up in the coordinator's log (presumed
+          abort if absent). *)
 
 type t = { slot : int; lsn : int; gsn : int; op : op }
 

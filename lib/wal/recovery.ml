@@ -6,6 +6,8 @@ type apply = {
   delete : table:int -> rid:int -> unit;
 }
 
+type in_doubt = { gxid : int; coord : int; ops : Record.t list }
+
 type report = {
   files_read : int;
   records_read : int;
@@ -15,12 +17,55 @@ type report = {
   torn_tails : int;
   bytes_skipped : int;
   corrupt_records : int;
+  in_doubt : in_doubt list;
 }
 
 let read_all store =
   List.concat_map
     (fun file -> fst (Record.decode_all (Walstore.contents store ~file) ~slot:file))
     (Walstore.files store)
+
+(* Inserts are applied first, in (table, rid) order, then everything
+   else in (GSN, slot, LSN) order. Row ids are allocated monotonically
+   and never reused, so every update/delete of a rid follows its
+   insert anyway; ordering the inserts by rid (rather than GSN) keeps
+   the rebuild appending in allocation order — two inserts that landed
+   on different pages carry GSNs from different Lamport clocks, and
+   their GSN order need not match rid order. *)
+let order_ops ops =
+  let inserts, others =
+    List.partition
+      (fun (r : Record.t) -> match r.Record.op with Record.Insert _ -> true | _ -> false)
+      ops
+  in
+  List.sort
+    (fun (a : Record.t) (b : Record.t) ->
+      match (a.Record.op, b.Record.op) with
+      | Record.Insert { table = ta; rid = ra; _ }, Record.Insert { table = tb; rid = rb; _ } ->
+        if ta <> tb then Int.compare ta tb else Int.compare ra rb
+      | _ -> 0)
+    inserts
+  @ List.sort
+      (fun (a : Record.t) (b : Record.t) ->
+        let c = Int.compare a.gsn b.gsn in
+        if c <> 0 then c
+        else begin
+          let c = Int.compare a.slot b.slot in
+          if c <> 0 then c else Int.compare a.lsn b.lsn
+        end)
+      others
+
+let apply_ops apply ops =
+  let ordered = order_ops ops in
+  List.iter
+    (fun (r : Record.t) ->
+      match r.Record.op with
+      | Record.Insert { table; rid; row } -> apply.insert ~table ~rid row
+      | Record.Update { table; rid; cols } -> apply.update ~table ~rid cols
+      | Record.Delete { table; rid } -> apply.delete ~table ~rid
+      | Record.Commit _ | Record.Abort _ | Record.Prepare _ -> ())
+    ordered;
+  List.length ordered
 
 (* A transaction's data records carry no xid (they are ordered within
    their slot's file); its commit record in the same file covers every
@@ -29,8 +74,19 @@ let read_all store =
    slot's LSN order* — exactly how the slot writer interleaves them:
    [ops of txn1][commit txn1][ops of txn2][commit txn2]... A trailing run
    of data records without a commit belongs to an uncommitted
-   transaction and is dropped. *)
-let replay ?(after = fun _ -> -1) store apply =
+   transaction and is dropped.
+
+   Two-phase commit adds one wrinkle: a run may end
+   [ops][Prepare {gxid; coord}] with the decision record (Commit/Abort)
+   cut off by the crash. A fiber that has prepared keeps its slot parked
+   until the decision arrives, so at most one prepared run exists per
+   file and it is always the *last* run. [decide_in_doubt] resolves it
+   at replay time: [true] merges its ops into the replay set (where the
+   global ordering keeps row-id allocation order intact — applying them
+   after the fact would append out of order), [false] — or no callback —
+   withholds them (presumed abort). Either way the branch is surfaced
+   in [in_doubt]. *)
+let replay ?(after = fun _ -> -1) ?(decide_in_doubt = fun _ -> false) store apply =
   let files = Walstore.files store in
   let records_read = ref 0 in
   let committed = ref 0 in
@@ -39,6 +95,7 @@ let replay ?(after = fun _ -> -1) store apply =
   let torn_tails = ref 0 in
   let bytes_skipped = ref 0 in
   let corrupt = ref 0 in
+  let in_doubt = ref [] in
   List.iter
     (fun file ->
       let records, stop = Record.decode_all (Walstore.contents store ~file) ~slot:file in
@@ -79,68 +136,65 @@ let replay ?(after = fun _ -> -1) store apply =
       records_read := !records_read + List.length records;
       (* records are already in LSN order within the file *)
       let pending = ref [] in
+      let prepared = ref None in
       List.iter
         (fun (r : Record.t) ->
           match r.Record.op with
           | Record.Commit _ ->
             incr committed;
+            (match !prepared with
+            | Some (_, _, ops) ->
+              replayable := List.rev_append ops !replayable;
+              prepared := None
+            | None -> ());
             replayable := List.rev_append !pending !replayable;
             pending := []
           | Record.Abort _ ->
+            (match !prepared with
+            | Some (_, _, ops) ->
+              dropped := !dropped + List.length ops;
+              prepared := None
+            | None -> ());
             dropped := !dropped + List.length !pending;
+            pending := []
+          | Record.Prepare { gxid; coord; _ } ->
+            (* the prepared fiber holds its slot until the decision, so
+               a second Prepare before a Commit/Abort cannot happen *)
+            (match !prepared with
+            | Some _ ->
+              raise
+                (Phoebe_util.Phoebe_error.Bug
+                   {
+                     subsystem = "recovery";
+                     context =
+                       Printf.sprintf "slot=%d: two Prepare records without a decision between"
+                         r.Record.slot;
+                   })
+            | None -> ());
+            prepared := Some (gxid, coord, List.rev !pending);
             pending := []
           | _ -> pending := r :: !pending)
         records;
+      (match !prepared with
+      | Some (gxid, coord, ops) ->
+        let d = { gxid; coord; ops } in
+        in_doubt := d :: !in_doubt;
+        if decide_in_doubt d then replayable := List.rev_append ops !replayable
+        else dropped := !dropped + List.length ops
+      | None -> ());
       dropped := !dropped + List.length !pending)
     files;
-  (* Inserts are applied first, in (table, rid) order, then everything
-     else in (GSN, slot, LSN) order. Row ids are allocated monotonically
-     and never reused, so every update/delete of a rid follows its
-     insert anyway; ordering the inserts by rid (rather than GSN) keeps
-     the rebuild appending in allocation order — two inserts that landed
-     on different pages carry GSNs from different Lamport clocks, and
-     their GSN order need not match rid order. *)
-  let inserts, others =
-    List.partition
-      (fun (r : Record.t) -> match r.Record.op with Record.Insert _ -> true | _ -> false)
-      !replayable
-  in
-  let ordered =
-    List.sort
-      (fun (a : Record.t) (b : Record.t) ->
-        match (a.Record.op, b.Record.op) with
-        | Record.Insert { table = ta; rid = ra; _ }, Record.Insert { table = tb; rid = rb; _ }
-          ->
-          if ta <> tb then Int.compare ta tb else Int.compare ra rb
-        | _ -> 0)
-      inserts
-    @ List.sort
-        (fun (a : Record.t) (b : Record.t) ->
-          let c = Int.compare a.gsn b.gsn in
-          if c <> 0 then c
-          else begin
-            let c = Int.compare a.slot b.slot in
-            if c <> 0 then c else Int.compare a.lsn b.lsn
-          end)
-        others
-  in
-  List.iter
-    (fun (r : Record.t) ->
-      match r.Record.op with
-      | Record.Insert { table; rid; row } -> apply.insert ~table ~rid row
-      | Record.Update { table; rid; cols } -> apply.update ~table ~rid cols
-      | Record.Delete { table; rid } -> apply.delete ~table ~rid
-      | Record.Commit _ | Record.Abort _ -> ())
-    ordered;
+  let ops_replayed = apply_ops apply !replayable in
   {
     files_read = List.length files;
     records_read = !records_read;
     committed_txns = !committed;
-    ops_replayed = List.length ordered;
+    ops_replayed;
     ops_dropped = !dropped;
     torn_tails = !torn_tails;
     bytes_skipped = !bytes_skipped;
     corrupt_records = !corrupt;
+    in_doubt = List.rev !in_doubt;
   }
 
 let committed_transactions store =

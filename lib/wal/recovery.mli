@@ -14,6 +14,13 @@ type apply = {
   delete : table:int -> rid:int -> unit;
 }
 
+type in_doubt = { gxid : int; coord : int; ops : Record.t list }
+(** A slot run that prepared (two-phase commit) but whose decision
+    record did not survive the crash. Resolved at replay time by the
+    caller's [decide_in_doubt] against the coordinator shard's log —
+    the gxid is the coordinator's local xid, so a Commit for it there
+    means commit, anything else means presumed abort. *)
+
 type report = {
   files_read : int;
   records_read : int;
@@ -25,12 +32,18 @@ type report = {
   corrupt_records : int;
       (** files where decoding stopped on a damaged record with more
           data after it — never produced by a clean crash *)
+  in_doubt : in_doubt list;  (** prepared-but-undecided branches, per slot *)
 }
 
-val replay : ?after:(int -> int) -> Phoebe_io.Walstore.t -> apply -> report
+val replay :
+  ?after:(int -> int) -> ?decide_in_doubt:(in_doubt -> bool) -> Phoebe_io.Walstore.t -> apply -> report
 (** [after slot] is a per-slot LSN frontier: records at or below it are
     already reflected in the restored state (checkpoint) and skipped.
-    Default: replay everything.
+    Default: replay everything. [decide_in_doubt] resolves each
+    prepared-but-undecided branch: [true] replays its ops (merged into
+    the global ordering so row-id allocation order is preserved),
+    [false] drops them. Default: presumed abort. The branch appears in
+    the report's [in_doubt] either way.
     @raise Phoebe_util.Phoebe_error.Bug if a frontier lands on a data
     record — a checkpoint can only cover whole transactions, so a
     mid-transaction frontier means the snapshot or the WAL is wrong and

@@ -1,0 +1,75 @@
+module Engine = Phoebe_sim.Engine
+module Prng = Phoebe_util.Prng
+
+type shape =
+  | Steady of float
+  | Flash of { base : float; peak : float; start_s : float; duration_s : float }
+  | Diurnal of { base : float; peak : float; period_s : float }
+
+let rate_at shape ~t_s =
+  match shape with
+  | Steady r -> r
+  | Flash { base; peak; start_s; duration_s } ->
+    if t_s >= start_s && t_s < start_s +. duration_s then peak else base
+  | Diurnal { base; peak; period_s } ->
+    (* raised cosine: trough [base], crest [peak] *)
+    let phase = 2.0 *. Float.pi *. t_s /. period_s in
+    base +. ((peak -. base) *. 0.5 *. (1.0 -. cos phase))
+
+let peak_rate = function
+  | Steady r -> r
+  | Flash { base; peak; _ } -> Float.max base peak
+  | Diurnal { base; peak; _ } -> Float.max base peak
+
+type stats = {
+  mutable offered : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable thinned : int;
+}
+
+type t = { st : stats; done_at : int }
+
+let offered t = t.st.offered
+let admitted t = t.st.admitted
+let shed t = t.st.shed
+let completed t = t.st.completed
+
+(* Open loop: arrivals follow virtual time, not completions. A Poisson
+   process at the shape's peak rate is thinned down to the
+   instantaneous rate (Lewis–Shedler), so one exponential stream yields
+   any time-varying shape deterministically. Each arrival is offered to
+   [submit] exactly once; an [Overloaded] refusal is a shed, not a
+   retry — under open load, retrying is how collapse happens, and the
+   per-shard admission controller is the back-pressure valve. *)
+let start eng ~shape ~duration_ns ~seed ~submit =
+  if duration_ns <= 0 then invalid_arg "Open_loop.start: duration must be positive";
+  let peak = peak_rate shape in
+  if peak <= 0.0 then invalid_arg "Open_loop.start: rate must be positive";
+  let rng = Prng.create ~seed in
+  let start_ns = Engine.now eng in
+  let done_at = start_ns + duration_ns in
+  let st = { offered = 0; admitted = 0; shed = 0; completed = 0; thinned = 0 } in
+  let rec arrive () =
+    let now = Engine.now eng in
+    if now < done_at then begin
+      let t_s = float_of_int (now - start_ns) /. 1e9 in
+      (* thinning: accept this candidate with probability rate/peak *)
+      if Prng.float rng 1.0 <= rate_at shape ~t_s /. peak then begin
+        st.offered <- st.offered + 1;
+        let arrival_rng = Prng.split rng in
+        (match
+           submit ~rng:arrival_rng ~on_done:(fun () -> st.completed <- st.completed + 1)
+         with
+        | () -> st.admitted <- st.admitted + 1
+        | exception Phoebe_core.Db.Overloaded -> st.shed <- st.shed + 1)
+      end
+      else st.thinned <- st.thinned + 1;
+      let u = Prng.float rng 1.0 in
+      let gap_ns = int_of_float (-.Float.log (1.0 -. u) /. peak *. 1e9) in
+      Engine.schedule eng ~delay:(max 1 gap_ns) arrive
+    end
+  in
+  Engine.schedule eng ~delay:0 arrive;
+  { st; done_at }

@@ -5,6 +5,9 @@
 set -eu
 cd "$(dirname "$0")"
 
+tmpdir="$(mktemp -d /tmp/phoebe-tier1-XXXXXX)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "== dune build @fmt"
 dune build @fmt
 
@@ -19,8 +22,7 @@ dune exec bin/phoebe_lint.exe -- --self-test
 dune exec bin/phoebe_lint.exe -- lib
 
 echo "== bench smoke (5 virtual seconds of exp1 at W=2, --json)"
-json_tmp="$(mktemp /tmp/phoebe-smoke-XXXXXX.json)"
-trap 'rm -f "$json_tmp"' EXIT
+json_tmp="$tmpdir/smoke.json"
 dune exec bench/main.exe -- smoke --json "$json_tmp"
 dune exec bench/main.exe -- --check-json "$json_tmp"
 
@@ -42,9 +44,8 @@ fi
 echo "   $alloc_measured minor words/txn (budget $alloc_budget)"
 
 echo "== determinism (fixed-seed double run under --sanitize, byte-identical json + digest)"
-det_a="$(mktemp /tmp/phoebe-det-a-XXXXXX.json)"
-det_b="$(mktemp /tmp/phoebe-det-b-XXXXXX.json)"
-trap 'rm -f "$json_tmp" "$det_a" "$det_b"' EXIT
+det_a="$tmpdir/det-a.json"
+det_b="$tmpdir/det-b.json"
 dune exec bench/main.exe -- smoke --sanitize --seed 42 --json "$det_a" > /dev/null
 dune exec bench/main.exe -- smoke --sanitize --seed 42 --json "$det_b" > /dev/null
 cmp "$det_a" "$det_b"
@@ -53,15 +54,22 @@ grep -q '"sanitize.findings": 0' "$det_a"
 echo "   double run byte-identical, replay digest present, zero findings"
 
 echo "== overload smoke (offered-load sweep, admission on vs off, --json)"
-overload_tmp="$(mktemp /tmp/phoebe-overload-XXXXXX.json)"
-trap 'rm -f "$json_tmp" "$det_a" "$det_b" "$overload_tmp"' EXIT
+overload_tmp="$tmpdir/overload.json"
 dune exec bench/main.exe -- overload --json "$overload_tmp"
 dune exec bench/main.exe -- --check-json "$overload_tmp"
 
 echo "== recovery smoke (fixed-seed crash + replay vs checkpoint cadence, --json)"
-recovery_tmp="$(mktemp /tmp/phoebe-recovery-XXXXXX.json)"
-trap 'rm -f "$json_tmp" "$det_a" "$det_b" "$overload_tmp" "$recovery_tmp"' EXIT
+recovery_tmp="$tmpdir/recovery.json"
 dune exec bench/main.exe -- --experiment recovery --seed 42 --json "$recovery_tmp"
 dune exec bench/main.exe -- --check-json "$recovery_tmp"
+
+echo "== sharded smoke (K x offered-load scaling grid with 2PC, --json, double-run identical)"
+sharded_a="$tmpdir/sharded-a.json"
+sharded_b="$tmpdir/sharded-b.json"
+dune exec bench/main.exe -- --experiment sharded --seed 42 --json "$sharded_a"
+dune exec bench/main.exe -- --check-json "$sharded_a"
+dune exec bench/main.exe -- --experiment sharded --seed 42 --json "$sharded_b" > /dev/null
+cmp "$sharded_a" "$sharded_b"
+echo "   scaling grid parses, double run byte-identical"
 
 echo "== tier-1: OK"
