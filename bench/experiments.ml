@@ -869,6 +869,119 @@ let sharded () =
   let points = List.concat_map (fun k -> List.map (run_cell k) load_grid) shard_grid in
   add_json "sharded" (Json.List points)
 
+(* ------------------------------------------------------------------ *)
+(* HA failover: quorum replication over replica count x link quality.
+   A steady open-loop client issues single-row writes against the
+   current primary; the primary is killed mid-run, the group elects a
+   new one, and the client resumes against it. Each cell reports the
+   failover downtime (kill -> first commit quorum-acknowledged by the
+   new primary), commit-latency percentiles over every acknowledged
+   write, and the saturating resource (primary CPU, primary WAL
+   device, the hottest mirror journal, or the fabric). All quantities
+   are simulated; fixed seed => byte-identical JSON. *)
+
+let ha_failover () =
+  let module Quorum = Phoebe_replication.Quorum in
+  let module Engine = Phoebe_sim.Engine in
+  section "HA failover: quorum commit vs replica count and link quality";
+  let ddl db =
+    let t = Db.create_table db ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+    Db.create_index db t ~name:"kv_pk" ~cols:[ "k" ] ~unique:true
+  in
+  let period_ns = 200_000 in
+  let kill_at_ns = 20_000_000 in
+  let total_ns = 100_000_000 in
+  note "  one write per %d us, primary killed at %d ms of %d ms" (period_ns / 1000)
+    (kill_at_ns / 1_000_000) (total_ns / 1_000_000);
+  note "%-9s %-7s %7s %7s %7s %12s %9s %9s %6s %-10s" "replicas" "link" "issued" "acked"
+    "skipped" "downtime-ms" "p50-us" "p99-us" "view" "saturated";
+  let run_cell replicas (link, latency_ns, drop_p) =
+    let cfg = { Config.default with Config.n_workers = 2; slots_per_worker = 4 } in
+    let group =
+      { Quorum.default_config with Quorum.replicas; latency_ns; drop_p; net_seed = !opt_seed }
+    in
+    let q = Quorum.create ~group cfg ~ddl in
+    let eng = Quorum.engine q in
+    let issued = ref 0 and skipped = ref 0 and lats = ref [] in
+    let first_ack_after_kill = ref (-1) in
+    (* open-loop client: one insert per period against whichever node
+       is primary right now; with no primary the write is lost (the
+       client's retry against the next primary is a fresh key) *)
+    let rec issue k =
+      if Engine.now eng + period_ns <= total_ns then
+        Engine.schedule eng ~delay:period_ns (fun () ->
+            (match Quorum.primary_db q with
+            | Some db ->
+              let t0 = Engine.now eng in
+              incr issued;
+              Db.submit db
+                ~on_done:(fun () ->
+                  let now = Engine.now eng in
+                  lats := (now - t0) :: !lats;
+                  if now > kill_at_ns && !first_ack_after_kill < 0 then
+                    first_ack_after_kill := now)
+                (fun txn ->
+                  ignore (Table.insert (Db.table db "kv") txn [| Value.Int k; Value.Int k |]))
+            | None -> incr skipped);
+            issue (k + 1))
+    in
+    issue 1;
+    Quorum.run_for q ~ns:kill_at_ns;
+    Quorum.kill q ~node:0;
+    Quorum.run_for q ~ns:(total_ns - kill_at_ns);
+    let acked = List.length !lats in
+    let sorted = Array.of_list !lats in
+    Array.sort Int.compare sorted;
+    let pct p =
+      if acked = 0 then 0
+      else sorted.(min (acked - 1) (int_of_float (float_of_int acked *. p)))
+    in
+    let downtime_ns =
+      if !first_ack_after_kill < 0 then total_ns - kill_at_ns else !first_ack_after_kill - kill_at_ns
+    in
+    let candidates =
+      (match Quorum.primary q with
+      | Some p ->
+        let db = Quorum.db q ~node:p in
+        [
+          ("primary-cpu", (Db.stats db).Db.cpu_busy_fraction);
+          ("primary-wal", Device.busy_fraction (Db.wal_device db));
+        ]
+      | None -> [])
+      @ List.init (Quorum.nodes q) (fun i ->
+            (Printf.sprintf "mirror%d" i, Quorum.mirror_utilization q ~node:i))
+      @ [ ("net", Quorum.net_utilization q) ]
+    in
+    let saturated, sat_util =
+      List.fold_left (fun (bn, bu) (n, u) -> if u > bu then (n, u) else (bn, bu)) ("idle", 0.0)
+        candidates
+    in
+    Quorum.shutdown q;
+    note "%-9d %-7s %7d %7d %7d %12.2f %9d %9d %6d %-10s" replicas link !issued acked !skipped
+      (float_of_int downtime_ns /. 1e6) (pct 0.50 / 1000) (pct 0.99 / 1000) (Quorum.view q)
+      saturated;
+    Json.Obj
+      [
+        ("replicas", Json.Int replicas);
+        ("link", Json.Str link);
+        ("latency_ns", Json.Int latency_ns);
+        ("drop_p", Json.Float drop_p);
+        ("issued", Json.Int !issued);
+        ("acked", Json.Int acked);
+        ("skipped_no_primary", Json.Int !skipped);
+        ("downtime_us", Json.Int (downtime_ns / 1000));
+        ("latency_p50_us", Json.Int (pct 0.50 / 1000));
+        ("latency_p99_us", Json.Int (pct 0.99 / 1000));
+        ("final_view", Json.Int (Quorum.view q));
+        ("stream_len_bytes", Json.Int (Quorum.stream_len q));
+        ("saturating_resource", Json.Str saturated);
+        ("saturating_utilization", Json.Float sat_util);
+      ]
+  in
+  let links = [ ("clean", 50_000, 0.0); ("lossy", 200_000, 0.02) ] in
+  let points = List.concat_map (fun r -> List.map (run_cell r) links) [ 1; 2; 4 ] in
+  add_json "ha_failover" (Json.List points)
+
 let ablations () =
   ablation_rfa ();
   ablation_snapshot ();

@@ -139,7 +139,7 @@ let run_micro () =
 let usage () =
   print_endline
     "usage: bench/main.exe [exp1 exp2 exp3 exp4 exp5 exp6 exp7 exp8 exp9 ablations overload \
-     recovery micro all smoke sharded]\n\
+     recovery micro all smoke sharded ha_failover]\n\
     \       [--experiment <name>]   run <name> (same as passing it positionally)\n\
     \       [--seed <n>]            workload seed for every harness (default 42)\n\
     \       [--json <path>]         write machine-readable results (simulated quantities only)\n\
@@ -234,6 +234,7 @@ let () =
       | "recovery" -> Experiments.recovery ()
       | "smoke" -> Experiments.smoke ()
       | "sharded" -> Experiments.sharded ()
+      | "ha_failover" -> Experiments.ha_failover ()
       | "micro" -> run_micro ()
       | "all" -> Experiments.all ()
       | other ->

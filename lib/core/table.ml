@@ -692,6 +692,9 @@ let raw_insert_mapped t row =
   List.iter (fun ix -> Index_tree.insert ix.ix ~key:(key_of_row ix row) ~rid) t.indexes;
   rid
 
+let raw_exists t ~rid =
+  match Table_tree.locate ~touch:false t.ttree ~row_id:rid with Some _ -> true | None -> false
+
 let raw_update t ~rid cols =
   match Table_tree.locate ~touch:false t.ttree ~row_id:rid with
   | Some (Table_tree.In_page (frame, slot)) ->

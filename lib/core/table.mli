@@ -146,6 +146,11 @@ val raw_insert_mapped : t -> Phoebe_storage.Value.t array -> int
 (** Logical-replication apply: non-transactional insert under a fresh
     local row id (the replica keeps a primary-rid map). *)
 
+val raw_exists : t -> rid:int -> bool
+(** Replication apply: does [rid] currently locate to a stored tuple?
+    [raw_update] silently no-ops on an absent rid, so appliers that must
+    fail loudly on a missing base row check first. *)
+
 val raw_update : t -> rid:int -> (int * Phoebe_storage.Value.t) array -> unit
 val raw_delete : t -> rid:int -> unit
 

@@ -3,7 +3,9 @@ module Table = Phoebe_core.Table
 module Engine = Phoebe_sim.Engine
 module Wal = Phoebe_wal.Wal
 module Record = Phoebe_wal.Record
+module Recovery = Phoebe_wal.Recovery
 module Walstore = Phoebe_io.Walstore
+module Sanitize = Phoebe_sanitize.Sanitize
 
 type link = { bandwidth_mb_s : float; latency_us : float; poll_interval_us : float }
 
@@ -19,12 +21,17 @@ type t = {
   mutable running : bool;
   offsets : (int, int) Hashtbl.t;  (** per WAL file: bytes already shipped *)
   pending : (int, Record.t list) Hashtbl.t;  (** per slot: records awaiting their commit *)
+  prepared : (int, int * int) Hashtbl.t;
+      (** per slot: (gxid, coord) of a run that prepared but has not
+          seen its decision record yet — the in-doubt set at cutover *)
   rid_map : (int, (int, int) Hashtbl.t) Hashtbl.t;  (** table -> primary rid -> standby rid *)
   mutable parked : parked_op list;  (** ops whose target rid has not arrived yet *)
   mutable shipped : int;
   mutable applied : int;
   mutable records_seen : int;
   mutable apply_after : int;  (** serialises in-flight batches (FIFO link) *)
+  mutable detached : bool;  (** [stop]/[promote] ran: gauges are frozen *)
+  mutable final_lag : int;  (** lag snapshot taken at detach *)
 }
 
 let map_for t table =
@@ -80,13 +87,15 @@ let apply_batch t ops =
 (* Decode the newly shipped suffix of one WAL file, turning per-slot
    record runs into committed-transaction batches (aborted and
    uncommitted tails are withheld) — the streaming version of the crash
-   recovery rule. *)
-let consume_file t bytes_ ~from_off completed =
+   recovery rule. Decoding stops at [limit], the file's durable
+   frontier: the volatile tail past it is exactly what a primary crash
+   loses, so the standby must never see it. *)
+let consume_file t bytes_ ~from_off ~limit completed =
   let off = ref from_off in
   let continue = ref true in
-  while !continue && !off < Bytes.length bytes_ do
+  while !continue && !off < limit do
     match Record.decode bytes_ !off with
-    | r, off' ->
+    | r, off' when off' <= limit ->
       off := off';
       t.records_seen <- t.records_seen + 1;
       let slot = r.Record.slot in
@@ -95,13 +104,20 @@ let consume_file t bytes_ ~from_off completed =
       | Record.Commit _ ->
         completed := List.rev_append run !completed;
         Hashtbl.replace t.pending slot [];
+        Hashtbl.remove t.prepared slot;
         t.applied <- t.applied + 1
-      | Record.Abort _ -> Hashtbl.replace t.pending slot []
-      | Record.Prepare _ ->
+      | Record.Abort _ ->
+        Hashtbl.replace t.pending slot [];
+        Hashtbl.remove t.prepared slot
+      | Record.Prepare { gxid; coord; _ } ->
         (* a prepared run stays withheld until its decision record
            ships — the streaming analogue of the in-doubt rule *)
-        ()
+        Hashtbl.replace t.prepared slot (gxid, coord)
       | _ -> Hashtbl.replace t.pending slot (r :: run))
+    | _, _ ->
+      (* the record straddles the durable frontier: ship it once the
+         frontier catches up *)
+      continue := false
     | exception Failure _ -> continue := false
   done;
   !off
@@ -113,10 +129,15 @@ let poll ?(inline = false) t =
   List.iter
     (fun file ->
       let contents = Walstore.contents store ~file in
+      (* ship only the durable prefix: bytes past the frontier are a
+         volatile tail the primary would lose in a crash, and a standby
+         that applied them could acknowledge transactions the recovered
+         primary never committed *)
+      let limit = min (Walstore.durable_frontier store ~file) (Bytes.length contents) in
       let from_off = Option.value ~default:0 (Hashtbl.find_opt t.offsets file) in
-      if Bytes.length contents > from_off then begin
-        new_bytes := !new_bytes + (Bytes.length contents - from_off);
-        let upto = consume_file t contents ~from_off completed in
+      if limit > from_off then begin
+        let upto = consume_file t contents ~from_off ~limit completed in
+        new_bytes := !new_bytes + (upto - from_off);
         Hashtbl.replace t.offsets file upto
       end)
     (Walstore.files store);
@@ -145,6 +166,26 @@ let rec schedule_poll t =
           schedule_poll t
         end)
 
+let live_lag t = Wal.total_records (Db.wal t.prim) - t.records_seen
+
+(* The replication gauges live on the primary's registry; after the
+   stream detaches ([stop]/[promote]) the primary's WAL keeps moving —
+   or crashes and rewinds — so a live [lag] read would drift stale or
+   negative. Detach freezes the lag at its final honest value; the
+   closures registered in [attach] switch on [detached]. *)
+let checked_lag v =
+  if Sanitize.on () && v < 0 then
+    Sanitize.violation Sanitize.Wal_mono
+      "repl.lag_records negative (%d): records_seen overtook the primary's WAL" v;
+  v
+
+let detach t =
+  if not t.detached then begin
+    t.final_lag <- checked_lag (live_lag t);
+    t.detached <- true
+  end;
+  t.running <- false
+
 let attach ~primary ~standby ?(link = default_link) () =
   if Db.engine primary != Db.engine standby then
     invalid_arg "Replication.attach: primary and standby must share a simulation engine";
@@ -157,12 +198,15 @@ let attach ~primary ~standby ?(link = default_link) () =
       running = true;
       offsets = Hashtbl.create 64;
       pending = Hashtbl.create 64;
+      prepared = Hashtbl.create 8;
       rid_map = Hashtbl.create 16;
       parked = [];
       shipped = 0;
       applied = 0;
       records_seen = 0;
       apply_after = 0;
+      detached = false;
+      final_lag = 0;
     }
   in
   (* standby lag on the primary's registry so --json captures it *)
@@ -170,19 +214,48 @@ let attach ~primary ~standby ?(link = default_link) () =
   Phoebe_obs.Obs.int_fn obs "repl.shipped_bytes" (fun () -> t.shipped);
   Phoebe_obs.Obs.int_fn obs "repl.applied_txns" (fun () -> t.applied);
   Phoebe_obs.Obs.int_fn obs "repl.lag_records" (fun () ->
-      Wal.total_records (Db.wal t.prim) - t.records_seen);
+      if t.detached then t.final_lag else checked_lag (live_lag t));
   schedule_poll t;
   t
 
-let stop t = t.running <- false
+let stop t = detach t
 
-let promote t =
-  (* drain whatever already shipped, then cut over *)
+let promote ?(decide_in_doubt = fun (_ : Recovery.in_doubt) -> false) t =
+  (* drain whatever already shipped and is durable, then cut over *)
   poll ~inline:true t;
-  t.running <- false;
+  (* In-doubt prepared runs are resolved exactly like recovery resolves
+     them: the decision callback answers from the coordinator's log,
+     presumed abort by default. Decided-commit runs apply; everything
+     else — including plain uncommitted tails — is dropped, because the
+     primary's recovery would drop it too. *)
+  Hashtbl.iter
+    (fun slot (gxid, coord) ->
+      let run = Option.value ~default:[] (Hashtbl.find_opt t.pending slot) in
+      let ops = List.rev run in
+      if decide_in_doubt { Recovery.gxid; coord; ops } then begin
+        apply_batch t ops;
+        t.applied <- t.applied + 1
+      end;
+      Hashtbl.replace t.pending slot [])
+    t.prepared;
+  Hashtbl.reset t.prepared;
+  Hashtbl.reset t.pending;
+  (* A parked op at cutover is a committed transaction whose base row
+     never shipped. The durable-prefix clamp makes that impossible for a
+     healthy stream (a commit's dependencies are durable before it is),
+     so surviving parked ops mean the stream lost acknowledged writes —
+     refuse to promote rather than silently discard them. *)
+  (match t.parked with
+  | [] -> ()
+  | parked ->
+    Phoebe_util.Phoebe_error.bug ~subsystem:"replication"
+      "promote: %d shipped operation(s) of committed transactions reference rows that never \
+       arrived — refusing to discard acknowledged writes"
+      (List.length parked));
+  detach t;
   t.stand
 
 let shipped_bytes t = t.shipped
 let applied_txns t = t.applied
-let lag_records t = Wal.total_records (Db.wal t.prim) - t.records_seen
+let lag_records t = if t.detached then t.final_lag else checked_lag (live_lag t)
 let is_running t = t.running

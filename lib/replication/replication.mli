@@ -29,18 +29,31 @@ val attach : primary:Phoebe_core.Db.t -> standby:Phoebe_core.Db.t -> ?link:link 
     create the standby with {!Phoebe_core.Db.create_on}. *)
 
 val stop : t -> unit
-(** Stop the shipping loop (e.g. primary failure). *)
+(** Stop the shipping loop (e.g. primary failure) and freeze the
+    replication gauges at their final values. *)
 
-val promote : t -> Phoebe_core.Db.t
-(** Stop shipping and return the standby, now writable. Transactions
-    acknowledged on the primary before the last shipped batch are
-    guaranteed present. *)
+val promote :
+  ?decide_in_doubt:(Phoebe_wal.Recovery.in_doubt -> bool) -> t -> Phoebe_core.Db.t
+(** Stop shipping and return the standby, now writable. Only the
+    primary's durable WAL prefix ever ships, so every transaction whose
+    durability wait completed before the final drain is present — the
+    standby can never hold a transaction the primary would lose in a
+    crash. At cutover, in-doubt runs (prepared, no decision record
+    shipped) are resolved through [decide_in_doubt] exactly like crash
+    recovery resolves them (default: presumed abort); uncommitted tails
+    are dropped. @raise Phoebe_util.Phoebe_error.Bug if committed
+    operations remain parked on unmapped rows — promote refuses to
+    silently discard acknowledged writes. *)
 
 (** {1 Introspection}
 
     [attach] also registers these on the *primary's* obs registry as
     [repl.shipped_bytes] / [repl.applied_txns] / [repl.lag_records],
-    so bench [--json] captures standby lag. *)
+    so bench [--json] captures standby lag. After {!stop}/{!promote}
+    the gauges freeze at their detach-time values — the primary's WAL
+    keeps moving (or crashes and rewinds) after the stream detaches, so
+    a live read would drift stale or negative; with the sanitizer plane
+    on, a negative live lag raises under the [Wal_mono] rule. *)
 
 val shipped_bytes : t -> int
 val applied_txns : t -> int

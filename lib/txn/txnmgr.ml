@@ -74,6 +74,11 @@ type t = {
   n_committed : Obs.Counter.t;
   n_aborted : Obs.Counter.t;
   abort_by_reason : Obs.Counter.t array;  (** indexed by [reason_index] *)
+  mutable commit_barrier : (slot:int -> lsn:int -> unit) option;
+      (** extra durability barrier run after the local WAL wait of a
+          commit/prepare that wrote — replication installs its quorum
+          acknowledgement wait here. [None] (the default) is
+          branch-only: the event schedule is bit-identical. *)
 }
 
 let reason_index = function Deadlock -> 0 | Deadline -> 1 | Shed -> 2 | Conflict -> 3 | User -> 4
@@ -105,7 +110,10 @@ let create ?obs ~clock ~wal ~n_slots ?(snapshot_mode = O1_timestamp) ?contention
         counter "txn.abort.conflict";
         counter "txn.abort.user";
       |];
+    commit_barrier = None;
   }
+
+let set_commit_barrier t b = t.commit_barrier <- b
 
 let clock t = t.tclock
 let wal t = t.twal
@@ -215,7 +223,8 @@ let prepare t txn ~gxid ~coord =
       if (Wal.config t.twal).Wal.rfa then (txn.needs_remote, txn.remote_gsn)
       else (true, gsn - 1)
     in
-    Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn
+    Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn;
+    match t.commit_barrier with Some barrier -> barrier ~slot:txn.slot ~lsn | None -> ()
   end;
   txn.state <- Prepared
 
@@ -272,7 +281,11 @@ let commit t txn =
       if (Wal.config t.twal).Wal.rfa then (txn.needs_remote, txn.remote_gsn)
       else (true, gsn - 1)
     in
-    Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn
+    Wal.commit_durable t.twal ~slot:txn.slot ~lsn ~needs_remote ~remote_gsn;
+    (* a replication barrier extends "durable" to "durable on a quorum":
+       the commit's visibility (lock release, watermark advance) stays
+       gated until the group acknowledges *)
+    match t.commit_barrier with Some barrier -> barrier ~slot:txn.slot ~lsn | None -> ()
   end;
   (* Only now — after the durability wait — may the sanitizer treat this
      transaction's after-images as safe to put on data pages. Before this

@@ -127,6 +127,17 @@ val abort : ?reason:abort_reason -> t -> txn -> rollback:(Undo.t -> unit) -> uni
     counters and the span outcome: deadline/shed aborts end their trace
     span as [Cancelled], others as [Aborted]. *)
 
+val set_commit_barrier : t -> (slot:int -> lsn:int -> unit) option -> unit
+(** Install an extra durability barrier, run inside {!commit} and
+    {!prepare} right after the local WAL durability wait of a
+    transaction that wrote (and before locks release or the per-slot
+    durable watermark advances). Replication uses it to gate commit
+    visibility on quorum acknowledgement: the barrier may park the
+    committing fiber and return once the group's majority has the
+    commit durable. [None] (the default) restores plain local
+    durability — the branch is never taken and the event schedule is
+    bit-identical. *)
+
 val find_active : t -> xid:int -> txn option
 val active_count : t -> int
 

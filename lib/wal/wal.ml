@@ -200,6 +200,7 @@ let append t ~slot op ~gsn =
 
 let current_lsn t ~slot = t.writers.(effective_slot t slot).next_lsn - 1
 let flushed_lsn t ~slot = t.writers.(effective_slot t slot).flushed_lsn
+let flushed_gsn t ~slot = t.writers.(effective_slot t slot).max_flushed_gsn
 
 (* Durability waits park on the unified wait core with a [Never] bound:
    a commit that reached the WAL must not be severed from its flush by a

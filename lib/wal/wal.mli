@@ -59,6 +59,17 @@ val append : t -> slot:int -> Record.op -> gsn:int -> int
 val current_lsn : t -> slot:int -> int
 val flushed_lsn : t -> slot:int -> int
 
+val durable_floor : t -> int
+(** The global durable-GSN floor: every record with GSN [<= floor] is
+    durably flushed in every writer ([max_int] when no writer has
+    unflushed records). This is the RFA remote-commit predicate;
+    replication uses it to ship a global GSN-prefix of the log. *)
+
+val flushed_gsn : t -> slot:int -> int
+(** Highest durably flushed GSN in [slot]'s writer. After a commit's
+    durability wait this covers every record of the committing
+    transaction. *)
+
 (** {1 Commit durability} *)
 
 val commit_durable :

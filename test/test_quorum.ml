@@ -1,0 +1,240 @@
+(* Tests for quorum replication with automated failover: group
+   convergence, quorum-gated commit visibility, primary-kill view
+   change, follower reads under a staleness bound, follower restart
+   through the recovery path, and the 100-seed randomized
+   crash-during-replication durability property. *)
+open Phoebe_core
+module Quorum = Phoebe_replication.Quorum
+module Value = Phoebe_storage.Value
+module Device = Phoebe_io.Device
+module Prng = Phoebe_util.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_rows = Alcotest.(check (list (pair int int)))
+
+let cfg = { Config.default with Config.n_workers = 2; slots_per_worker = 4 }
+
+let ddl db =
+  let t = Db.create_table db ~name:"kv" ~schema:[ ("k", Value.T_int); ("v", Value.T_int) ] in
+  Db.create_index db t ~name:"kv_pk" ~cols:[ "k" ] ~unique:true
+
+let kv db = Db.table db "kv"
+
+let dump db =
+  let t = kv db in
+  Db.with_txn db (fun txn ->
+      let acc = ref [] in
+      Table.scan t txn (fun _ row ->
+          match (row.(0), row.(1)) with
+          | Value.Int k, Value.Int v -> acc := (k, v) :: !acc
+          | _ -> ());
+      List.sort compare !acc)
+
+let insert_kv db k v txn = ignore (Table.insert (kv db) txn [| Value.Int k; Value.Int v |])
+
+let test_convergence () =
+  let q = Quorum.create cfg ~ddl in
+  let prim = Option.get (Quorum.primary_db q) in
+  let acked = ref 0 in
+  for k = 1 to 60 do
+    Db.submit prim ~on_done:(fun () -> incr acked) (insert_kv prim k k)
+  done;
+  Quorum.run_for q ~ns:60_000_000;
+  check_int "every commit quorum-acknowledged" 60 !acked;
+  let d = dump prim in
+  check_int "primary holds all rows" 60 (List.length d);
+  for node = 1 to Quorum.nodes q - 1 do
+    check_rows "follower converged" d (dump (Quorum.db q ~node))
+  done;
+  check_int "both replicas durable to the stream end" (Quorum.stream_len q)
+    (min (Quorum.durable_off q ~node:1) (Quorum.durable_off q ~node:2));
+  Quorum.shutdown q
+
+(* Commit visibility must be gated on the quorum: with every follower
+   partitioned away no commit may be acknowledged, and healing the
+   partition releases them all. *)
+let test_commit_gated_on_quorum () =
+  let q = Quorum.create cfg ~ddl in
+  let prim = Option.get (Quorum.primary_db q) in
+  Quorum.set_partitioned q ~node:1 true;
+  Quorum.set_partitioned q ~node:2 true;
+  let acked = ref 0 in
+  for k = 1 to 5 do
+    Db.submit prim ~on_done:(fun () -> incr acked) (insert_kv prim k k)
+  done;
+  Quorum.run_for q ~ns:5_000_000;
+  check_int "no ack without a quorum" 0 !acked;
+  Quorum.set_partitioned q ~node:1 false;
+  Quorum.set_partitioned q ~node:2 false;
+  Quorum.run_for q ~ns:30_000_000;
+  check_int "all released once the quorum heals" 5 !acked;
+  Quorum.shutdown q
+
+let test_automated_failover () =
+  let q = Quorum.create cfg ~ddl in
+  let prim0 = Option.get (Quorum.primary_db q) in
+  let acked = ref [] in
+  for k = 1 to 40 do
+    Db.submit prim0 ~on_done:(fun () -> acked := k :: !acked) (insert_kv prim0 k k)
+  done;
+  Quorum.run_for q ~ns:30_000_000;
+  check_bool "some commits acknowledged before the kill" true (!acked <> []);
+  Quorum.kill q ~node:0;
+  Quorum.run_for q ~ns:60_000_000;
+  let p =
+    match Quorum.primary q with
+    | Some p -> p
+    | None -> Alcotest.fail "no primary elected after the kill"
+  in
+  check_bool "a follower took over" true (p <> 0);
+  check_bool "view advanced" true (Quorum.view q >= 2);
+  let pdb = Quorum.db q ~node:p in
+  let d = dump pdb in
+  List.iter
+    (fun k -> check_bool "acknowledged key survived failover" true (List.mem_assoc k d))
+    !acked;
+  (* the new primary quorum-commits new writes *)
+  let acked2 = ref 0 in
+  for k = 100 to 110 do
+    Db.submit pdb ~on_done:(fun () -> incr acked2) (insert_kv pdb k k)
+  done;
+  Quorum.run_for q ~ns:40_000_000;
+  check_int "writes continue in the new view" 11 !acked2;
+  (* and the surviving follower converges onto the new history *)
+  let other = if p = 1 then 2 else 1 in
+  check_rows "surviving follower converged" (dump pdb) (dump (Quorum.db q ~node:other));
+  Quorum.shutdown q
+
+let test_follower_reads_and_staleness () =
+  let q = Quorum.create cfg ~ddl in
+  let prim = Option.get (Quorum.primary_db q) in
+  for k = 1 to 20 do
+    Db.submit prim (insert_kv prim k k)
+  done;
+  Quorum.run_for q ~ns:20_000_000;
+  let db1 = Quorum.db q ~node:1 in
+  let n =
+    Quorum.follower_read q ~node:1 (fun txn ->
+        let c = ref 0 in
+        Table.scan (kv db1) txn (fun _ _ -> incr c);
+        !c)
+  in
+  check_int "caught-up follower serves the applied state" 20 n;
+  check_bool "staleness within the bound" true (Quorum.staleness_ns q ~node:1 <= 5_000_000);
+  (* a partitioned follower falls behind the bound and must refuse *)
+  Quorum.set_partitioned q ~node:1 true;
+  Quorum.run_for q ~ns:10_000_000;
+  check_bool "stale follower rejects the read" true
+    (try
+       Quorum.follower_read q ~node:1 (fun _ -> ());
+       false
+     with Quorum.Stale_read _ -> true);
+  (* an explicit looser bound still serves *)
+  let n =
+    Quorum.follower_read ~max_staleness_ns:60_000_000 q ~node:1 (fun txn ->
+        let c = ref 0 in
+        Table.scan (kv db1) txn (fun _ _ -> incr c);
+        !c)
+  in
+  check_int "explicit bound overrides the default" 20 n;
+  Quorum.shutdown q
+
+let test_follower_restart () =
+  let q = Quorum.create cfg ~ddl in
+  let prim = Option.get (Quorum.primary_db q) in
+  for k = 1 to 30 do
+    Db.submit prim (insert_kv prim k k)
+  done;
+  Quorum.run_for q ~ns:25_000_000;
+  (* restart node 2: volatile stream state is lost, the journaled
+     prefix replays through the crash-recovery path *)
+  Quorum.restart_follower q ~node:2;
+  check_rows "restart recovered the journaled prefix" (dump prim) (dump (Quorum.db q ~node:2));
+  for k = 31 to 50 do
+    Db.submit prim (insert_kv prim k k)
+  done;
+  Quorum.run_for q ~ns:30_000_000;
+  check_rows "restarted follower re-synced and converged" (dump prim)
+    (dump (Quorum.db q ~node:2));
+  check_int "re-synced to the stream end" (Quorum.stream_len q) (Quorum.durable_off q ~node:2);
+  Quorum.shutdown q
+
+(* The failover durability property, randomized over 100 seeds: a
+   3-node group with fault-injected WAL and mirror devices and a lossy
+   network runs a random workload; the primary is killed at a random
+   virtual instant mid-replication. Afterwards: a new primary must be
+   elected; every commit whose quorum acknowledgement reached the
+   client must be present on it; the promoted state must equal an
+   independent crash-recovery replay of its own journal (the oracle);
+   and the surviving follower must converge onto the new history. *)
+let crash_property seed =
+  let faults =
+    {
+      Device.fault_seed = (seed * 31) + 7;
+      torn_write_p = 0.02;
+      lost_ack_p = 0.02;
+      delayed_ack_p = 0.05;
+      max_delay_ns = 200_000;
+    }
+  in
+  let fcfg = { cfg with Config.faults = Some faults } in
+  let group = { Quorum.default_config with drop_p = 0.02; net_seed = (seed * 13) + 5 } in
+  let q = Quorum.create ~group fcfg ~ddl in
+  let rng = Prng.create ~seed in
+  let prim = Option.get (Quorum.primary_db q) in
+  let acked = ref [] in
+  let n_txns = 20 + Prng.int rng 40 in
+  for k = 1 to n_txns do
+    Db.submit prim ~on_done:(fun () -> acked := k :: !acked) (insert_kv prim k (k * 3))
+  done;
+  let crash_at = 500_000 + Prng.int rng 20_000_000 in
+  Quorum.run_for q ~ns:crash_at;
+  Quorum.kill q ~node:0;
+  Quorum.run_for q ~ns:150_000_000;
+  (match Quorum.primary q with
+  | None -> Alcotest.fail (Printf.sprintf "seed %d: no primary elected" seed)
+  | Some p ->
+    let pdb = Quorum.db q ~node:p in
+    let d = dump pdb in
+    List.iter
+      (fun k ->
+        if not (List.mem_assoc k d) then
+          Alcotest.fail
+            (Printf.sprintf "seed %d: quorum-acknowledged key %d lost at failover" seed k))
+      !acked;
+    (* promoted state == independent crash-recovery replay of its journal *)
+    let oracle = Db.create_on (Quorum.engine q) cfg in
+    ddl oracle;
+    Quorum.replay_durable_prefix q ~node:p ~into:oracle;
+    if dump oracle <> d then
+      Alcotest.fail (Printf.sprintf "seed %d: promoted state diverges from recovery oracle" seed);
+    (* the surviving follower converges onto the new primary's history *)
+    let other = if p = 1 then 2 else 1 in
+    if dump (Quorum.db q ~node:other) <> d then
+      Alcotest.fail (Printf.sprintf "seed %d: surviving follower diverged after catch-up" seed));
+  Quorum.shutdown q
+
+let test_crash_property_100_seeds () =
+  for seed = 1 to 100 do
+    crash_property seed
+  done
+
+let () =
+  Alcotest.run "phoebe_quorum"
+    [
+      ( "group",
+        [
+          Alcotest.test_case "convergence" `Quick test_convergence;
+          Alcotest.test_case "commit gated on quorum" `Quick test_commit_gated_on_quorum;
+          Alcotest.test_case "follower reads and staleness" `Quick
+            test_follower_reads_and_staleness;
+          Alcotest.test_case "follower restart" `Quick test_follower_restart;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "automated failover" `Quick test_automated_failover;
+          Alcotest.test_case "primary crash property (100 seeds)" `Slow
+            test_crash_property_100_seeds;
+        ] );
+    ]

@@ -144,6 +144,108 @@ let test_mismatched_engines_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression: the shipping loop must clamp decoding to the per-file
+   durable frontier. Outside a fiber, commit durability waits no-op
+   (loader semantics), so before the engine runs every record sits in
+   the WAL buffers' volatile tail — exactly what a primary crash would
+   lose. A promote at that instant must ship nothing. *)
+let test_volatile_tail_withheld () =
+  let primary, standby, pt, st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  for k = 1 to 10 do
+    Db.with_txn primary (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  let promoted = Repl.promote repl in
+  check_int "volatile tail never ships" 0 (List.length (dump promoted st))
+
+(* Regression, fault-injected variant: with torn writes, lost and
+   delayed flush acks on the WAL device, a mid-flight promote must
+   leave the standby exactly equal to what crash recovery would
+   reconstruct from the primary's durable WAL — every acknowledged
+   transaction present, nothing from the volatile tail. *)
+let test_promote_equals_crash_recovery_under_faults () =
+  let faults =
+    {
+      Phoebe_io.Device.fault_seed = 17;
+      torn_write_p = 0.05;
+      lost_ack_p = 0.05;
+      delayed_ack_p = 0.1;
+      max_delay_ns = 200_000;
+    }
+  in
+  let fcfg = { cfg with Config.faults = Some faults } in
+  let primary = Db.create fcfg in
+  let standby = Db.create_on (Db.engine primary) fcfg in
+  let pt = ddl primary in
+  let st = ddl standby in
+  let repl = Repl.attach ~primary ~standby () in
+  let acked = ref [] in
+  for k = 1 to 40 do
+    Db.submit primary
+      ~on_done:(fun () -> acked := k :: !acked)
+      (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  (* cut over mid-flight: some commits durable, some volatile *)
+  Db.run_for primary ~ns:8_000_000;
+  let promoted = Repl.promote repl in
+  let d = dump promoted st in
+  List.iter
+    (fun k -> check_bool "acknowledged key shipped" true (List.mem_assoc k d))
+    !acked;
+  (* the independent oracle: crash the primary (truncating its WAL to
+     the durable frontier) and replay it into a fresh instance *)
+  ignore (Db.crash primary);
+  let oracle = Db.create_on (Db.engine primary) cfg in
+  let ot = ddl oracle in
+  ignore (Db.replay_wal oracle ~from:(Phoebe_wal.Wal.store (Db.wal primary)));
+  Alcotest.(check (list (pair int int))) "standby == crash-recovery oracle" (dump oracle ot) d
+
+(* Regression: promote must surface prepared-but-undecided branches
+   through [decide_in_doubt] instead of silently discarding the
+   withheld run. *)
+let test_promote_resolves_in_doubt () =
+  let primary, standby, pt, st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  Db.submit primary (fun txn -> ignore (Table.insert pt txn [| Value.Int 1; Value.Int 1 |]));
+  Db.run_for primary ~ns:5_000_000;
+  (* a branch transaction that prepared and never hears its decision *)
+  let txn = Db.begin_txn primary in
+  ignore (Table.insert pt txn [| Value.Int 2; Value.Int 2 |]);
+  Phoebe_txn.Txnmgr.prepare (Db.txnmgr primary) txn ~gxid:77 ~coord:1;
+  Db.run_for primary ~ns:5_000_000;
+  let seen = ref (-1) in
+  let promoted =
+    Repl.promote
+      ~decide_in_doubt:(fun d ->
+        seen := d.Phoebe_wal.Recovery.gxid;
+        true)
+      repl
+  in
+  check_int "in-doubt branch surfaced with its gxid" 77 !seen;
+  Alcotest.(check (list (pair int int)))
+    "decided-commit branch applied at cutover"
+    [ (1, 1); (2, 2) ]
+    (dump promoted st)
+
+(* Regression: repl.lag_records froze at stop/promote. The primary
+   keeps committing after detach; a live gauge would drift stale (and
+   go negative after a primary crash rewinds the WAL). *)
+let test_gauges_freeze_at_detach () =
+  let primary, standby, pt, _st = pair () in
+  let repl = Repl.attach ~primary ~standby () in
+  for k = 1 to 20 do
+    Db.submit primary (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  Db.run_for primary ~ns:20_000_000;
+  Repl.stop repl;
+  let frozen = Repl.lag_records repl in
+  check_bool "frozen lag is non-negative" true (frozen >= 0);
+  for k = 21 to 40 do
+    Db.submit primary (fun txn -> ignore (Table.insert pt txn [| Value.Int k; Value.Int k |]))
+  done;
+  Db.run_for primary ~ns:20_000_000;
+  check_int "lag gauge frozen at detach value" frozen (Repl.lag_records repl)
+
 let () =
   Alcotest.run "phoebe_replication"
     [
@@ -153,10 +255,15 @@ let () =
           Alcotest.test_case "updates and deletes" `Quick test_updates_deletes_converge;
           Alcotest.test_case "uncommitted withheld" `Quick test_uncommitted_not_shipped;
           Alcotest.test_case "lag and catch-up" `Quick test_lag_and_catchup;
+          Alcotest.test_case "volatile tail withheld" `Quick test_volatile_tail_withheld;
+          Alcotest.test_case "promote == crash recovery under faults" `Quick
+            test_promote_equals_crash_recovery_under_faults;
         ] );
       ( "failover",
         [
           Alcotest.test_case "promote" `Quick test_failover_promote;
           Alcotest.test_case "engine mismatch" `Quick test_mismatched_engines_rejected;
+          Alcotest.test_case "promote resolves in-doubt" `Quick test_promote_resolves_in_doubt;
+          Alcotest.test_case "gauges freeze at detach" `Quick test_gauges_freeze_at_detach;
         ] );
     ]

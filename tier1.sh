@@ -72,4 +72,13 @@ dune exec bench/main.exe -- --experiment sharded --seed 42 --json "$sharded_b" >
 cmp "$sharded_a" "$sharded_b"
 echo "   scaling grid parses, double run byte-identical"
 
+echo "== ha_failover smoke (quorum failover grid, --json, double-run identical)"
+ha_a="$tmpdir/ha-a.json"
+ha_b="$tmpdir/ha-b.json"
+dune exec bench/main.exe -- --experiment ha_failover --seed 42 --json "$ha_a"
+dune exec bench/main.exe -- --check-json "$ha_a"
+dune exec bench/main.exe -- --experiment ha_failover --seed 42 --json "$ha_b" > /dev/null
+cmp "$ha_a" "$ha_b"
+echo "   failover grid parses, double run byte-identical"
+
 echo "== tier-1: OK"
