@@ -20,6 +20,9 @@
                           List.map) in files tagged [(* lint: hot-path *)] —
                           hot-path code reuses scratch buffers and slabs
                           (DESIGN.md section 4h)
+     raising-find         Hashtbl.find / List.hd / Option.get in lib/wal or
+                          lib/replication — a Not_found unwinding WAL replay
+                          or log shipping wedges recovery; use _opt variants
 
    Escape hatches, in a comment on the offending line or the line above:
        (* lint: allow <rule> *)
@@ -87,6 +90,16 @@ let strip src =
       skip_quoted (i + 1) closing
     end
   in
+  (* at '{': a quoted-string opener? returns (closing delim, body start) *)
+  let quoted_opener i =
+    let j = ref (i + 1) in
+    while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then
+      Some ("|" ^ String.sub src (i + 1) (!j - i - 1) ^ "}", !j + 1)
+    else None
+  in
   let rec skip_comment i depth =
     if i >= n then i
     else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
@@ -99,9 +112,22 @@ let strip src =
       blank (i + 1);
       if depth = 1 then i + 2 else skip_comment (i + 2) (depth - 1)
     end
-    else begin
+    (* the OCaml lexer lexes string literals inside comments: a "*)"
+       inside one must not terminate the comment *)
+    else if src.[i] = '"' then begin
       blank i;
-      skip_comment (i + 1) depth
+      skip_comment (skip_string (i + 1)) depth
+    end
+    else begin
+      match if src.[i] = '{' then quoted_opener i else None with
+      | Some (closing, body) ->
+        for k = i to body - 1 do
+          blank k
+        done;
+        skip_comment (skip_quoted body closing) depth
+      | None ->
+        blank i;
+        skip_comment (i + 1) depth
     end
   in
   let rec go i =
@@ -114,20 +140,14 @@ let strip src =
       | '"' ->
         blank i;
         go (skip_string (i + 1))
-      | '{' ->
-        (* possible quoted string {id|...|id} *)
-        let j = ref (i + 1) in
-        while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
-          incr j
-        done;
-        if !j < n && src.[!j] = '|' then begin
-          let id = String.sub src (i + 1) (!j - i - 1) in
-          for k = i to !j do
+      | '{' -> (
+        match quoted_opener i with
+        | Some (closing, body) ->
+          for k = i to body - 1 do
             blank k
           done;
-          go (skip_quoted (!j + 1) ("|" ^ id ^ "}"))
-        end
-        else go (i + 1)
+          go (skip_quoted body closing)
+        | None -> go (i + 1))
       | '\'' ->
         (* char literal: '\..' or 'c' with a closing quote; anything else
            (type variables, label quotes) is left alone *)
@@ -154,39 +174,104 @@ let strip src =
   go 0;
   Bytes.to_string out
 
+(* The dual of [strip]: keep only comment interiors, blanking code and
+   every string literal (inside or outside comments). Pragmas and the
+   hot-path tag are read from this view, so a pragma-shaped string
+   constant never suppresses a finding or marks a file hot. *)
+let comments_only src =
+  let n = String.length src in
+  let out = Bytes.make n ' ' in
+  String.iteri (fun i c -> if c = '\n' then Bytes.set out i '\n') src;
+  let rec skip_string i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' -> i + 1
+      | '\\' when i + 1 < n -> skip_string (i + 2)
+      | _ -> skip_string (i + 1)
+  in
+  let rec skip_quoted i closing =
+    let m = String.length closing in
+    if i >= n then i
+    else if i + m <= n && String.sub src i m = closing then i + m
+    else skip_quoted (i + 1) closing
+  in
+  let quoted_opener i =
+    let j = ref (i + 1) in
+    while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
+      incr j
+    done;
+    if !j < n && src.[!j] = '|' then
+      Some ("|" ^ String.sub src (i + 1) (!j - i - 1) ^ "}", !j + 1)
+    else None
+  in
+  let rec comment i depth =
+    if i >= n then i
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then comment (i + 2) (depth + 1)
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then
+      if depth = 1 then i + 2 else comment (i + 2) (depth - 1)
+    else if src.[i] = '"' then comment (skip_string (i + 1)) depth
+    else
+      match if src.[i] = '{' then quoted_opener i else None with
+      | Some (closing, body) -> comment (skip_quoted body closing) depth
+      | None ->
+        Bytes.set out i src.[i];
+        comment (i + 1) depth
+  in
+  let rec go i =
+    if i < n then
+      if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then go (comment (i + 2) 1)
+      else if src.[i] = '"' then go (skip_string (i + 1))
+      else
+        match if src.[i] = '{' then quoted_opener i else None with
+        | Some (closing, body) -> go (skip_quoted body closing)
+        | None -> go (i + 1)
+  in
+  go 0;
+  Bytes.to_string out
+
 (* ------------------------------------------------------------------ *)
 (* Pragmas *)
 
 let known_rules =
   [
     "random"; "wall-clock"; "poly-compare"; "poly-eq-id"; "hashtbl-iter-mutate"; "missing-mli";
-    "hot-alloc";
+    "hot-alloc"; "raising-find";
   ]
 
-(* Returns (line, rule, file_scoped) for every "lint: allow" pragma. *)
+(* Returns (line, rule, file_scoped) for every "lint: allow" pragma;
+   [lines] is the comments-only view. A line may carry several pragmas;
+   each one's scope words stop at the next "lint:" marker. *)
 let pragmas_of lines =
   let out = ref [] in
+  let key = "lint: allow " in
   Array.iteri
     (fun i line ->
-      let key = "lint: allow " in
-      match
-        let rec find from =
-          if from + String.length key > String.length line then None
-          else if String.sub line from (String.length key) = key then Some from
-          else find (from + 1)
-        in
-        find 0
-      with
-      | None -> ()
-      | Some p ->
-        let rest = String.sub line (p + String.length key) (String.length line - p - String.length key) in
-        let words =
-          String.split_on_char ' ' rest |> List.filter (fun w -> w <> "" && w <> "*)" && w <> "*")
-        in
-        (match words with
-        | rule :: tl when List.mem rule known_rules ->
-          out := (i + 1, rule, List.mem "file" tl) :: !out
-        | _ -> ()))
+      let rec find from =
+        if from + String.length key > String.length line then ()
+        else if String.sub line from (String.length key) = key then begin
+          let start = from + String.length key in
+          let stop =
+            let rec next j =
+              if j + 5 > String.length line then String.length line
+              else if String.sub line j 5 = "lint:" then j
+              else next (j + 1)
+            in
+            next start
+          in
+          let rest = String.sub line start (stop - start) in
+          let words =
+            String.split_on_char ' ' rest |> List.filter (fun w -> w <> "" && w <> "*)" && w <> "*")
+          in
+          (match words with
+          | rule :: tl when List.mem rule known_rules ->
+            out := (i + 1, rule, List.mem "file" tl) :: !out
+          | _ -> ());
+          find (from + String.length key)
+        end
+        else find (from + 1)
+      in
+      find 0)
     lines;
   !out
 
@@ -254,7 +339,7 @@ let prefix_is_comparison_context prefix =
            || not (is_ident_char p.[String.length p - String.length c - 1])))
       comparison_contexts
 
-let scan_line ~file ~lineno ~defined_compare ~hot_path line findings =
+let scan_line ~file ~lineno ~defined_compare ~hot_path ~raising_ctx line findings =
   let add rule msg = findings := { f_file = file; f_line = lineno; f_rule = rule; f_msg = msg } :: !findings in
   (* random *)
   List.iter
@@ -302,6 +387,16 @@ let scan_line ~file ~lineno ~defined_compare ~hot_path line findings =
             "closure-capturing List.map on a hot path; iterate with a preallocated accumulator")
       (find_tokens line "List.map")
   end;
+  (* raising-find: only in replay/replication code (lib/wal, lib/replication) *)
+  if raising_ctx then
+    List.iter
+      (fun tok ->
+        List.iter
+          (fun _ ->
+            add "raising-find"
+              (tok ^ " raises on miss; an exception here unwinds WAL replay/log shipping — use the _opt variant"))
+          (find_tokens line tok))
+      [ "Hashtbl.find"; "List.hd"; "Option.get" ];
   (* poly-eq-id *)
   let flag_eq_id ~op pos =
     (* pos = index of the operator *)
@@ -420,14 +515,22 @@ let scan_hashtbl_iter ~file text findings =
 
 let scan_source ~file ?(has_mli = true) src =
   let findings = ref [] in
-  let lines = Array.of_list (String.split_on_char '\n' src) in
-  let pragmas = pragmas_of lines in
-  (* the hot-path tag lives in a comment, so look at the raw source *)
+  (* pragmas and the hot-path tag are honored only inside comments *)
+  let com = comments_only src in
+  let pragmas = pragmas_of (Array.of_list (String.split_on_char '\n' com)) in
   let hot_path =
     let tag = "lint: hot-path" in
-    let n = String.length src and m = String.length tag in
-    let rec at i = i + m <= n && (String.sub src i m = tag || at (i + 1)) in
+    let n = String.length com and m = String.length tag in
+    let rec at i = i + m <= n && (String.sub com i m = tag || at (i + 1)) in
     at 0
+  in
+  let raising_ctx =
+    let has sub =
+      let n = String.length file and m = String.length sub in
+      let rec at i = i + m <= n && (String.sub file i m = sub || at (i + 1)) in
+      at 0
+    in
+    has "lib/wal" || has "lib/replication"
   in
   let stripped = strip src in
   let slines = Array.of_list (String.split_on_char '\n' stripped) in
@@ -449,7 +552,8 @@ let scan_source ~file ?(has_mli = true) src =
         in
         if def "let" || def "and" then defined_compare := true
       end;
-      scan_line ~file ~lineno:(i + 1) ~defined_compare:!defined_compare ~hot_path line findings)
+      scan_line ~file ~lineno:(i + 1) ~defined_compare:!defined_compare ~hot_path ~raising_ctx line
+        findings)
     slines;
   scan_hashtbl_iter ~file stripped findings;
   if not has_mli then
@@ -554,6 +658,50 @@ let fixtures : (string * string * string list) list =
       "(* lint: hot-path *)\nlet f () =\n  (* lint: allow hot-alloc — cold setup *)\n\
       \  Buffer.create 64\n",
       [] );
+    (* comment / string nesting: a string inside a comment may contain
+       "*)" without terminating it, and nested comments balance *)
+    ( "string-in-comment-ok",
+      "(* let s = \"*)\" in Random.int 6 *)\nlet x = 1\n",
+      [] );
+    ( "nested-comment-ok",
+      "(* outer (* inner Random.int *) still comment: Sys.time *)\nlet x = 1\n",
+      [] );
+    ( "quoted-string-ok",
+      "let s = {q|compare Random.int lock_xid = 0|q}\nlet _ = s\n",
+      [] );
+    (* pragmas are honored only inside comments: a pragma-shaped string
+       or quoted string must not suppress, a real comment pragma must *)
+    ( "pragma-in-string-not-honored",
+      "let s = \"lint: allow random file\"\nlet roll () = Random.int 6\n",
+      [ "random" ] );
+    ( "pragma-in-quoted-string-not-honored",
+      "let s = {|lint: allow random file|}\nlet roll () = Random.int 6\n",
+      [ "random" ] );
+    ( "hot-tag-in-string-not-honored",
+      "let s = \"lint: hot-path\"\nlet f () = Buffer.create 64\n",
+      [] );
+    ( "two-pragmas-one-line",
+      "(* lint: hot-path *)\n\
+       let f () = ignore (Buffer.create 64); Random.int 6 (* lint: allow hot-alloc — a *) (* \
+       lint: allow random — b *)\n",
+      [] );
+    (* raising-find: gated to lib/wal and lib/replication paths *)
+    ( "lib/wal/raising-find.ml",
+      "let f tbl k = Hashtbl.find tbl k\n",
+      [ "raising-find" ] );
+    ( "lib/replication/raising-find-hd.ml",
+      "let f l = List.hd l\nlet g o = Option.get o\n",
+      [ "raising-find"; "raising-find" ] );
+    ( "lib/wal/raising-find-opt-ok.ml",
+      "let f tbl k = Hashtbl.find_opt tbl k\n",
+      [] );
+    ( "lib/core/raising-find-ungated-ok.ml",
+      "let f tbl k = Hashtbl.find tbl k\n",
+      [] );
+    ( "lib/wal/raising-find-pragma.ml",
+      "(* lint: allow raising-find — key presence is a checked invariant *)\n\
+       let f tbl k = Hashtbl.find tbl k\n",
+      [] );
   ]
 
 let self_test () =
@@ -561,7 +709,7 @@ let self_test () =
   List.iter
     (fun (name, src, expect) ->
       let got =
-        scan_source ~file:("<" ^ name ^ ">") src
+        scan_source ~file:name src
         |> List.map (fun f -> f.f_rule)
         |> List.sort String.compare
       in

@@ -43,7 +43,9 @@ let charge_search () = Scheduler.charge Component.Effective (costs ()).Cost.btre
 let charge_leaf_op () = Scheduler.charge Component.Effective (costs ()).Cost.btree_leaf_op
 
 let new_leaf fanout =
-  { keys = Array.make fanout ""; rids = Array.make fanout 0; ln = 0; llatch = Latch.create () } (* lint: allow hot-alloc — node construction on split, amortized *)
+  let l = { keys = Array.make fanout ""; rids = Array.make fanout 0; ln = 0; llatch = Latch.create () } (* lint: allow hot-alloc — node construction on split, amortized *) in
+  Latch.set_class l.llatch "index_tree.llatch";
+  l
 
 let create ~name ?(fanout = 64) ~unique () =
   { iname = name; fanout; unique; root = Leaf (new_leaf fanout); entries = 0; idepth = 1 }
@@ -98,6 +100,7 @@ let split_inner t inner =
       platch = Latch.create ();
     }
   in
+  Latch.set_class right.platch "index_tree.platch";
   Array.blit inner.kids half right.kids 0 right.inn;
   Array.blit inner.sep_keys half right.sep_keys 0 (right.inn - 1);
   Array.blit inner.sep_rids half right.sep_rids 0 (right.inn - 1);
@@ -146,6 +149,7 @@ let insert t ~key ~rid =
           platch = Latch.create ();
         }
       in
+      Latch.set_class fresh.platch "index_tree.platch";
       t.root <- Inner fresh;
       t.idepth <- t.idepth + 1;
       split_child t fresh 0

@@ -59,7 +59,9 @@ let costs () =
 let charge_effective n = Scheduler.charge Component.Effective n
 
 let new_inner child key =
-  { keys = Array.make inner_fanout key; children = Array.make inner_fanout child; n = 1; ilatch = Latch.create () } (* lint: allow hot-alloc — inner-node construction on split, amortized *)
+  let node = { keys = Array.make inner_fanout key; children = Array.make inner_fanout child; n = 1; ilatch = Latch.create () } (* lint: allow hot-alloc — inner-node construction on split, amortized *) in
+  Latch.set_class node.ilatch "table_tree.ilatch";
+  node
 
 (* New leaves are allocated into the appending worker's buffer partition
    (paper: each worker manages its own buffer pool partition). *)
@@ -81,13 +83,15 @@ let create ~name ~schema ~buf ~block_store ?block_id_alloc ?(leaf_capacity = 256
   let swip = Bufmgr.swip_of frame in
   Bufmgr.set_parent frame swip;
   let root = new_inner (Leaf swip) 1 in
+  let append_latch = Latch.create () in
+  Latch.set_class append_latch "table_tree.append_latch";
   {
     tname = name;
     tschema = schema;
     buf;
     block_store;
     leaf_capacity;
-    append_latch = Latch.create ();
+    append_latch;
     root = Inner root;
     rightmost = swip;
     next_rid = 1;
@@ -604,6 +608,8 @@ let restore ~name ~schema ~buf ~block_store ~block_id_alloc ?(leaf_capacity = 25
   | (first_pid, first_key) :: rest ->
     let first_swip = Bufmgr.cold_swip buf first_pid in
     let root = new_inner (Leaf first_swip) first_key in
+    let append_latch = Latch.create () in
+    Latch.set_class append_latch "table_tree.append_latch";
     let t =
       {
         tname = name;
@@ -611,7 +617,7 @@ let restore ~name ~schema ~buf ~block_store ~block_id_alloc ?(leaf_capacity = 25
         buf;
         block_store;
         leaf_capacity;
-        append_latch = Latch.create ();
+        append_latch;
         root = Inner root;
         rightmost = first_swip;
         next_rid;

@@ -1,0 +1,21 @@
+(** Findings with stable rule names and deterministic ordering. *)
+
+type finding = {
+  rule : string;
+  file : string;
+  line : int;
+  extra : (string * int) list;
+      (** additional locations a pragma may be attached to (the entry
+          point of a reachability chain) *)
+  msg : string;
+}
+
+val compare_findings : finding -> finding -> int
+
+val sort : finding list -> finding list
+(** Sort by (file, line, rule, message) and drop duplicates. *)
+
+val render_finding : finding -> string
+
+val render : units:int -> defs:int -> finding list -> string
+(** The full report text, ending in a one-line summary. *)

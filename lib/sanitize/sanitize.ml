@@ -67,6 +67,26 @@ let fibers : (int, fstate) Hashtbl.t = Hashtbl.create 64
 let succs : (int, int list ref) Hashtbl.t = Hashtbl.create 256
 let edges : (int * int, string) Hashtbl.t = Hashtbl.create 256
 
+(* Static latch classes (declaring-unit.field, e.g. "bufmgr.flatch"),
+   registered by [Latch.set_class] at create sites. The table maps code
+   structure, not execution, so [reset] leaves it alone — uids are
+   process-unique, stale entries are unreachable. It gives the observed
+   order graph the same vocabulary as phoebe_check's static one, so the
+   observed graph can be checked to be a subset of it. *)
+let classes : (int, string) Hashtbl.t = Hashtbl.create 64
+
+let latch_class ~uid ~name = Hashtbl.replace classes uid name
+
+let order_class_edges () =
+  Hashtbl.fold
+    (fun (from_uid, to_uid) _ acc ->
+      match (Hashtbl.find_opt classes from_uid, Hashtbl.find_opt classes to_uid) with
+      | Some a, Some b -> (a, b) :: acc
+      | _ -> acc)
+    edges []
+  |> List.sort_uniq (fun (a, b) (c, d) ->
+         match String.compare a c with 0 -> String.compare b d | n -> n)
+
 (* Frame-residency mirror and per-(scope, file) WAL watermarks. *)
 let frames : (int * int, unit) Hashtbl.t = Hashtbl.create 1024
 let wal_lsns : (int * int, int) Hashtbl.t = Hashtbl.create 64

@@ -103,6 +103,19 @@ val latch_wait_done : fiber:int -> unit
 val latch_acquired : fiber:int -> uid:int -> tag:int -> exclusive:bool -> unit
 val latch_released : fiber:int -> uid:int -> unit
 
+val latch_class : uid:int -> name:string -> unit
+(** Register a latch's static class ("declaring-unit.field", e.g.
+    ["bufmgr.flatch"]) — called by [Latch.set_class] at create sites.
+    Classes describe code structure, not execution, so they survive
+    {!reset}. *)
+
+val order_class_edges : unit -> (string * string) list
+(** The observed acquisition-order graph projected onto latch classes:
+    every exclusive-held -> exclusive-acquired edge whose both endpoints
+    are classed, deduplicated and sorted. Each must appear in
+    phoebe_check's static order graph (the runtime graph only contains
+    orderings some execution actually witnessed). *)
+
 val lock_acquired : fiber:int -> table:bool -> unit
 (** A granted tuple ([table:false]) or table ([table:true]) lock; held
     counts enrich park/leak witness stacks. *)

@@ -184,6 +184,7 @@ let alloc t ~partition payload =
     }
   in
   Latch.set_tag frame.flatch frame.fpage_id;
+  Latch.set_class frame.flatch "bufmgr.flatch";
   Hashtbl.replace part.frames frame.fpage_id frame;
   part.used_bytes <- part.used_bytes + size;
   if Sanitize.on () then Sanitize.frame_alloc ~scope:t.scope ~page_id:frame.fpage_id;
@@ -275,6 +276,7 @@ let resolve ?(touch = true) t swip =
         }
       in
       Latch.set_tag frame.flatch pid;
+      Latch.set_class frame.flatch "bufmgr.flatch";
       Hashtbl.replace part.frames pid frame;
       part.used_bytes <- part.used_bytes + frame.fsize;
       swip.ptr <- Swizzled frame;

@@ -19,6 +19,10 @@ let create () =
 
 let set_tag t tag = t.tag <- tag
 
+(* Register only under the sanitizer: with the plane off the class
+   table must stay empty so an off-run has zero side state. *)
+let set_class t name = if Sanitize.on () then Sanitize.latch_class ~uid:t.uid ~name
+
 let version t = t.lversion
 let is_exclusive t = t.mode = Exclusive
 

@@ -27,6 +27,13 @@ val set_tag : t -> int -> unit
     latches with their page id). Purely cosmetic; no effect when the
     sanitizer is off. *)
 
+val set_class : t -> string -> unit
+(** Register the latch's static class ("declaring-unit.field", e.g.
+    ["bufmgr.flatch"]) with the sanitizer's order graph — the same
+    vocabulary phoebe_check uses for its static graph, letting tests
+    check observed edges are a subset of the static ones. No effect when
+    the sanitizer is off. *)
+
 val version : t -> int
 val is_exclusive : t -> bool
 

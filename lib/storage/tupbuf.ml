@@ -29,26 +29,28 @@ let grow t slot =
   (* lint: allow hot-alloc — one-time pool growth, off the steady state *)
   let n = Array.length t.slots in
   let n' = max (slot + 1) (max 4 (2 * n)) in
-  let slots = Array.make n' [||] in (* lint: allow hot-alloc — pool growth, off steady state *)
+  let slots = Array.make n' [||] in (* lint: allow hot-alloc — pool growth, off steady state *) (* lint: allow hot-path-alloc — pool growth, off steady state *)
   Array.blit t.slots 0 slots 0 n;
-  let cursor = Array.make n' 0 in (* lint: allow hot-alloc — pool growth, off steady state *)
+  let cursor = Array.make n' 0 in (* lint: allow hot-alloc — pool growth, off steady state *) (* lint: allow hot-path-alloc — pool growth, off steady state *)
   Array.blit t.cursor 0 cursor 0 n;
-  let res = Array.make n' [||] in (* lint: allow hot-alloc — pool growth, off steady state *)
+  let res = Array.make n' [||] in (* lint: allow hot-alloc — pool growth, off steady state *) (* lint: allow hot-path-alloc — pool growth, off steady state *)
   Array.blit t.res 0 res 0 n;
   for i = n to n' - 1 do
-    slots.(i) <- Array.init ring (fun _ -> Array.make t.arity Value.Null); (* lint: allow hot-alloc — pool growth, off steady state *)
-    res.(i) <- Array.make t.arity Value.Null (* lint: allow hot-alloc — pool growth, off steady state *)
+    slots.(i) <- Array.init ring (fun _ -> Array.make t.arity Value.Null); (* lint: allow hot-alloc — pool growth, off steady state *) (* lint: allow hot-path-alloc — pool growth, off steady state *)
+    res.(i) <- Array.make t.arity Value.Null (* lint: allow hot-alloc — pool growth, off steady state *) (* lint: allow hot-path-alloc — pool growth, off steady state *)
   done;
   t.slots <- slots;
   t.cursor <- cursor;
   t.res <- res
 
+(* lint: hot-path *)
 let take t ~slot =
   if slot >= Array.length t.slots then grow t slot;
   let c = t.cursor.(slot) in
   t.cursor.(slot) <- (if c + 1 >= ring then 0 else c + 1);
   t.slots.(slot).(c)
 
+(* lint: hot-path *)
 let result t ~slot =
   if slot >= Array.length t.slots then grow t slot;
   t.res.(slot)

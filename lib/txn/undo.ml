@@ -28,6 +28,7 @@ let freelist : t option ref = ref None
 let freelist_len = ref 0
 let freelist_cap = 4096
 
+(* lint: hot-path *)
 let make ~table_id ~rid ~kind ~sts ~xid ~slot ~prev =
   match !freelist with
   | Some u ->
@@ -44,7 +45,7 @@ let make ~table_id ~rid ~kind ~sts ~xid ~slot ~prev =
     u.reclaimed <- false;
     u
   | None ->
-    (* lint: allow hot-alloc — cold start / freelist empty *)
+    (* lint: allow hot-alloc — cold start / freelist empty *) (* lint: allow hot-path-alloc — cold start / freelist empty *)
     {
       table_id;
       rid;
@@ -57,12 +58,13 @@ let make ~table_id ~rid ~kind ~sts ~xid ~slot ~prev =
       reclaimed = false;
     }
 
+(* lint: hot-path *)
 let release u =
   if !freelist_len < freelist_cap then begin
     u.kind <- Created (* drop the before-image payload so the GC can take it *);
     u.next_in_txn <- None;
     u.next <- !freelist;
-    freelist := Some u;
+    freelist := Some u; (* lint: allow hot-path-alloc — one option cell per release; the slab payload is what is reused *)
     incr freelist_len
   end
   else begin

@@ -1,0 +1,12 @@
+(* Fixture: a hot-path-tagged entry point reaching a closure-capturing
+   allocation through a helper — phoebe_check must report
+   [hot-path-alloc] with the chain, where the token linter
+   (phoebe_lint's hot-alloc rule) sees only the helper's own file. *)
+
+let helper base xs = List.map (fun x -> x + base) xs
+
+(* lint: hot-path *)
+let hot_entry base xs = helper base xs
+
+(* untagged: same body, no finding *)
+let cold_entry base xs = helper base xs

@@ -1,0 +1,19 @@
+(* Fixture: two code paths taking the same two latches in opposite
+   orders — phoebe_check must report [latch-order-cycle] between
+   [fix_order.la] and [fix_order.lb] even though no execution ever
+   witnesses both paths (the runtime sanitizer needs a workload to drive
+   them; the static graph sees both unconditionally). *)
+
+module Latch = Phoebe_storage.Latch
+
+type pair = { la : Latch.t; lb : Latch.t; mutable n : int }
+
+let make () = { la = Latch.create (); lb = Latch.create (); n = 0 }
+
+let a_then_b p =
+  Latch.with_exclusive p.la (fun () ->
+      Latch.with_exclusive p.lb (fun () -> p.n <- p.n + 1))
+
+let b_then_a p =
+  Latch.with_exclusive p.lb (fun () ->
+      Latch.with_exclusive p.la (fun () -> p.n <- p.n - 1))

@@ -1,0 +1,8 @@
+(* Fixture: raising stdlib partials reachable from a (test-configured)
+   recovery entry unit — phoebe_check must report [recovery-raise] for
+   the [Hashtbl.find] two calls down, where an exception would wedge
+   replay; the [_opt] variant is clean. *)
+
+let lookup tbl k = Hashtbl.find tbl k
+let resolve tbl k = lookup tbl k
+let resolve_opt tbl k = Hashtbl.find_opt tbl k

@@ -21,6 +21,14 @@ echo "== lint (phoebe_lint self-test + lib scan)"
 dune exec bin/phoebe_lint.exe -- --self-test
 dune exec bin/phoebe_lint.exe -- lib
 
+echo "== static check (phoebe_check over the build's typed ASTs, double-run identical)"
+check_a="$tmpdir/check-a.txt"
+check_b="$tmpdir/check-b.txt"
+dune exec bin/phoebe_check.exe -- --root . _build/default/lib > "$check_a"
+dune exec bin/phoebe_check.exe -- --root . _build/default/lib > "$check_b"
+cmp "$check_a" "$check_b"
+cat "$check_a"
+
 echo "== bench smoke (5 virtual seconds of exp1 at W=2, --json)"
 json_tmp="$tmpdir/smoke.json"
 dune exec bench/main.exe -- smoke --json "$json_tmp"
